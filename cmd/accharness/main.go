@@ -1,0 +1,99 @@
+// Command accharness simulates the production deployment of §VII: the
+// validation suite integrated into a Titan-style cluster harness, screening
+// random nodes across software stacks (Fig. 13) and flagging degraded
+// nodes.
+//
+//	accharness -nodes 16 -screen 4 -epochs 3 -fault 5=bad-memory -fault 11=stale-driver
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"accv"
+)
+
+// faultFlags accumulates -fault node=mode pairs.
+type faultFlags map[int]accv.Fault
+
+func (f faultFlags) String() string { return fmt.Sprint(map[int]accv.Fault(f)) }
+
+func (f faultFlags) Set(s string) error {
+	nodeStr, mode, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want node=mode, got %q", s)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "bad-memory":
+		f[node] = accv.BadMemory
+	case "stale-driver":
+		f[node] = accv.StaleDriver
+	case "healthy":
+		f[node] = accv.Healthy
+	default:
+		return fmt.Errorf("unknown fault mode %q", mode)
+	}
+	return nil
+}
+
+func main() {
+	faults := faultFlags{}
+	var (
+		nodes     = flag.Int("nodes", 8, "number of simulated nodes")
+		screenK   = flag.Int("screen", 3, "nodes screened per epoch")
+		epochs    = flag.Int("epochs", 2, "screening epochs to run")
+		seed      = flag.Int64("seed", 42, "screening schedule seed")
+		threshold = flag.Float64("threshold", 5.0, "degradation threshold (percentage points below fleet median)")
+	)
+	flag.Var(faults, "fault", "inject a node fault: node=bad-memory|stale-driver (repeatable)")
+	flag.Parse()
+
+	h := accv.NewHarness(*nodes, accv.DefaultStacks())
+	for node, f := range faults {
+		if err := h.InjectFault(node, f); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("Titan-style harness: %d nodes, %d stacks, screening %d nodes/epoch\n\n",
+		*nodes, len(accv.DefaultStacks()), *screenK)
+	for e := 0; e < *epochs; e++ {
+		screenings, err := h.ScreenRandomNodes(*screenK, *seed+int64(e))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("epoch %d:\n", e)
+		for _, s := range screenings {
+			status := "ok"
+			if s.PassRate < 100 {
+				status = fmt.Sprintf("%d failing: %s", len(s.Failed), preview(s.Failed))
+			}
+			fmt.Printf("  node %-3d %-24s %6.1f%%  %s\n", s.Node, s.Stack, s.PassRate, status)
+		}
+	}
+
+	if degraded := h.DetectDegraded(*threshold); len(degraded) > 0 {
+		fmt.Printf("\nDEGRADED NODES (>%.0f points below fleet median): %v\n", *threshold, degraded)
+		os.Exit(1)
+	}
+	fmt.Println("\nAll screened nodes within fleet tolerance.")
+}
+
+func preview(ids []string) string {
+	if len(ids) > 3 {
+		return strings.Join(ids[:3], ", ") + ", ..."
+	}
+	return strings.Join(ids, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accharness:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,241 @@
+// Command accval runs the OpenACC 1.0 validation suite against a simulated
+// compiler and reports the results — the paper's primary workflow.
+//
+//	accval -compiler pgi -version 13.2 -lang c
+//	accval -compiler caps -sweep            # Fig. 8-style version sweep
+//	accval -compiler cray -version 8.1.2 -format csv -o results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"accv"
+)
+
+func main() {
+	var (
+		compilerName = flag.String("compiler", "reference", "compiler to validate: caps, pgi, cray, reference")
+		version      = flag.String("version", "", "compiler version (default: newest simulated release)")
+		lang         = flag.String("lang", "c", "test language: c, fortran, or both")
+		family       = flag.String("family", "", "restrict to one feature family (e.g. parallel, data, loop)")
+		iterations   = flag.Int("iterations", 3, "repeat count M for the certainty statistics")
+		format       = flag.String("format", "text", "report format: text, csv, or html")
+		out          = flag.String("o", "", "write the report to a file instead of stdout")
+		bugReport    = flag.Bool("bugreport", false, "append the per-failure bug report with code snippets")
+		sweep        = flag.Bool("sweep", false, "run every simulated version of the compiler (pass-rate table)")
+		matrix       = flag.Bool("matrix", false, "print the feature × compiler pass/fail matrix (the table §VI omits)")
+		listFeatures = flag.Bool("list", false, "list registered test features and exit")
+		listBugs     = flag.Bool("bugs", false, "print the compiler's bug database (the ground truth behind Table I)")
+	)
+	flag.Parse()
+
+	if *listBugs {
+		db := accv.BugDatabase(*compilerName)
+		if db == nil {
+			fatal(fmt.Errorf("no bug database for %q (want caps, pgi, or cray)", *compilerName))
+		}
+		fmt.Printf("%s bug database: %d entries\n\n", *compilerName, len(db))
+		fmt.Printf("%-34s %-8s %-11s %-10s %s\n", "id", "lang", "introduced", "fixed-in", "title")
+		for _, b := range db {
+			intro, fixed := b.Introduced, b.FixedIn
+			if intro == "" {
+				intro = "(first)"
+			}
+			if fixed == "" {
+				fixed = "(never)"
+			}
+			fmt.Printf("%-34s %-8s %-11s %-10s %s\n", b.ID, b.Lang, intro, fixed, b.Title)
+		}
+		return
+	}
+
+	if *listFeatures {
+		for _, fam := range accv.Families() {
+			fmt.Printf("%s:\n", fam)
+			for _, t := range accv.AllTemplates() {
+				if t.Family == fam && t.Lang == accv.C {
+					fmt.Printf("  %-36s %s\n", t.Name, t.Description)
+				}
+			}
+		}
+		return
+	}
+
+	langs, err := parseLangs(*lang)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sweep {
+		runSweep(*compilerName, langs, *iterations, *family)
+		return
+	}
+	if *matrix {
+		runMatrix(langs[0], *iterations, *family, *version)
+		return
+	}
+
+	ver := *version
+	if ver == "" {
+		if vs := accv.Versions(*compilerName); len(vs) > 0 {
+			ver = vs[len(vs)-1]
+		}
+	}
+	tc, err := accv.NewCompiler(*compilerName, ver)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fm, err := parseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	for _, l := range langs {
+		s := accv.NewSuite(l).Iterations(*iterations)
+		if *family != "" {
+			s = s.Family(*family)
+		}
+		res := s.Run(tc)
+		if err := accv.WriteReport(w, res, fm); err != nil {
+			fatal(err)
+		}
+		if *bugReport {
+			fmt.Fprintln(w)
+			if err := accv.WriteBugReport(w, res); err != nil {
+				fatal(err)
+			}
+		}
+		if res.Failed() > 0 {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// runSweep prints the Fig. 8-style pass-rate table across every simulated
+// version of the vendor.
+func runSweep(vendor string, langs []accv.Language, iterations int, family string) {
+	versions := accv.Versions(vendor)
+	if len(versions) == 0 {
+		fatal(fmt.Errorf("no simulated versions for compiler %q (use caps, pgi, or cray)", vendor))
+	}
+	fmt.Printf("Pass rate (%%) by %s version — Fig. 8 reproduction\n\n", vendor)
+	fmt.Printf("%-10s", "version")
+	for _, l := range langs {
+		fmt.Printf("  %10s", l.String()+" test")
+	}
+	fmt.Println()
+	for _, ver := range versions {
+		tc, err := accv.NewCompiler(vendor, ver)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s", ver)
+		for _, l := range langs {
+			s := accv.NewSuite(l).Iterations(iterations)
+			if family != "" {
+				s = s.Family(family)
+			}
+			res := s.Run(tc)
+			fmt.Printf("  %9.1f%%", res.PassRate())
+		}
+		fmt.Println()
+	}
+}
+
+// runMatrix prints the per-feature pass/fail table against the three vendor
+// compilers — the "tabular column" §VI describes but omits for space.
+func runMatrix(lang accv.Language, iterations int, family, version string) {
+	vendorNames := accv.Vendors()
+	var compilers []accv.Compiler
+	for _, v := range vendorNames {
+		ver := version
+		if ver == "" {
+			vs := accv.Versions(v)
+			ver = vs[len(vs)-1]
+		}
+		tc, err := accv.NewCompiler(v, ver)
+		if err != nil {
+			fatal(err)
+		}
+		compilers = append(compilers, tc)
+	}
+
+	s := accv.NewSuite(lang).Iterations(iterations)
+	if family != "" {
+		s = s.Family(family)
+	}
+	tpls := s.Templates()
+
+	fmt.Printf("Feature × compiler matrix (%s tests)\n\n", lang)
+	fmt.Printf("%-36s", "feature")
+	for _, tc := range compilers {
+		fmt.Printf("  %-14s", tc.Name()+" "+tc.Version())
+	}
+	fmt.Println()
+	for _, tpl := range tpls {
+		fmt.Printf("%-36s", tpl.Name)
+		for _, tc := range compilers {
+			res := accv.RunTest(tc, tpl, iterations)
+			cell := "pass"
+			if res.Outcome.Failed() {
+				cell = "FAIL(" + shortOutcome(res.Outcome.String()) + ")"
+			}
+			fmt.Printf("  %-14s", cell)
+		}
+		fmt.Println()
+	}
+}
+
+// shortOutcome abbreviates outcome names for matrix cells.
+func shortOutcome(s string) string {
+	switch s {
+	case "compilation error":
+		return "compile"
+	case "incorrect results":
+		return "wrong"
+	case "time out":
+		return "hang"
+	}
+	return s
+}
+
+func parseLangs(s string) ([]accv.Language, error) {
+	switch s {
+	case "c":
+		return []accv.Language{accv.C}, nil
+	case "fortran", "f":
+		return []accv.Language{accv.Fortran}, nil
+	case "both", "all":
+		return []accv.Language{accv.C, accv.Fortran}, nil
+	}
+	return nil, fmt.Errorf("unknown language %q (want c, fortran, or both)", s)
+}
+
+func parseFormat(s string) (accv.ReportFormat, error) {
+	switch s {
+	case "text", "":
+		return accv.Text, nil
+	case "csv":
+		return accv.CSV, nil
+	case "html":
+		return accv.HTML, nil
+	}
+	return accv.Text, fmt.Errorf("unknown format %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accval:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,64 @@
+package accv_test
+
+import (
+	"fmt"
+
+	"accv"
+)
+
+// ExampleCompileAndRun compiles and runs an OpenACC program on the
+// simulated accelerator.
+func ExampleCompileAndRun() {
+	src := `
+int acc_test()
+{
+    int n = 8;
+    int i, errors;
+    int a[8];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel loop copy(a[0:n]) num_gangs(2)
+    for (i = 0; i < n; i++)
+        a[i] = a[i] * 10;
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 10*i) errors++;
+    }
+    return (errors == 0);
+}
+`
+	res, err := accv.CompileAndRun(src, accv.C, accv.Reference())
+	if err != nil {
+		fmt.Println("compile:", err)
+		return
+	}
+	fmt.Println("pass:", res.Exit == 1)
+	fmt.Println("kernels:", res.Kernels)
+	// Output:
+	// pass: true
+	// kernels: 1
+}
+
+// ExampleNewCompiler validates a feature family against a buggy vendor
+// release and inspects the verdicts.
+func ExampleNewCompiler() {
+	caps, err := accv.NewCompiler("caps", "3.1.0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := accv.NewSuite(accv.C).Family("wait").Iterations(2).Run(caps)
+	fmt.Printf("%s %s: %d/%d passed\n", res.Compiler, res.Version, res.Passed(), res.Total())
+	// Output:
+	// caps 3.1.0: 1/1 passed
+}
+
+// ExampleRunTest shows the §III cross-test statistics for one feature.
+func ExampleRunTest() {
+	tpl := accv.LookupTemplate("loop", accv.C)
+	res := accv.RunTest(accv.Reference(), tpl, 5)
+	fmt.Println("outcome:", res.Outcome)
+	fmt.Printf("certainty: %.0f%%\n", 100*res.Cert.PC)
+	// Output:
+	// outcome: pass
+	// certainty: 100%
+}

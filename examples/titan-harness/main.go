@@ -1,0 +1,48 @@
+// titan-harness: the §VII production deployment. The validation suite runs
+// inside a cluster harness, screening random nodes across the machine's
+// software stacks (vendor compiler × CUDA/OpenCL translation, Fig. 13) and
+// flagging nodes whose functionality degraded — here, one node with failing
+// device memory and one with a driver regression.
+//
+//	go run ./examples/titan-harness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accv"
+)
+
+func main() {
+	h := accv.NewHarness(12, accv.DefaultStacks())
+
+	// Inject the faults the screening should catch.
+	if err := h.InjectFault(4, accv.BadMemory); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.InjectFault(9, accv.StaleDriver); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("screening all 12 nodes across the Fig. 13 software stacks...")
+	screenings, err := h.ScreenRandomNodes(12, 2014)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastNode := -1
+	for _, s := range screenings {
+		if s.Node != lastNode {
+			fmt.Printf("node %d:\n", s.Node)
+			lastNode = s.Node
+		}
+		note := ""
+		if len(s.Failed) > 0 {
+			note = fmt.Sprintf("  (%d failing, e.g. %s)", len(s.Failed), s.Failed[0])
+		}
+		fmt.Printf("  %-28s %6.1f%%%s\n", s.Stack, s.PassRate, note)
+	}
+
+	degraded := h.DetectDegraded(5.0)
+	fmt.Printf("\ndegraded nodes detected: %v (expected [4 9])\n", degraded)
+}

@@ -1,0 +1,3 @@
+module accv
+
+go 1.22

@@ -1,0 +1,128 @@
+package ast
+
+import (
+	"testing"
+)
+
+func TestExprString(t *testing.T) {
+	e := &BinaryExpr{
+		Op: "+",
+		X:  &IndexExpr{X: &Ident{Name: "a"}, Idx: []Expr{&Ident{Name: "i"}}},
+		Y: &CallExpr{Fun: "powf", Args: []Expr{
+			&BasicLit{Kind: FloatLit, Value: "0.5"},
+			&UnaryExpr{Op: "-", X: &Ident{Name: "k"}},
+		}},
+	}
+	want := "(a[i] + powf(0.5, -k))"
+	if got := ExprString(e); got != want {
+		t.Errorf("ExprString = %q, want %q", got, want)
+	}
+	if ExprString(&CastExpr{To: Type{Base: Int, Ptr: true}, X: &Ident{Name: "p"}}) != "(int*)p" {
+		t.Error("cast rendering")
+	}
+	if ExprString(&SizeofExpr{Of: Type{Base: Double}}) != "sizeof(double)" {
+		t.Error("sizeof rendering")
+	}
+	if ExprString(&BasicLit{Kind: StringLit, Value: "hi"}) != `"hi"` {
+		t.Error("string rendering")
+	}
+	if ExprString(nil) != "" {
+		t.Error("nil rendering")
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	prog := &Program{
+		Lang:  LangC,
+		Entry: "f",
+		Funcs: []*FuncDecl{{
+			Name: "f",
+			Body: &Block{Stmts: []Stmt{
+				&DeclStmt{Name: "a", Type: Type{Base: Int}, Dims: []Expr{&BasicLit{Kind: IntLit, Value: "4"}}},
+				&ForStmt{
+					Init: &AssignStmt{LHS: &Ident{Name: "i"}, Op: "=", RHS: &BasicLit{Kind: IntLit, Value: "0"}},
+					Cond: &BinaryExpr{Op: "<", X: &Ident{Name: "i"}, Y: &BasicLit{Kind: IntLit, Value: "4"}},
+					Post: &IncDecStmt{X: &Ident{Name: "i"}, Op: "++"},
+					Body: &IfStmt{
+						Cond: &Ident{Name: "c"},
+						Then: &ExprStmt{X: &CallExpr{Fun: "g", Args: []Expr{&Ident{Name: "i"}}}},
+						Else: &ReturnStmt{X: &Ident{Name: "r"}},
+					},
+				},
+				&WhileStmt{Cond: &Ident{Name: "w"}, Body: &Block{}},
+				&DoStmt{Var: "j", From: &BasicLit{Kind: IntLit, Value: "1"},
+					To: &BasicLit{Kind: IntLit, Value: "3"}, Body: &Block{}},
+				&PragmaStmt{Body: &Block{}},
+			}},
+		}},
+	}
+	idents := map[string]int{}
+	nodes := 0
+	Walk(prog, func(n Node) bool {
+		nodes++
+		if id, ok := n.(*Ident); ok {
+			idents[id.Name]++
+		}
+		return true
+	})
+	for _, name := range []string{"i", "c", "r", "w"} {
+		if idents[name] == 0 {
+			t.Errorf("walk missed ident %q", name)
+		}
+	}
+	if idents["i"] < 4 {
+		t.Errorf("walk must visit i in init, cond, post and call: %d", idents["i"])
+	}
+	// Pruned walk: stopping at the for loop must hide everything inside it.
+	pruned := map[string]bool{}
+	Walk(prog, func(n Node) bool {
+		if id, ok := n.(*Ident); ok {
+			pruned[id.Name] = true
+		}
+		_, isFor := n.(*ForStmt)
+		return !isFor
+	})
+	if pruned["c"] || pruned["i"] || pruned["r"] {
+		t.Error("returning false must prune the for-loop subtree")
+	}
+	if !pruned["w"] {
+		t.Error("nodes outside the pruned subtree must still be visited")
+	}
+	if nodes < 20 {
+		t.Errorf("walk visited only %d nodes", nodes)
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !(Type{Base: Float}).IsNumeric() || (Type{Base: Int, Ptr: true}).IsNumeric() {
+		t.Error("IsNumeric")
+	}
+	if (Type{Base: Double, Ptr: true}).String() != "double*" {
+		t.Error("type rendering")
+	}
+	if LangC.String() != "c" || LangFortran.String() != "fortran" {
+		t.Error("language names")
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	p := &Program{Funcs: []*FuncDecl{{Name: "a"}, {Name: "b"}}, Entry: "b"}
+	if p.Lookup("a") == nil || p.Lookup("zz") != nil {
+		t.Error("Lookup")
+	}
+	if p.EntryFunc() == nil || p.EntryFunc().Name != "b" {
+		t.Error("EntryFunc")
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(&Ident{Name: "x", Line: 7}) != 7 {
+		t.Error("LineOf ident")
+	}
+	if LineOf(&ForStmt{Line: 9}) != 9 {
+		t.Error("LineOf stmt")
+	}
+	if LineOf(nil) != 0 {
+		t.Error("LineOf nil")
+	}
+}

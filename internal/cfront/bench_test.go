@@ -1,0 +1,55 @@
+package cfront
+
+import "testing"
+
+// benchSrc is a representative suite test program.
+const benchSrc = `
+#include <stdio.h>
+#include <openacc.h>
+
+int acc_test()
+{
+    int gangs = 4;
+    int workers = 4;
+    int workers_load = 64;
+    int i, j, errors;
+    int gangs_red[4];
+    for (i = 0; i < gangs; i++) gangs_red[i] = 0;
+    #pragma acc parallel copy(gangs_red[0:gangs]) num_gangs(gangs) num_workers(workers)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < gangs; i++) {
+            int to_reduct = 0;
+            #pragma acc loop worker reduction(+:to_reduct)
+            for (j = 0; j < workers_load; j++)
+                to_reduct++;
+            gangs_red[i] = to_reduct;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < gangs; i++) {
+        if (gangs_red[i] != workers_load) errors++;
+    }
+    return (errors == 0);
+}
+`
+
+// BenchmarkLex measures the scanner alone.
+func BenchmarkLex(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := lex(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures the full frontend (lex + parse + directives).
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchSrc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

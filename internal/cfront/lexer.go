@@ -1,0 +1,220 @@
+// Package cfront is the C-subset frontend of the validation suite. It
+// covers the language surface used by the paper's OpenACC test programs:
+// scalar and array declarations, assignments, counted loops, conditionals,
+// calls, casts, sizeof, and "#pragma acc" directives.
+package cfront
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct  // operators and punctuation, in Lit
+	tokPragma // an "#pragma acc" line; Lit holds the text after "acc"
+)
+
+// token is one lexical token.
+type token struct {
+	Kind tokKind
+	Lit  string
+	Line int
+}
+
+func (t token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of file"
+	case tokPragma:
+		return "#pragma acc " + t.Lit
+	case tokString:
+		return fmt.Sprintf("%q", t.Lit)
+	}
+	return t.Lit
+}
+
+// lexError is a scanning error with a line number.
+type lexError struct {
+	Line int
+	Msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// multi-byte operators, longest first.
+var multiOps = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->",
+}
+
+// lex scans a complete C-subset source into tokens. Pragma lines become
+// single tokPragma tokens; backslash continuations are honoured.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, &lexError{line, "unterminated comment"}
+			}
+			i += 2
+		case c == '#':
+			start := line
+			// Collect the full logical line, honouring '\' continuations.
+			var sb strings.Builder
+			for i < n {
+				if src[i] == '\\' && i+1 < n && src[i+1] == '\n' {
+					i += 2
+					line++
+					sb.WriteByte(' ')
+					continue
+				}
+				if src[i] == '\n' {
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			text := strings.TrimSpace(sb.String())
+			text = strings.TrimPrefix(text, "#")
+			text = strings.TrimSpace(text)
+			if rest, ok := cutWord(text, "pragma"); ok {
+				if rest2, ok := cutWord(rest, "acc"); ok {
+					toks = append(toks, token{tokPragma, rest2, start})
+				}
+				// Non-acc pragmas are ignored, as a real compiler would.
+			}
+			// #include is a no-op; #define is handled by applyDefines.
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					switch src[j+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					default:
+						sb.WriteByte(src[j+1])
+					}
+					j += 2
+					continue
+				}
+				if src[j] == '\n' {
+					return nil, &lexError{line, "unterminated string"}
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string"}
+			}
+			toks = append(toks, token{tokString, sb.String(), line})
+			i = j + 1
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(src[i+1])):
+			j := i
+			isFloat := false
+			for j < n && (isDigit(src[j]) || src[j] == '.' || src[j] == 'x' || src[j] == 'X' ||
+				(j > i && (src[j] == 'e' || src[j] == 'E') && !strings.HasPrefix(src[i:j], "0x")) ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				if src[j] == '.' || src[j] == 'e' || src[j] == 'E' {
+					isFloat = true
+				}
+				j++
+			}
+			lit := src[i:j]
+			// Trailing suffixes f/F/l/L/u/U are consumed and dropped.
+			for j < n && (src[j] == 'f' || src[j] == 'F' || src[j] == 'l' || src[j] == 'L' || src[j] == 'u' || src[j] == 'U') {
+				if src[j] == 'f' || src[j] == 'F' {
+					isFloat = true
+				}
+				j++
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, lit, line})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			matched := false
+			for _, op := range multiOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tokPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.ContainsRune("+-*/%<>=!&|^~?:;,.(){}[]", rune(c)) {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				break
+			}
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+// cutWord strips a leading word from s, returning the remainder and whether
+// the word was present.
+func cutWord(s, word string) (string, bool) {
+	if !strings.HasPrefix(s, word) {
+		return s, false
+	}
+	rest := s[len(word):]
+	if rest != "" && isIdentPart(rest[0]) {
+		return s, false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

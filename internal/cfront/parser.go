@@ -1,0 +1,732 @@
+package cfront
+
+import (
+	"fmt"
+	"strings"
+
+	"accv/internal/ast"
+	"accv/internal/directive"
+)
+
+// ParseError is a C-subset syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// Parse parses a complete C-subset translation unit. The entry point is the
+// procedure named "acc_test"; the wrapper emitted by the test generator
+// always provides it.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	toks, err = applyDefines(src, toks)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{Lang: ast.LangC, Entry: "acc_test"}
+	routineNext := false
+	for !p.at(tokEOF) {
+		// A file-scope "#pragma acc routine" annotates the next procedure.
+		if p.at(tokPragma) {
+			t := p.next()
+			d, err := directive.Parse(t.Lit, ast.LangC, t.Line, ClauseExprParser{})
+			if err != nil {
+				return nil, err
+			}
+			if d.Name != directive.Routine {
+				return nil, &ParseError{t.Line, fmt.Sprintf("directive %s is not valid at file scope", d.Name)}
+			}
+			routineNext = true
+			continue
+		}
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		fn.Routine = routineNext
+		routineNext = false
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if prog.EntryFunc() == nil && len(prog.Funcs) > 0 {
+		prog.Entry = prog.Funcs[len(prog.Funcs)-1].Name
+	}
+	return prog, nil
+}
+
+// applyDefines performs object-like macro substitution for "#define NAME
+// tokens" lines. The lexer leaves define lines out of the token stream (they
+// are pragma-shaped); we re-scan the source for them here to keep the lexer
+// single-purpose.
+func applyDefines(src string, toks []token) ([]token, error) {
+	defines := map[string][]token{}
+	for lineNo, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "#") {
+			continue
+		}
+		t = strings.TrimSpace(strings.TrimPrefix(t, "#"))
+		rest, ok := cutWord(t, "define")
+		if !ok {
+			continue
+		}
+		i := 0
+		for i < len(rest) && isIdentPart(rest[i]) {
+			i++
+		}
+		if i == 0 {
+			return nil, &ParseError{lineNo + 1, "bad #define"}
+		}
+		name, val := rest[:i], strings.TrimSpace(rest[i:])
+		sub, err := lex(val)
+		if err != nil {
+			return nil, err
+		}
+		defines[name] = sub[:len(sub)-1] // drop EOF
+	}
+	if len(defines) == 0 {
+		return toks, nil
+	}
+	out := make([]token, 0, len(toks))
+	for _, tk := range toks {
+		if tk.Kind == tokIdent {
+			if sub, ok := defines[tk.Lit]; ok {
+				for _, s := range sub {
+					s.Line = tk.Line
+					out = append(out, s)
+				}
+				continue
+			}
+		}
+		out = append(out, tk)
+	}
+	return out, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(lit string) bool {
+	return p.cur().Kind == tokPunct && p.cur().Lit == lit
+}
+
+func (p *parser) atIdent(lit string) bool {
+	return p.cur().Kind == tokIdent && p.cur().Lit == lit
+}
+
+func (p *parser) accept(lit string) bool {
+	if p.atPunct(lit) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(lit string) bool {
+	if p.atIdent(lit) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(lit string) error {
+	if !p.accept(lit) {
+		return p.errf("expected %q, found %s", lit, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.cur().Line, fmt.Sprintf(format, args...)}
+}
+
+// typeKeywords maps C type spellings to basic types.
+var typeKeywords = map[string]ast.Basic{
+	"int":    ast.Int,
+	"long":   ast.Int,
+	"float":  ast.Float,
+	"double": ast.Double,
+	"void":   ast.Void,
+	"size_t": ast.Int,
+	"char":   ast.Int,
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	if p.cur().Kind != tokIdent {
+		return false
+	}
+	lit := p.cur().Lit
+	if lit == "const" || lit == "unsigned" || lit == "signed" || lit == "static" {
+		return true
+	}
+	_, ok := typeKeywords[lit]
+	return ok
+}
+
+// parseType consumes a type: qualifiers, base, and '*'s.
+func (p *parser) parseType() (ast.Type, error) {
+	for p.atIdent("const") || p.atIdent("unsigned") || p.atIdent("signed") || p.atIdent("static") {
+		p.next()
+	}
+	if p.cur().Kind != tokIdent {
+		return ast.Type{}, p.errf("expected type, found %s", p.cur())
+	}
+	base, ok := typeKeywords[p.cur().Lit]
+	if !ok {
+		return ast.Type{}, p.errf("unknown type %q", p.cur().Lit)
+	}
+	p.next()
+	// "long long", "long int", "double precision"-style second words.
+	for p.atIdent("long") || p.atIdent("int") {
+		p.next()
+	}
+	t := ast.Type{Base: base}
+	for p.accept("*") {
+		t.Ptr = true
+	}
+	return t, nil
+}
+
+// parseFunc parses one function definition.
+func (p *parser) parseFunc() (*ast.FuncDecl, error) {
+	line := p.cur().Line
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != tokIdent {
+		return nil, p.errf("expected function name, found %s", p.cur())
+	}
+	name := p.next().Lit
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &ast.FuncDecl{Name: name, Result: ret, Line: line}
+	if !p.accept(")") {
+		for {
+			if p.atIdent("void") && p.toks[p.pos+1].Kind == tokPunct && p.toks[p.pos+1].Lit == ")" {
+				p.next()
+				break
+			}
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind != tokIdent {
+				return nil, p.errf("expected parameter name, found %s", p.cur())
+			}
+			prm := &ast.Param{Name: p.next().Lit, Type: pt}
+			if p.accept("[") {
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				prm.IsArray = true
+			}
+			if pt.Ptr {
+				prm.IsArray = true
+				prm.Type.Ptr = true
+			}
+			fn.Params = append(fn.Params, prm)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBlock parses "{ stmt* }".
+func (p *parser) parseBlock() (*ast.Block, error) {
+	line := p.cur().Line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &ast.Block{Line: line}
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.next() // consume '}'
+	return b, nil
+}
+
+// parseStmt parses one statement.
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	switch {
+	case p.accept(";"):
+		return nil, nil
+	case p.at(tokPragma):
+		return p.parsePragma()
+	case p.atPunct("{"):
+		return p.parseBlock()
+	case p.atIdent("if"):
+		return p.parseIf()
+	case p.atIdent("for"):
+		return p.parseFor()
+	case p.atIdent("while"):
+		return p.parseWhile()
+	case p.atIdent("return"):
+		line := p.next().Line
+		var x ast.Expr
+		if !p.atPunct(";") {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{X: x, Line: line}, nil
+	case p.atType():
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseDecl parses "type name [dims] [= init] (, name ...)?". Multiple
+// declarators become a Block of DeclStmts.
+func (p *parser) parseDecl() (ast.Stmt, error) {
+	line := p.cur().Line
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []ast.Stmt
+	for {
+		dt := t
+		for p.accept("*") {
+			dt.Ptr = true
+		}
+		if p.cur().Kind != tokIdent {
+			return nil, p.errf("expected declarator name, found %s", p.cur())
+		}
+		d := &ast.DeclStmt{Name: p.next().Lit, Type: dt, Line: line}
+		for p.accept("[") {
+			dim, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+		}
+		if p.accept("=") {
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		decls = append(decls, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	return &ast.Block{Stmts: decls, Line: line, Bare: true}, nil
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// (without the trailing semicolon).
+func (p *parser) parseSimpleStmt() (ast.Stmt, error) {
+	line := p.cur().Line
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atPunct("=") || p.atPunct("+=") || p.atPunct("-=") || p.atPunct("*=") || p.atPunct("/=") || p.atPunct("%="):
+		op := p.next().Lit
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{LHS: x, Op: op, RHS: rhs, Line: line}, nil
+	case p.atPunct("++") || p.atPunct("--"):
+		op := p.next().Lit
+		return &ast.IncDecStmt{X: x, Op: op, Line: line}, nil
+	}
+	return &ast.ExprStmt{X: x, Line: line}, nil
+}
+
+// parseIf parses an if/else statement.
+func (p *parser) parseIf() (ast.Stmt, error) {
+	line := p.next().Line // "if"
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Cond: cond, Then: then, Line: line}
+	if p.acceptIdent("else") {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+// parseFor parses a C for loop (C99 declarations allowed in the init).
+func (p *parser) parseFor() (ast.Stmt, error) {
+	line := p.next().Line // "for"
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &ast.ForStmt{Line: line}
+	if !p.atPunct(";") {
+		var err error
+		if p.atType() {
+			st.Init, err = p.parseDecl()
+		} else {
+			st.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseWhile parses a while loop.
+func (p *parser) parseWhile() (ast.Stmt, error) {
+	line := p.next().Line
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{Cond: cond, Body: body, Line: line}, nil
+}
+
+// parsePragma parses "#pragma acc ..." plus, for structured directives, the
+// statement it applies to.
+func (p *parser) parsePragma() (ast.Stmt, error) {
+	t := p.next()
+	d, err := directive.Parse(t.Lit, ast.LangC, t.Line, ClauseExprParser{})
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.PragmaStmt{Dir: d, Line: t.Line}
+	if d.Name.IsStandalone() {
+		// Standalone directives in C are statement-shaped already.
+		return st, nil
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if body == nil {
+		return nil, &ParseError{t.Line, "directive requires a following statement"}
+	}
+	st.Body = body
+	return st, nil
+}
+
+// ---- expressions ----
+
+// binary precedence levels, lowest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+// parseExpr parses a full expression.
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (ast.Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.atPunct(op) {
+				// Don't treat '&' before an lvalue-context ')' oddly; the
+				// grammar here is unambiguous because unary ops bind in
+				// parseUnary only at expression starts.
+				line := p.next().Line
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &ast.BinaryExpr{Op: op, X: x, Y: y, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+// parseUnary parses prefix operators, casts, and sizeof.
+func (p *parser) parseUnary() (ast.Expr, error) {
+	line := p.cur().Line
+	switch {
+	case p.atPunct("-") || p.atPunct("!") || p.atPunct("~") || p.atPunct("+") || p.atPunct("*") || p.atPunct("&"):
+		op := p.next().Lit
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			return x, nil
+		}
+		return &ast.UnaryExpr{Op: op, X: x, Line: line}, nil
+	case p.atIdent("sizeof"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &ast.SizeofExpr{Of: t, Line: line}, nil
+	case p.atPunct("("):
+		// Cast or parenthesized expression.
+		if p.toks[p.pos+1].Kind == tokIdent {
+			if _, isType := typeKeywords[p.toks[p.pos+1].Lit]; isType {
+				p.next() // '('
+				t, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &ast.CastExpr{To: t, X: x, Line: line}, nil
+			}
+		}
+		return p.parsePostfix()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression followed by calls and indexing.
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("("):
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return nil, p.errf("call of non-function")
+			}
+			line := p.next().Line
+			call := &ast.CallExpr{Fun: id.Name, Line: line}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			x = call
+		case p.atPunct("["):
+			line := p.next().Line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if ie, ok := x.(*ast.IndexExpr); ok {
+				ie.Idx = append(ie.Idx, idx)
+			} else {
+				x = &ast.IndexExpr{X: x, Idx: []ast.Expr{idx}, Line: line}
+			}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parsePrimary parses identifiers, literals, and parenthesized expressions.
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case tokIdent:
+		p.next()
+		return &ast.Ident{Name: t.Lit, Line: t.Line}, nil
+	case tokInt:
+		p.next()
+		return &ast.BasicLit{Kind: ast.IntLit, Value: t.Lit, Line: t.Line}, nil
+	case tokFloat:
+		p.next()
+		return &ast.BasicLit{Kind: ast.FloatLit, Value: t.Lit, Line: t.Line}, nil
+	case tokString:
+		p.next()
+		return &ast.BasicLit{Kind: ast.StringLit, Value: t.Lit, Line: t.Line}, nil
+	case tokPunct:
+		if t.Lit == "(" {
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// ClauseExprParser adapts the C expression grammar to directive clause
+// arguments, implementing directive.ExprParser.
+type ClauseExprParser struct{}
+
+// ParseClauseExpr parses a clause-argument expression in C syntax.
+func (ClauseExprParser) ParseClauseExpr(src string, line int) (ast.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	for i := range toks {
+		if toks[i].Line == 1 {
+			toks[i].Line = line
+		}
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("unexpected trailing tokens in clause expression %q", src)
+	}
+	return e, nil
+}

@@ -1,0 +1,243 @@
+package cfront
+
+import (
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/directive"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`int x = 42; float f = 1.5e-3f; /* c */ // line
+"str\n" a_b3 <<= >= && ++`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	var lits []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		lits = append(lits, tk.Lit)
+	}
+	want := []string{"int", "x", "=", "42", ";", "float", "f", "=", "1.5e-3", ";", "str\n", "a_b3", "<<=", ">=", "&&", "++", ""}
+	if len(lits) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(lits), len(want), lits)
+	}
+	for i := range want {
+		if lits[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, lits[i], want[i])
+		}
+	}
+	if kinds[3] != tokInt || kinds[8] != tokFloat || kinds[10] != tokString {
+		t.Error("literal kinds misclassified")
+	}
+}
+
+func TestLexPragmaContinuation(t *testing.T) {
+	toks, err := lex("#pragma acc parallel copy(a) \\\n    num_gangs(4)\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != tokPragma {
+		t.Fatal("want pragma token first")
+	}
+	if toks[0].Lit != "parallel copy(a)      num_gangs(4)" && toks[0].Lit != "parallel copy(a)  num_gangs(4)" {
+		// Exact spacing is not important; the clauses must both be there.
+		if !contains(toks[0].Lit, "num_gangs(4)") {
+			t.Errorf("continuation lost: %q", toks[0].Lit)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNonAccPragmaAndIncludesIgnored(t *testing.T) {
+	prog := parseOK(t, `
+#include <stdio.h>
+#pragma omp parallel for
+int acc_test() { return 1; }
+`)
+	if prog.EntryFunc() == nil {
+		t.Fatal("entry missing")
+	}
+	if len(prog.EntryFunc().Body.Stmts) != 1 {
+		t.Fatal("omp pragma must be dropped")
+	}
+}
+
+func TestDefinesSubstituted(t *testing.T) {
+	prog := parseOK(t, `
+#define N 10
+#define HOST 1
+int acc_test() {
+    int a[N];
+    a[0] = HOST;
+    return a[0];
+}
+`)
+	fn := prog.EntryFunc()
+	decl := fn.Body.Stmts[0].(*ast.DeclStmt)
+	if lit, ok := decl.Dims[0].(*ast.BasicLit); !ok || lit.Value != "10" {
+		t.Errorf("N not substituted: %v", ast.ExprString(decl.Dims[0]))
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	prog := parseOK(t, `int acc_test() { return 1 + 2 * 3 == 7 && 4 < 5; }`)
+	ret := prog.EntryFunc().Body.Stmts[0].(*ast.ReturnStmt)
+	// ((1 + (2*3)) == 7) && (4 < 5)
+	want := "(((1 + (2 * 3)) == 7) && (4 < 5))"
+	if got := ast.ExprString(ret.X); got != want {
+		t.Errorf("precedence: %s, want %s", got, want)
+	}
+}
+
+func TestCastsAndSizeof(t *testing.T) {
+	prog := parseOK(t, `
+int acc_test() {
+    int *d = (int*) acc_malloc(8 * sizeof(int));
+    double x = (double) 3;
+    return d == NULL;
+}
+`)
+	decl := prog.EntryFunc().Body.Stmts[0].(*ast.DeclStmt)
+	cast, ok := decl.Init.(*ast.CastExpr)
+	if !ok || !cast.To.Ptr || cast.To.Base != ast.Int {
+		t.Fatalf("pointer cast: %v", ast.ExprString(decl.Init))
+	}
+}
+
+func TestForLoopForms(t *testing.T) {
+	parseOK(t, `
+int acc_test() {
+    int i, s = 0;
+    for (i = 0; i < 10; i++) s += i;
+    for (int j = 9; j >= 0; j -= 2) s++;
+    for (;;) { return s; }
+}
+`)
+}
+
+func TestMultiDeclaratorScoping(t *testing.T) {
+	prog := parseOK(t, `
+int acc_test() {
+    int a = 1, b[4], c;
+    c = a;
+    b[0] = c;
+    return b[0];
+}
+`)
+	blk, ok := prog.EntryFunc().Body.Stmts[0].(*ast.Block)
+	if !ok || !blk.Bare {
+		t.Fatal("multi-declarator must expand to a bare (non-scoping) block")
+	}
+	if len(blk.Stmts) != 3 {
+		t.Fatalf("want 3 declarations, got %d", len(blk.Stmts))
+	}
+}
+
+func TestPragmaAttachesToStatement(t *testing.T) {
+	prog := parseOK(t, `
+int acc_test() {
+    int i;
+    int a[4];
+    #pragma acc parallel loop copy(a[0:4])
+    for (i = 0; i < 4; i++) a[i] = i;
+    #pragma acc wait
+    return 1;
+}
+`)
+	var pragmas []*ast.PragmaStmt
+	ast.Walk(prog, func(n ast.Node) bool {
+		if p, ok := n.(*ast.PragmaStmt); ok {
+			pragmas = append(pragmas, p)
+		}
+		return true
+	})
+	if len(pragmas) != 2 {
+		t.Fatalf("want 2 pragmas, got %d", len(pragmas))
+	}
+	if pragmas[0].Body == nil {
+		t.Error("parallel loop must own its loop")
+	}
+	if pragmas[1].Body != nil {
+		t.Error("wait is standalone")
+	}
+	d := pragmas[0].Dir.(*directive.Directive)
+	if d.Name != directive.ParallelLoop {
+		t.Errorf("directive name: %s", d.Name)
+	}
+}
+
+func TestRoutinePragmaAtFileScope(t *testing.T) {
+	prog := parseOK(t, `
+#pragma acc routine
+int helper(int x) { return x + 1; }
+
+int acc_test() { return helper(0) == 1; }
+`)
+	h := prog.Lookup("helper")
+	if h == nil || !h.Routine {
+		t.Fatal("routine annotation lost")
+	}
+	if prog.EntryFunc().Routine {
+		t.Fatal("routine must not leak to the next function")
+	}
+}
+
+func TestParseErrorsC(t *testing.T) {
+	bad := []string{
+		`int acc_test() { return 1`,                 // unterminated block
+		`int acc_test() { x y; }`,                   // junk
+		`int acc_test() { for (i; i<3) ; }`,         // malformed for
+		`int acc_test() { int q = "unterminated`,    // bad string
+		`int acc_test() { #pragma acc loop }`,       // lexically impossible but close
+		`int acc_test() { return (1 + ); }`,         // bad expr
+		"int acc_test() {\n#pragma acc parallel\n}", // directive needs a statement
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestClauseExprParser(t *testing.T) {
+	e, err := ClauseExprParser{}.ParseClauseExpr("n * 2 + 1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ast.ExprString(e); got != "((n * 2) + 1)" {
+		t.Errorf("clause expr: %s", got)
+	}
+	if _, err := (ClauseExprParser{}).ParseClauseExpr("a b", 1); err == nil {
+		t.Error("trailing tokens must fail")
+	}
+}
+
+func TestEntryFallback(t *testing.T) {
+	prog := parseOK(t, `int main_like() { return 1; }`)
+	if prog.Entry != "main_like" {
+		t.Errorf("without acc_test the last function is the entry, got %q", prog.Entry)
+	}
+}

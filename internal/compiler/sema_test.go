@@ -1,0 +1,387 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"accv/internal/ast"
+	"accv/internal/cfront"
+	"accv/internal/directive"
+)
+
+func compileC(t *testing.T, src string, opts Options) (*Executable, []Diagnostic, error) {
+	t.Helper()
+	prog, err := cfront.Parse(src)
+	if err != nil {
+		t.Fatalf("frontend: %v", err)
+	}
+	return Compile(prog, opts)
+}
+
+func mustCompile(t *testing.T, src string) *Executable {
+	t.Helper()
+	exe, diags, err := compileC(t, src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v (diags %v)", err, diags)
+	}
+	return exe
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, _, err := compileC(t, src, Options{})
+	if err == nil {
+		t.Fatalf("compile should fail (want %q)", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestClauseApplicability(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int a[4];
+    #pragma acc data num_gangs(4) copy(a)
+    { }
+    return 1;
+}`, "not valid")
+	wantError(t, `
+int acc_test() {
+    int i;
+    int a[4];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc loop copyin(a)
+        for (i = 0; i < 4; i++) a[i] = i;
+    }
+    return 1;
+}`, "not valid")
+}
+
+func TestLoopOutsideComputeRejected(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int i;
+    #pragma acc loop
+    for (i = 0; i < 4; i++) ;
+    return 1;
+}`, "compute region")
+}
+
+func TestNestedComputeRejected(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    #pragma acc parallel
+    {
+        #pragma acc kernels
+        { }
+    }
+    return 1;
+}`, "nested")
+}
+
+func TestUpdateInsideComputeRejected(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int a[4];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc update host(a)
+    }
+    return 1;
+}`, "update")
+}
+
+func TestSeqWithLevelsRejected(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int i;
+    int a[4];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc loop gang seq
+        for (i = 0; i < 4; i++) a[i] = i;
+    }
+    return 1;
+}`, "seq")
+}
+
+func TestCollapseRequiresNest(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int i;
+    int a[4];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc loop collapse(2)
+        for (i = 0; i < 4; i++) a[i] = i;
+    }
+    return 1;
+}`, "loop")
+}
+
+func TestPointerWithoutClauseRejected(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int *p = (int*) acc_malloc(4 * sizeof(int));
+    #pragma acc parallel
+    {
+        p[0] = 1;
+    }
+    return 1;
+}`, "extent of pointer")
+}
+
+func TestImplicitDataAttributes(t *testing.T) {
+	exe := mustCompile(t, `
+int acc_test() {
+    int n = 4;
+    int scalar = 2;
+    int arr[4];
+    #pragma acc parallel copyin(arr[0:n])
+    {
+        arr[0] = scalar + n;
+    }
+    return 1;
+}`)
+	var r *Region
+	for _, reg := range exe.Regions {
+		if reg.Construct == directive.Parallel {
+			r = reg
+		}
+	}
+	if r == nil {
+		t.Fatal("region not lowered")
+	}
+	first := map[string]bool{}
+	for _, v := range r.FirstImplicit {
+		first[v.Name] = true
+	}
+	if !first["scalar"] || !first["n"] {
+		t.Errorf("scalars must default to firstprivate, got %v", r.FirstImplicit)
+	}
+	for _, a := range r.Data {
+		if a.Var.Name == "arr" && a.Implicit {
+			t.Error("explicitly mapped array must not get an implicit entry")
+		}
+	}
+}
+
+func TestImplicitArrayBecomesPcopy(t *testing.T) {
+	exe := mustCompile(t, `
+int acc_test() {
+    int i;
+    int arr[4];
+    #pragma acc kernels
+    {
+        #pragma acc loop
+        for (i = 0; i < 4; i++) arr[i] = i;
+    }
+    return 1;
+}`)
+	found := false
+	for _, r := range exe.Regions {
+		for _, a := range r.Data {
+			if a.Var.Name == "arr" && a.Implicit && a.Kind == directive.PresentOrCopy {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("unattributed arrays must default to present_or_copy")
+	}
+}
+
+func TestWorkerNoGangPolicies(t *testing.T) {
+	src := `
+int acc_test() {
+    int i;
+    int a[4];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc loop worker
+        for (i = 0; i < 4; i++) a[i] = i;
+    }
+    return 1;
+}`
+	if _, _, err := compileC(t, src, Options{WorkerNoGang: WorkerNoGangAccept}); err != nil {
+		t.Errorf("accept policy: %v", err)
+	}
+	if _, _, err := compileC(t, src, Options{WorkerNoGang: WorkerNoGangReject}); err == nil {
+		t.Error("reject policy must raise a diagnostic (Fig. 1)")
+	}
+	exe, _, err := compileC(t, src, Options{WorkerNoGang: WorkerNoGangSerialize})
+	if err != nil {
+		t.Fatalf("serialize policy: %v", err)
+	}
+	serialized := false
+	for _, plan := range exe.Loops {
+		if plan.Gang0Only {
+			serialized = true
+		}
+	}
+	if !serialized {
+		t.Error("serialize policy must mark the plan Gang0Only")
+	}
+}
+
+func TestSpec10RejectsSpec20Features(t *testing.T) {
+	wantError(t, `
+int acc_test() {
+    int a[4];
+    #pragma acc enter data copyin(a)
+    return 1;
+}`, "2.0")
+	wantError(t, `
+int acc_test() {
+    int a[4];
+    #pragma acc parallel default(none) copy(a)
+    { a[0] = 1; }
+    return 1;
+}`, "2.0")
+}
+
+func TestIsConstExpr(t *testing.T) {
+	prog, err := cfront.Parse(`int acc_test() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+	ce := cfront.ClauseExprParser{}
+	for expr, want := range map[string]bool{
+		"8":           true,
+		"4*2 + 1":     true,
+		"-(3)":        true,
+		"gangs":       false,
+		"n * 2":       false,
+		"f(1)":        false,
+		"sizeof(int)": true,
+	} {
+		e, err := ce.ParseClauseExpr(expr, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		if got := IsConstExpr(e); got != want {
+			t.Errorf("IsConstExpr(%q) = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+// Property: EvalConstInt agrees with Go arithmetic on random small trees.
+func TestEvalConstIntProperty(t *testing.T) {
+	f := func(a, b int16, pick uint8) bool {
+		ops := []string{"+", "-", "*"}
+		op := ops[int(pick)%len(ops)]
+		e := &ast.BinaryExpr{
+			Op: op,
+			X:  &ast.BasicLit{Kind: ast.IntLit, Value: itoa(int64(a))},
+			Y:  &ast.BasicLit{Kind: ast.IntLit, Value: itoa(int64(b))},
+		}
+		got, ok := EvalConstInt(e)
+		if !ok {
+			return false
+		}
+		var want int64
+		switch op {
+		case "+":
+			want = int64(a) + int64(b)
+		case "-":
+			want = int64(a) - int64(b)
+		case "*":
+			want = int64(a) * int64(b)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestScheduleLevelString(t *testing.T) {
+	if (LevelGang | LevelVector).String() != "gang+vector" {
+		t.Error("level rendering")
+	}
+	if ScheduleLevel(0).String() != "auto" {
+		t.Error("auto rendering")
+	}
+}
+
+func TestDiagnosticRendering(t *testing.T) {
+	d := Diagnostic{Sev: Error, Line: 3, Msg: "boom"}
+	if !strings.Contains(d.Error(), "line 3") || !strings.Contains(d.Error(), "error") {
+		t.Error("diagnostic format")
+	}
+	ce := &CompileError{Diags: []Diagnostic{d, {Sev: Warn, Line: 4, Msg: "meh"}}}
+	if strings.Contains(ce.Error(), "meh") {
+		t.Error("warnings must not appear in the compile error summary")
+	}
+}
+
+func TestEvalConstIntOperators(t *testing.T) {
+	ce := cfront.ClauseExprParser{}
+	cases := map[string]int64{
+		"-(5)":      -5,
+		"~0":        -1,
+		"!3":        0,
+		"!0":        1,
+		"7 / 2":     3,
+		"7 % 3":     1,
+		"2 * 3 + 1": 7,
+	}
+	for expr, want := range cases {
+		e, err := ce.ParseClauseExpr(expr, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		got, ok := EvalConstInt(e)
+		if !ok || got != want {
+			t.Errorf("EvalConstInt(%q) = %d,%v; want %d", expr, got, ok, want)
+		}
+	}
+	// Division by a zero constant does not fold.
+	e, _ := ce.ParseClauseExpr("1 / 0", 1)
+	if _, ok := EvalConstInt(e); ok {
+		t.Error("1/0 must not fold")
+	}
+	// Variables do not fold.
+	e, _ = ce.ParseClauseExpr("n + 1", 1)
+	if _, ok := EvalConstInt(e); ok {
+		t.Error("variables must not fold")
+	}
+}
+
+func TestSpec20LoopNestingRules(t *testing.T) {
+	src := `
+int acc_test() {
+    int i, j;
+    int a[4][4];
+    #pragma acc parallel copy(a)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 4; i++) {
+            #pragma acc loop gang
+            for (j = 0; j < 4; j++) a[i][j] = i;
+        }
+    }
+    return 1;
+}`
+	// 1.0 is permissive; 2.0 rejects gang-in-gang (§VI).
+	if _, _, err := compileC(t, src, Options{}); err != nil {
+		t.Errorf("1.0 must tolerate nested gang loops: %v", err)
+	}
+	if _, _, err := compileC(t, src, Options{Spec: Spec20}); err == nil {
+		t.Error("2.0 must reject a gang loop inside a gang loop")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+)
+
+func TestTemplateExpandBasics(t *testing.T) {
+	tpl := &Template{
+		Name: "t", Lang: ast.LangC, Family: "f", Description: "d",
+		Source: `before
+<acctest:directive cross="CROSS">FUNC</acctest:directive>
+middle
+<acctest:alt cross="">KEEP-ONLY-FUNCTIONAL</acctest:alt>
+after
+`,
+	}
+	functional, cross, hasCross, err := tpl.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCross {
+		t.Fatal("markers present, cross expected")
+	}
+	if !strings.Contains(functional, "FUNC") || strings.Contains(functional, "CROSS") {
+		t.Errorf("functional: %q", functional)
+	}
+	if !strings.Contains(cross, "CROSS") || strings.Contains(cross, "FUNC") {
+		t.Errorf("cross: %q", cross)
+	}
+	if strings.Contains(cross, "KEEP-ONLY-FUNCTIONAL") {
+		t.Error("empty cross attribute must remove the content")
+	}
+	for _, s := range []string{functional, cross} {
+		if !strings.Contains(s, "before") || !strings.Contains(s, "middle") || !strings.Contains(s, "after") {
+			t.Error("surrounding text must survive expansion")
+		}
+	}
+}
+
+func TestTemplateExpandErrors(t *testing.T) {
+	bad := []string{
+		`<acctest:directive>unclosed`,
+		`<acctest:unknown>x</acctest:unknown>`,
+		`<acctest:directive cross="unterminated>x</acctest:directive>`,
+	}
+	for _, src := range bad {
+		tpl := &Template{Name: "t", Lang: ast.LangC, Family: "f", Description: "d", Source: src}
+		if _, _, _, err := tpl.Generate(); err == nil {
+			t.Errorf("Generate(%q) should fail", src)
+		}
+	}
+}
+
+func TestWrapLanguages(t *testing.T) {
+	c := wrap(ast.LangC, "BODY", "HELPERS")
+	if !strings.Contains(c, "int acc_test()") || !strings.Contains(c, "HELPERS") {
+		t.Error("C wrapper broken")
+	}
+	if strings.Index(c, "HELPERS") > strings.Index(c, "acc_test") {
+		t.Error("C helpers must precede the entry function")
+	}
+	f := wrap(ast.LangFortran, "BODY", "SUBS")
+	if !strings.Contains(f, "program acc_testcase") || !strings.Contains(f, "SUBS") {
+		t.Error("Fortran wrapper broken")
+	}
+	if strings.Index(f, "SUBS") < strings.Index(f, "end program") {
+		t.Error("Fortran helpers must follow the program unit")
+	}
+}
+
+// Property: the §III identities hold for all valid inputs: p = nf/M,
+// p_c = 1 - (1-p)^M, and certainty grows with nf.
+func TestCertaintyProperties(t *testing.T) {
+	f := func(nf8, m8 uint8) bool {
+		m := int(m8%16) + 1
+		nf := int(nf8) % (m + 1)
+		c := NewCertainty(nf, m)
+		if c.P != float64(nf)/float64(m) {
+			return false
+		}
+		if math.Abs(c.PC-(1-math.Pow(1-c.P, float64(m)))) > 1e-12 {
+			return false
+		}
+		if nf > 0 != c.Conclusive() {
+			return false
+		}
+		if nf < m {
+			worse := NewCertainty(nf+1, m)
+			if worse.PC < c.PC {
+				return false // certainty must be monotone in nf
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	ref := compiler.NewReference()
+	mk := func(src string) TestResult {
+		tpl := &Template{Name: "x", Lang: ast.LangC, Family: "f", Description: "d", Source: src, NoCross: true}
+		return RunTest(Config{Toolchain: ref, Iterations: 1, Timeout: 2 * time.Second, MaxOps: 2_000_000}, tpl)
+	}
+	if r := mk("    return 1;\n"); r.Outcome != Pass {
+		t.Errorf("pass program classified %s (%s)", r.Outcome, r.Detail)
+	}
+	if r := mk("    return 0;\n"); r.Outcome != FailWrongResult {
+		t.Errorf("wrong-result program classified %s", r.Outcome)
+	}
+	if r := mk("    int a[2];\n    a[5] = 1;\n    return 1;\n"); r.Outcome != FailCrash {
+		t.Errorf("crash program classified %s (%s)", r.Outcome, r.Detail)
+	}
+	if r := mk("    while (1) { }\n    return 1;\n"); r.Outcome != FailTimeout {
+		t.Errorf("hang program classified %s (%s)", r.Outcome, r.Detail)
+	}
+	if r := mk("    syntax error here\n"); r.Outcome != FailCompile {
+		t.Errorf("unparsable program classified %s", r.Outcome)
+	}
+}
+
+func TestCrossOnlyRunsAfterFunctionalPass(t *testing.T) {
+	ref := compiler.NewReference()
+	tpl := &Template{
+		Name: "x", Lang: ast.LangC, Family: "f", Description: "d",
+		Source: `    return <acctest:alt cross="1">0</acctest:alt>;` + "\n",
+	}
+	r := RunTest(Config{Toolchain: ref, Iterations: 3}, tpl)
+	if r.Outcome != FailWrongResult {
+		t.Fatalf("outcome %s", r.Outcome)
+	}
+	if r.Cert.M != 0 {
+		t.Error("cross runs must be skipped when the functional test fails (Fig. 3 flow)")
+	}
+}
+
+func TestSuiteAggregation(t *testing.T) {
+	ref := compiler.NewReference()
+	tpls := []*Template{
+		{Name: "p1", Lang: ast.LangC, Family: "f", Description: "d", Source: "    return 1;\n", NoCross: true},
+		{Name: "p2", Lang: ast.LangC, Family: "f", Description: "d", Source: "    return 0;\n", NoCross: true},
+		{Name: "p3", Lang: ast.LangC, Family: "g", Description: "d", Source: "    return 1;\n", NoCross: true},
+	}
+	res := RunSuite(Config{Toolchain: ref, Iterations: 1}, tpls)
+	if res.Total() != 3 || res.Passed() != 2 || res.Failed() != 1 {
+		t.Fatalf("aggregation: %d/%d", res.Passed(), res.Total())
+	}
+	if math.Abs(res.PassRate()-66.666) > 0.1 {
+		t.Errorf("pass rate %f", res.PassRate())
+	}
+	if res.ByOutcome()[FailWrongResult] != 1 {
+		t.Error("outcome histogram")
+	}
+	// Results come back in template order despite parallel execution.
+	for i, want := range []string{"p1", "p2", "p3"} {
+		if res.Results[i].Name != want {
+			t.Errorf("result %d = %s, want %s", i, res.Results[i].Name, want)
+		}
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering an incomplete template must panic")
+		}
+	}()
+	Register(&Template{Name: "incomplete"})
+}
+
+// TestSuiteWorkersParallelism: fanning tests over a worker pool must not
+// change the verdicts (results are ordered by template, not completion).
+func TestSuiteWorkersParallelism(t *testing.T) {
+	ref := compiler.NewReference()
+	var tpls []*Template
+	for i := 0; i < 12; i++ {
+		src := "    return 1;\n"
+		if i%3 == 0 {
+			src = "    return 0;\n"
+		}
+		tpls = append(tpls, &Template{
+			Name: "w" + string(rune('a'+i)), Lang: ast.LangC, Family: "f",
+			Description: "d", Source: src, NoCross: true,
+		})
+	}
+	serial := RunSuite(Config{Toolchain: ref, Iterations: 1, Workers: 1}, tpls)
+	parallel := RunSuite(Config{Toolchain: ref, Iterations: 1, Workers: 8}, tpls)
+	if serial.Passed() != parallel.Passed() || serial.Failed() != parallel.Failed() {
+		t.Fatalf("worker pool changed verdicts: %d/%d vs %d/%d",
+			serial.Passed(), serial.Failed(), parallel.Passed(), parallel.Failed())
+	}
+	for i := range tpls {
+		if serial.Results[i].Name != parallel.Results[i].Name ||
+			serial.Results[i].Outcome != parallel.Results[i].Outcome {
+			t.Fatalf("result %d diverged between worker counts", i)
+		}
+	}
+}

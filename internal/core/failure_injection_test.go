@@ -1,0 +1,122 @@
+package core
+
+// Failure-injection tests: the runner must classify every §V failure mode
+// correctly when a vendor bug actually fires — including the vicious ones
+// (hangs, silent wrong results).
+
+import (
+	"testing"
+	"time"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/device"
+)
+
+// hangCompiler wraps the reference compiler and injects the hang-on-wait
+// bug class.
+type hangCompiler struct{ *compiler.Reference }
+
+func (h hangCompiler) Compile(prog *ast.Program) (*compiler.Executable, []compiler.Diagnostic, error) {
+	exe, diags, err := h.Reference.Compile(prog)
+	if exe != nil {
+		exe.Hooks.HangOnWait = true
+	}
+	return exe, diags, err
+}
+
+func (h hangCompiler) DeviceConfig() device.Config { return h.Reference.DeviceConfig() }
+
+func TestHangClassifiedAsTimeout(t *testing.T) {
+	tpl := &Template{
+		Name: "waits", Lang: ast.LangC, Family: "f", Description: "d", NoCross: true,
+		Source: `    int n = 64;
+    int i;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel copy(a[0:n]) async(2)
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = a[i]*2;
+    }
+    #pragma acc wait(2)
+    return (a[0] == 0);
+`,
+	}
+	cfg := Config{
+		Toolchain:  hangCompiler{compiler.NewReference()},
+		Iterations: 1,
+		MaxOps:     400_000,
+		Timeout:    3 * time.Second,
+	}
+	res := RunTest(cfg, tpl)
+	if res.Outcome != FailTimeout {
+		t.Fatalf("injected hang classified %s (%s), want time out", res.Outcome, res.Detail)
+	}
+}
+
+// crashCompiler injects the cache-directive crash.
+type crashCompiler struct{ *compiler.Reference }
+
+func (c crashCompiler) Compile(prog *ast.Program) (*compiler.Executable, []compiler.Diagnostic, error) {
+	exe, diags, err := c.Reference.Compile(prog)
+	if exe != nil {
+		exe.Hooks.CrashOnCacheDirective = true
+	}
+	return exe, diags, err
+}
+
+func (c crashCompiler) DeviceConfig() device.Config { return c.Reference.DeviceConfig() }
+
+func TestInjectedCrashClassified(t *testing.T) {
+	tpl := &Template{
+		Name: "cachey", Lang: ast.LangC, Family: "f", Description: "d", NoCross: true,
+		Source: `    int n = 8;
+    int i;
+    int a[8];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n])
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            #pragma acc cache(a[i:1])
+            a[i] = 1;
+        }
+    }
+    return (a[0] == 1);
+`,
+	}
+	res := RunTest(Config{Toolchain: crashCompiler{compiler.NewReference()}, Iterations: 1}, tpl)
+	if res.Outcome != FailCrash {
+		t.Fatalf("injected crash classified %s (%s)", res.Outcome, res.Detail)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	seen := make(chan string, 4)
+	cfg := Config{
+		Toolchain:  compiler.NewReference(),
+		Iterations: 1,
+		Progress:   func(r TestResult) { seen <- r.Name },
+	}
+	tpls := []*Template{
+		{Name: "a", Lang: ast.LangC, Family: "f", Description: "d", Source: "    return 1;\n", NoCross: true},
+		{Name: "b", Lang: ast.LangC, Family: "f", Description: "d", Source: "    return 1;\n", NoCross: true},
+	}
+	RunSuite(cfg, tpls)
+	close(seen)
+	got := map[string]bool{}
+	for n := range seen {
+		got[n] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("progress callback missed tests: %v", got)
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	names := FeatureNames()
+	if len(names) == 0 {
+		t.Skip("registry empty in this package's tests")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"accv/internal/ast"
+)
+
+// The suite registry. Templates register at init time (package
+// internal/templates); the harness selects from here (the "feature
+// selection" capability of §III).
+var (
+	regMu    sync.Mutex
+	registry []*Template
+	regIDs   = map[string]bool{}
+)
+
+// Register adds a template to the suite. It panics on duplicate IDs —
+// template identity bugs should fail loudly at init.
+func Register(t *Template) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	id := t.ID()
+	if regIDs[id] {
+		panic(fmt.Sprintf("duplicate test template %q", id))
+	}
+	if t.Name == "" || t.Family == "" || t.Description == "" || t.Source == "" {
+		panic(fmt.Sprintf("incomplete test template %q", id))
+	}
+	regIDs[id] = true
+	registry = append(registry, t)
+}
+
+// All returns every registered template, in registration order.
+func All() []*Template {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]*Template(nil), registry...)
+}
+
+// ByLang returns the OpenACC 1.0 templates for one language (the suite the
+// paper evaluates).
+func ByLang(lang ast.Lang) []*Template {
+	var out []*Template
+	for _, t := range All() {
+		if t.Lang == lang && !t.Spec20 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByLang20 returns the OpenACC 2.0 templates for one language (the paper's
+// §IX future work, implemented behind the spec switch).
+func ByLang20(lang ast.Lang) []*Template {
+	var out []*Template
+	for _, t := range All() {
+		if t.Lang == lang && t.Spec20 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByFamily returns the templates of one family (optionally one language).
+func ByFamily(family string, lang ast.Lang) []*Template {
+	var out []*Template
+	for _, t := range All() {
+		if t.Family == family && t.Lang == lang {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Lookup finds a template by name and language.
+func Lookup(name string, lang ast.Lang) *Template {
+	for _, t := range All() {
+		if t.Name == name && t.Lang == lang {
+			return t
+		}
+	}
+	return nil
+}
+
+// Families returns the sorted set of family names.
+func Families() []string {
+	seen := map[string]bool{}
+	for _, t := range All() {
+		seen[t.Family] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FeatureNames returns the sorted distinct feature names.
+func FeatureNames() []string {
+	seen := map[string]bool{}
+	for _, t := range All() {
+		seen[t.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

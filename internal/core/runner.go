@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"accv/internal/ast"
+	"accv/internal/cfront"
+	"accv/internal/compiler"
+	"accv/internal/device"
+	"accv/internal/ffront"
+	"accv/internal/interp"
+)
+
+// Outcome classifies a test result, following §V's failure taxonomy:
+// compilation errors, incorrect results, crashes, and timeouts.
+type Outcome int
+
+// Outcomes.
+const (
+	// Pass: every functional iteration produced the expected result.
+	Pass Outcome = iota
+	// FailCompile: the compiler rejected the generated program.
+	FailCompile
+	// FailWrongResult: the program ran but produced incorrect results —
+	// the "silent wrong code" class the paper emphasizes.
+	FailWrongResult
+	// FailCrash: the program aborted at runtime.
+	FailCrash
+	// FailTimeout: the program exceeded its budget (hang).
+	FailTimeout
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Pass:
+		return "pass"
+	case FailCompile:
+		return "compilation error"
+	case FailWrongResult:
+		return "incorrect results"
+	case FailCrash:
+		return "crash"
+	case FailTimeout:
+		return "time out"
+	}
+	return "unknown"
+}
+
+// Failed reports whether the outcome counts as a failure.
+func (o Outcome) Failed() bool { return o != Pass }
+
+// Config parameterizes a suite run.
+type Config struct {
+	// Toolchain is the compiler + device runtime under validation.
+	Toolchain compiler.Toolchain
+	// Iterations is M, the §III repeat count. Default 3.
+	Iterations int
+	// MaxOps bounds interpreted operations per run (hang detection).
+	// Default 16 million.
+	MaxOps int64
+	// Timeout is the per-run wall deadline. Default 5 s.
+	Timeout time.Duration
+	// Workers bounds concurrent test execution. Default NumCPU.
+	Workers int
+	// Devices is the number of simulated devices per platform. Default 2
+	// (so acc_set_device_num is observable).
+	Devices int
+	// Verbose streams per-test progress through Progress.
+	Progress func(res TestResult)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 3
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = 16_000_000
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Devices <= 0 {
+		c.Devices = 2
+	}
+	return c
+}
+
+// TestResult is the outcome of one test case.
+type TestResult struct {
+	Name        string
+	Lang        ast.Lang
+	Family      string
+	Description string
+	Outcome     Outcome
+	Detail      string // failure detail: diagnostic or runtime error text
+	BugIDs      []string
+
+	FuncRuns  int
+	FuncFails int
+	Cert      Certainty // §III statistics from the cross runs
+	HasCross  bool
+	// Inconclusive: the cross variant never failed, i.e. the directive
+	// under test showed no observable effect; the paper flags these for
+	// test redesign.
+	Inconclusive bool
+
+	Duration time.Duration
+	// Functional and Cross hold the generated sources for bug reports.
+	Functional, Cross string
+}
+
+// ID returns the test identifier.
+func (r *TestResult) ID() string { return r.Name + "." + r.Lang.String() }
+
+// SuiteResult aggregates a full run.
+type SuiteResult struct {
+	Compiler string
+	Version  string
+	Lang     ast.Lang // language filter of the run (or -1 for mixed)
+	Results  []TestResult
+	Duration time.Duration
+}
+
+// Total returns the number of tests.
+func (s *SuiteResult) Total() int { return len(s.Results) }
+
+// Passed returns the number of passing tests.
+func (s *SuiteResult) Passed() int {
+	n := 0
+	for i := range s.Results {
+		if !s.Results[i].Outcome.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed returns the number of failing tests.
+func (s *SuiteResult) Failed() int { return s.Total() - s.Passed() }
+
+// PassRate returns the pass percentage (Fig. 8's y-axis).
+func (s *SuiteResult) PassRate() float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(s.Passed()) / float64(s.Total())
+}
+
+// ByOutcome counts results per outcome class.
+func (s *SuiteResult) ByOutcome() map[Outcome]int {
+	m := map[Outcome]int{}
+	for i := range s.Results {
+		m[s.Results[i].Outcome]++
+	}
+	return m
+}
+
+// FailedBugIDs returns the distinct bug IDs implicated by diagnostics.
+func (s *SuiteResult) FailedBugIDs() []string {
+	seen := map[string]bool{}
+	for i := range s.Results {
+		for _, id := range s.Results[i].BugIDs {
+			seen[id] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parse dispatches to the language frontend.
+func parse(lang ast.Lang, src string) (*ast.Program, error) {
+	if lang == ast.LangFortran {
+		return ffront.Parse(src)
+	}
+	return cfront.Parse(src)
+}
+
+// RunSuite executes every template against the configured toolchain,
+// fanning tests out over a worker pool. Results come back in template
+// order.
+func RunSuite(cfg Config, templates []*Template) *SuiteResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	results := make([]TestResult, len(templates))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, tpl := range templates {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, tpl *Template) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = RunTest(cfg, tpl)
+			if cfg.Progress != nil {
+				cfg.Progress(results[i])
+			}
+		}(i, tpl)
+	}
+	wg.Wait()
+
+	return &SuiteResult{
+		Compiler: cfg.Toolchain.Name(),
+		Version:  cfg.Toolchain.Version(),
+		Results:  results,
+		Duration: time.Since(start),
+	}
+}
+
+// RunTest executes one template: the functional variant M times, then —
+// only if it passed, per the Fig. 3 flow — the cross variant M times for
+// the certainty statistics.
+func RunTest(cfg Config, tpl *Template) (res TestResult) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res = TestResult{
+		Name: tpl.Name, Lang: tpl.Lang, Family: tpl.Family,
+		Description: tpl.Description,
+	}
+	defer func() { res.Duration = time.Since(start) }()
+
+	functional, cross, hasCross, err := tpl.Generate()
+	if err != nil {
+		res.Outcome = FailCompile
+		res.Detail = "template expansion: " + err.Error()
+		return res
+	}
+	res.Functional, res.Cross, res.HasCross = functional, cross, hasCross
+
+	prog, err := parse(tpl.Lang, functional)
+	if err != nil {
+		res.Outcome = FailCompile
+		res.Detail = "frontend: " + err.Error()
+		return res
+	}
+	exe, diags, err := cfg.Toolchain.Compile(prog)
+	collectBugIDs(&res, diags)
+	if err != nil {
+		res.Outcome = FailCompile
+		res.Detail = err.Error()
+		return res
+	}
+
+	// Functional runs.
+	for it := 0; it < cfg.Iterations; it++ {
+		res.FuncRuns++
+		out, run := cfg.runOnce(exe, tpl, int64(it))
+		if out != Pass {
+			res.FuncFails++
+			if res.Outcome == Pass || res.Outcome == FailWrongResult {
+				res.Outcome = out
+				res.Detail = run
+			}
+		}
+	}
+	if res.Outcome.Failed() {
+		return res
+	}
+
+	// Cross runs (deeper validation of the directive under test).
+	if hasCross {
+		cprog, err := parse(tpl.Lang, cross)
+		if err != nil {
+			// A cross variant that no longer parses (e.g. the directive
+			// removal left an empty construct) counts as a failing cross
+			// run: the variant certainly does not reproduce the functional
+			// result.
+			res.Cert = NewCertainty(cfg.Iterations, cfg.Iterations)
+			return res
+		}
+		cexe, _, err := cfg.Toolchain.Compile(cprog)
+		if err != nil {
+			res.Cert = NewCertainty(cfg.Iterations, cfg.Iterations)
+			return res
+		}
+		fails := 0
+		for it := 0; it < cfg.Iterations; it++ {
+			out, _ := cfg.runOnce(cexe, tpl, int64(1000+it))
+			if out != Pass {
+				fails++
+			}
+		}
+		res.Cert = NewCertainty(fails, cfg.Iterations)
+		res.Inconclusive = !res.Cert.Conclusive()
+	}
+	return res
+}
+
+// runOnce executes a compiled variant once on a fresh platform.
+func (cfg Config) runOnce(exe *compiler.Executable, tpl *Template, seed int64) (Outcome, string) {
+	plat := device.NewPlatform(cfg.Toolchain.DeviceConfig(), cfg.Devices)
+	r := interp.Run(exe, interp.RunConfig{
+		Platform: plat,
+		MaxOps:   cfg.MaxOps,
+		Timeout:  cfg.Timeout,
+		Seed:     seed,
+		Env:      tpl.Env,
+	})
+	switch {
+	case r.Err == interp.ErrBudget || r.Err == interp.ErrDeadline:
+		return FailTimeout, r.Err.Error()
+	case r.Err != nil:
+		return FailCrash, r.Err.Error()
+	case r.Exit != 1:
+		return FailWrongResult, fmt.Sprintf("verification returned %d (want 1)", r.Exit)
+	}
+	return Pass, ""
+}
+
+// collectBugIDs extracts vendor bug links from diagnostics.
+func collectBugIDs(res *TestResult, diags []compiler.Diagnostic) {
+	for _, d := range diags {
+		if d.BugID != "" {
+			res.BugIDs = append(res.BugIDs, d.BugID)
+		}
+	}
+}

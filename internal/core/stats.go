@@ -1,0 +1,34 @@
+package core
+
+import "math"
+
+// Certainty implements the statistical analysis of §III. With n_f failed
+// cross tests out of M iterations, the estimated probability that the cross
+// test fails is p = n_f / M; the probability that an incorrect
+// implementation would nevertheless pass the functional test by accident is
+// p_a = (1 - p)^M, and the certainty of the test is p_c = 1 - p_a.
+type Certainty struct {
+	M         int     // iterations
+	CrossFail int     // n_f
+	P         float64 // n_f / M
+	PAccident float64 // (1-p)^M
+	PC        float64 // 1 - (1-p)^M
+}
+
+// NewCertainty computes the §III statistics.
+func NewCertainty(crossFail, m int) Certainty {
+	c := Certainty{M: m, CrossFail: crossFail}
+	if m <= 0 {
+		return c
+	}
+	c.P = float64(crossFail) / float64(m)
+	c.PAccident = math.Pow(1-c.P, float64(m))
+	c.PC = 1 - c.PAccident
+	return c
+}
+
+// Conclusive reports whether the cross test demonstrated that the directive
+// under test has an observable effect (p > 0). A conclusive result with
+// high certainty is what the paper requires before trusting a functional
+// pass.
+func (c Certainty) Conclusive() bool { return c.CrossFail > 0 }

@@ -1,0 +1,203 @@
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Platform models the accelerator runtime's view of a node: a set of
+// devices of one concrete type plus the host fallback, the current device
+// selection, and the ACC_DEVICE_TYPE / ACC_DEVICE_NUM environment. It backs
+// the acc_* runtime-library routines.
+type Platform struct {
+	mu       sync.Mutex
+	devices  []*Device
+	curType  Type
+	curNum   int
+	env      map[string]string
+	inited   bool
+	shutdown bool
+}
+
+// NewPlatform creates a platform with n devices built from cfg.
+func NewPlatform(cfg Config, n int) *Platform {
+	if n < 1 {
+		n = 1
+	}
+	p := &Platform{curType: Default, env: map[string]string{}}
+	for i := 0; i < n; i++ {
+		d := New(cfg)
+		d.Num = i
+		p.devices = append(p.devices, d)
+	}
+	return p
+}
+
+// SetEnv sets an ACC_* environment variable, honoured at Init.
+func (p *Platform) SetEnv(key, val string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.env[key] = val
+}
+
+// Env returns the value of an ACC_* environment variable.
+func (p *Platform) Env(key string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.env[key]
+}
+
+// Init implements acc_init: connect to the runtime for the given device
+// type and apply the environment selection.
+func (p *Platform) Init(t Type) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inited = true
+	p.shutdown = false
+	if t != None {
+		p.curType = t
+	}
+	if v, ok := p.env["ACC_DEVICE_TYPE"]; ok && v != "" {
+		if t, err := ParseTypeName(v); err == nil {
+			p.curType = t
+		}
+	}
+	if v, ok := p.env["ACC_DEVICE_NUM"]; ok && v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(p.devices) {
+			p.curNum = n
+		}
+	}
+	return nil
+}
+
+// Shutdown implements acc_shutdown: disconnect and reset every device.
+func (p *Platform) Shutdown(t Type) error {
+	p.mu.Lock()
+	devs := append([]*Device(nil), p.devices...)
+	p.shutdown = true
+	p.inited = false
+	p.mu.Unlock()
+	for _, d := range devs {
+		d.Reset()
+	}
+	return nil
+}
+
+// NumDevices implements acc_get_num_devices for the given type.
+func (p *Platform) NumDevices(t Type) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch t {
+	case HostDev:
+		return 1
+	case None:
+		return 0
+	default:
+		return len(p.devices)
+	}
+}
+
+// SetDeviceType implements acc_set_device_type.
+func (p *Platform) SetDeviceType(t Type) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.curType = t
+}
+
+// DeviceType implements acc_get_device_type. Once a non-host device is
+// selected, the type reported is the platform's concrete type — which is
+// implementation-defined (Fig. 12: CAPS reports acc_device_cuda /
+// acc_device_opencl, PGI acc_device_nvidia and friends). A platform whose
+// concrete type is NotHost reports the literal acc_device_not_host.
+func (p *Platform) DeviceType() Type {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.curType {
+	case HostDev, None:
+		return p.curType
+	case Default, NotHost:
+		return p.devices[0].Cfg.ConcreteType
+	default:
+		return p.curType
+	}
+}
+
+// SetDeviceNum implements acc_set_device_num.
+func (p *Platform) SetDeviceNum(n int, t Type) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t == HostDev {
+		return nil
+	}
+	if n < 0 || n >= len(p.devices) {
+		return fmt.Errorf("acc_set_device_num: no device %d (have %d)", n, len(p.devices))
+	}
+	p.curNum = n
+	return nil
+}
+
+// DeviceNum implements acc_get_device_num.
+func (p *Platform) DeviceNum(t Type) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.curNum
+}
+
+// HostMode reports whether compute regions must execute on the host (the
+// current device type is acc_device_host or acc_device_none).
+func (p *Platform) HostMode() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.curType == HostDev || p.curType == None
+}
+
+// Current returns the selected device.
+func (p *Platform) Current() *Device {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.devices[p.curNum]
+}
+
+// Devices returns all devices (harness introspection).
+func (p *Platform) Devices() []*Device {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Device(nil), p.devices...)
+}
+
+// Reset restores the platform to its pre-init state between test runs.
+func (p *Platform) Reset() {
+	p.mu.Lock()
+	devs := append([]*Device(nil), p.devices...)
+	p.mu.Unlock()
+	for _, d := range devs {
+		d.Reset()
+	}
+	p.mu.Lock()
+	p.curType = Default
+	p.curNum = 0
+	p.inited = false
+	p.shutdown = false
+	p.mu.Unlock()
+}
+
+// ParseTypeName parses an ACC_DEVICE_TYPE value ("NVIDIA", "HOST", ...).
+func ParseTypeName(s string) (Type, error) {
+	for t, name := range typeNames {
+		if name == s || name == "acc_device_"+lower(s) {
+			return t, nil
+		}
+	}
+	return None, fmt.Errorf("unknown device type %q", s)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,176 @@
+package device
+
+import (
+	"fmt"
+
+	"accv/internal/mem"
+)
+
+// DataMapping is one entry of the device's present table: a contiguous
+// section of a host buffer mirrored by a device buffer. Reference counting
+// implements the structured data lifetimes of OpenACC 1.0 — nested data
+// regions naming already-present data share the mapping, and the device
+// copy is released (optionally copied out) when the outermost region exits.
+type DataMapping struct {
+	HostBuf *mem.Buffer
+	HostOff int
+	Len     int
+	Dev     *mem.Buffer
+	Refs    int
+}
+
+// contains reports whether the mapping covers [off, off+n).
+func (m *DataMapping) contains(off, n int) bool {
+	return off >= m.HostOff && off+n <= m.HostOff+m.Len
+}
+
+// overlaps reports whether the mapping intersects [off, off+n).
+func (m *DataMapping) overlaps(off, n int) bool {
+	return off < m.HostOff+m.Len && m.HostOff < off+n
+}
+
+// DevPtr returns the device pointer corresponding to host offset off.
+func (m *DataMapping) DevPtr(off int) mem.Ptr {
+	return mem.Ptr{Buf: m.Dev, Off: off - m.HostOff}
+}
+
+// NotPresentError reports a present() failure or an update on unmapped data.
+type NotPresentError struct {
+	Var string
+}
+
+// Error implements error.
+func (e *NotPresentError) Error() string {
+	return fmt.Sprintf("data %q is not present on the device", e.Var)
+}
+
+// Lookup returns the mapping fully covering [off, off+n) of the host
+// buffer, or nil.
+func (d *Device) Lookup(host *mem.Buffer, off, n int) *DataMapping {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lookupLocked(host, off, n)
+}
+
+func (d *Device) lookupLocked(host *mem.Buffer, off, n int) *DataMapping {
+	for _, m := range d.present[host] {
+		if m.contains(off, n) {
+			return m
+		}
+	}
+	return nil
+}
+
+// MapIn enters a data section into the present table. If the section is
+// already fully present the mapping's reference count is bumped and
+// created is false (present_or_* semantics decide whether that is an error
+// or the fast path). Otherwise a fresh garbage-filled device buffer is
+// allocated and, when copyin is set, initialized from host memory.
+// Partially-present sections are an error per the OpenACC runtime rules.
+func (d *Device) MapIn(host *mem.Buffer, off, n int, copyin bool) (m *DataMapping, created bool, err error) {
+	d.mu.Lock()
+	if m := d.lookupLocked(host, off, n); m != nil {
+		m.Refs++
+		d.mu.Unlock()
+		return m, false, nil
+	}
+	for _, ex := range d.present[host] {
+		if ex.overlaps(off, n) {
+			d.mu.Unlock()
+			return nil, false, fmt.Errorf("section [%d:%d) of %s is partially present on the device", off, off+n, host)
+		}
+	}
+	d.garbageN++
+	seed := d.Cfg.GarbageSeed + d.garbageN
+	d.mu.Unlock()
+
+	dev := mem.NewGarbageBuffer(host.Elem, n, mem.Device, host.Name, seed)
+	m = &DataMapping{HostBuf: host, HostOff: off, Len: n, Dev: dev, Refs: 1}
+	if copyin {
+		if err := host.CopyTo(off, dev, 0, n); err != nil {
+			return nil, false, err
+		}
+		d.Stats.ElemsCopiedIn.Add(int64(n))
+		if d.Cfg.CorruptTransfers && n > 0 {
+			// Failing node memory: flip one transferred element.
+			v, _ := dev.Load(n / 2)
+			_ = dev.Store(n/2, mem.Int(v.AsInt()^0x2a))
+		}
+	}
+	d.mu.Lock()
+	// Re-check for a racing insert (two async regions entering data).
+	if ex := d.lookupLocked(host, off, n); ex != nil {
+		ex.Refs++
+		d.mu.Unlock()
+		return ex, false, nil
+	}
+	d.present[host] = append(d.present[host], m)
+	d.mu.Unlock()
+	return m, true, nil
+}
+
+// Retain bumps a mapping's reference count under the device lock (the
+// present-clause reuse path; async regions may race with a structured exit
+// otherwise).
+func (d *Device) Retain(m *DataMapping) {
+	d.mu.Lock()
+	m.Refs++
+	d.mu.Unlock()
+}
+
+// Unmap drops one reference to the mapping. When the count reaches zero the
+// mapping is removed and, if copyout is set, the device contents are copied
+// back to the host section first.
+func (d *Device) Unmap(m *DataMapping, copyout bool) error {
+	d.mu.Lock()
+	m.Refs--
+	last := m.Refs <= 0
+	if last {
+		list := d.present[m.HostBuf]
+		for i, e := range list {
+			if e == m {
+				d.present[m.HostBuf] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(d.present[m.HostBuf]) == 0 {
+			delete(d.present, m.HostBuf)
+		}
+	}
+	d.mu.Unlock()
+	if last && copyout {
+		if err := m.Dev.CopyTo(0, m.HostBuf, m.HostOff, m.Len); err != nil {
+			return err
+		}
+		d.Stats.ElemsCopiedOut.Add(int64(m.Len))
+	}
+	return nil
+}
+
+// UpdateHost copies [off, off+n) of the host buffer's device mirror back to
+// the host (update host directive).
+func (d *Device) UpdateHost(host *mem.Buffer, off, n int) error {
+	m := d.Lookup(host, off, n)
+	if m == nil {
+		return &NotPresentError{Var: host.Name}
+	}
+	if err := m.Dev.CopyTo(off-m.HostOff, host, off, n); err != nil {
+		return err
+	}
+	d.Stats.ElemsCopiedOut.Add(int64(n))
+	return nil
+}
+
+// UpdateDevice copies [off, off+n) of the host buffer to its device mirror
+// (update device directive).
+func (d *Device) UpdateDevice(host *mem.Buffer, off, n int) error {
+	m := d.Lookup(host, off, n)
+	if m == nil {
+		return &NotPresentError{Var: host.Name}
+	}
+	if err := host.CopyTo(off, m.Dev, off-m.HostOff, n); err != nil {
+		return err
+	}
+	d.Stats.ElemsCopiedIn.Add(int64(n))
+	return nil
+}

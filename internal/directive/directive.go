@@ -1,0 +1,328 @@
+// Package directive models OpenACC 1.0 directives and clauses and parses
+// them from pragma text. The parser is shared by the C frontend
+// ("#pragma acc ...") and the Fortran frontend ("!$acc ..."): the frontend
+// strips the sentinel and hands the remainder of the line to Parse together
+// with a language-specific expression parser for clause arguments.
+//
+// The package also carries the handful of OpenACC 2.0 directives the paper's
+// §VI discusses as resolutions of 1.0 ambiguities (enter data, exit data,
+// routine, default(none)); they are parsed but only accepted by compilers
+// configured for spec version 2.0.
+package directive
+
+import (
+	"fmt"
+	"strings"
+
+	"accv/internal/ast"
+)
+
+// Name identifies a directive.
+type Name int
+
+// Directive names. The End* forms appear only in Fortran sources, where
+// structured constructs are closed explicitly.
+const (
+	Invalid Name = iota
+	Parallel
+	Kernels
+	Data
+	EnterData
+	ExitData
+	HostData
+	Loop
+	ParallelLoop
+	KernelsLoop
+	Cache
+	Update
+	Wait
+	Declare
+	Routine
+	EndParallel
+	EndKernels
+	EndData
+	EndHostData
+	EndParallelLoop
+	EndKernelsLoop
+)
+
+var nameStrings = map[Name]string{
+	Parallel:        "parallel",
+	Kernels:         "kernels",
+	Data:            "data",
+	EnterData:       "enter data",
+	ExitData:        "exit data",
+	HostData:        "host_data",
+	Loop:            "loop",
+	ParallelLoop:    "parallel loop",
+	KernelsLoop:     "kernels loop",
+	Cache:           "cache",
+	Update:          "update",
+	Wait:            "wait",
+	Declare:         "declare",
+	Routine:         "routine",
+	EndParallel:     "end parallel",
+	EndKernels:      "end kernels",
+	EndData:         "end data",
+	EndHostData:     "end host_data",
+	EndParallelLoop: "end parallel loop",
+	EndKernelsLoop:  "end kernels loop",
+}
+
+// String returns the source spelling of the directive name.
+func (n Name) String() string {
+	if s, ok := nameStrings[n]; ok {
+		return s
+	}
+	return "invalid"
+}
+
+// IsEnd reports whether the name is a Fortran end-construct marker.
+func (n Name) IsEnd() bool { return n >= EndParallel }
+
+// IsCompute reports whether the directive opens a compute construct.
+func (n Name) IsCompute() bool {
+	return n == Parallel || n == Kernels || n == ParallelLoop || n == KernelsLoop
+}
+
+// IsCombined reports whether the directive is a combined compute+loop form.
+func (n Name) IsCombined() bool { return n == ParallelLoop || n == KernelsLoop }
+
+// IsStandalone reports whether the directive never owns a body.
+func (n Name) IsStandalone() bool {
+	return n == Update || n == Wait || n == Declare || n == Cache ||
+		n == EnterData || n == ExitData || n == Routine || n.IsEnd()
+}
+
+// EndFor returns the Fortran end marker that closes the given construct,
+// or Invalid if the construct needs no end marker.
+func EndFor(n Name) Name {
+	switch n {
+	case Parallel:
+		return EndParallel
+	case Kernels:
+		return EndKernels
+	case Data:
+		return EndData
+	case HostData:
+		return EndHostData
+	case ParallelLoop:
+		return EndParallelLoop
+	case KernelsLoop:
+		return EndKernelsLoop
+	}
+	return Invalid
+}
+
+// ClauseKind identifies a clause.
+type ClauseKind int
+
+// Clause kinds of OpenACC 1.0 plus the 2.0 additions handled in §VI.
+const (
+	BadClause ClauseKind = iota
+	If
+	Async
+	NumGangs
+	NumWorkers
+	VectorLength
+	Reduction
+	Copy
+	Copyin
+	Copyout
+	Create
+	Present
+	PresentOrCopy
+	PresentOrCopyin
+	PresentOrCopyout
+	PresentOrCreate
+	Deviceptr
+	Private
+	FirstPrivate
+	Gang
+	Worker
+	Vector
+	Seq
+	Independent
+	Collapse
+	HostClause
+	DeviceClause
+	UseDevice
+	DeviceResident
+	Default   // OpenACC 2.0: default(none)
+	Auto      // OpenACC 2.0 loop auto
+	CacheVars // the var-list of a cache directive
+)
+
+var clauseStrings = map[ClauseKind]string{
+	If:               "if",
+	Async:            "async",
+	NumGangs:         "num_gangs",
+	NumWorkers:       "num_workers",
+	VectorLength:     "vector_length",
+	Reduction:        "reduction",
+	Copy:             "copy",
+	Copyin:           "copyin",
+	Copyout:          "copyout",
+	Create:           "create",
+	Present:          "present",
+	PresentOrCopy:    "present_or_copy",
+	PresentOrCopyin:  "present_or_copyin",
+	PresentOrCopyout: "present_or_copyout",
+	PresentOrCreate:  "present_or_create",
+	Deviceptr:        "deviceptr",
+	Private:          "private",
+	FirstPrivate:     "firstprivate",
+	Gang:             "gang",
+	Worker:           "worker",
+	Vector:           "vector",
+	Seq:              "seq",
+	Independent:      "independent",
+	Collapse:         "collapse",
+	HostClause:       "host",
+	DeviceClause:     "device",
+	UseDevice:        "use_device",
+	DeviceResident:   "device_resident",
+	Default:          "default",
+	Auto:             "auto",
+	CacheVars:        "cache",
+}
+
+// String returns the source spelling of the clause.
+func (k ClauseKind) String() string {
+	if s, ok := clauseStrings[k]; ok {
+		return s
+	}
+	return "bad-clause"
+}
+
+// clause spellings → kind, including the pcopy aliases of the 1.0 spec.
+var clauseNames = func() map[string]ClauseKind {
+	m := make(map[string]ClauseKind, len(clauseStrings)+4)
+	for k, s := range clauseStrings {
+		if k == CacheVars { // "cache" is a directive, not a clause
+			continue
+		}
+		m[s] = k
+	}
+	m["pcopy"] = PresentOrCopy
+	m["pcopyin"] = PresentOrCopyin
+	m["pcopyout"] = PresentOrCopyout
+	m["pcreate"] = PresentOrCreate
+	return m
+}()
+
+// IsData reports whether the clause moves or declares data on the device.
+func (k ClauseKind) IsData() bool {
+	switch k {
+	case Copy, Copyin, Copyout, Create, Present, PresentOrCopy,
+		PresentOrCopyin, PresentOrCopyout, PresentOrCreate, Deviceptr:
+		return true
+	}
+	return false
+}
+
+// Section is one dimension of an array section in a data clause var-list.
+// In C syntax a section is a[start:length]; in Fortran it is a(lb:ub) with
+// inclusive bounds. LenIsCount records which convention applies; the runtime
+// normalizes against the array's declared lower bound.
+type Section struct {
+	Lo         ast.Expr // nil means "from the start of the dimension"
+	Hi         ast.Expr // length (C) or inclusive upper bound (Fortran); nil means whole dimension
+	LenIsCount bool
+}
+
+// VarRef names a variable in a clause var-list with optional array sections.
+type VarRef struct {
+	Name     string
+	Sections []Section
+}
+
+// String renders the var-ref in C section syntax for diagnostics.
+func (v VarRef) String() string {
+	s := v.Name
+	for _, sec := range v.Sections {
+		s += "[" + ast.ExprString(sec.Lo) + ":" + ast.ExprString(sec.Hi) + "]"
+	}
+	return s
+}
+
+// Clause is a parsed clause instance.
+type Clause struct {
+	Kind     ClauseKind
+	Arg      ast.Expr // if/async/num_gangs/num_workers/vector_length/collapse/gang/worker/vector argument
+	ReduceOp string   // normalized reduction operator: + * max min && || & | ^
+	Vars     []VarRef // var-lists of data/private/reduction/host/device clauses
+	DefaultK string   // default(none) keyword
+}
+
+// Directive is a parsed directive with its clauses.
+type Directive struct {
+	Name     Name
+	Clauses  []Clause
+	WaitArgs []ast.Expr // arguments of the wait directive (may be empty)
+	Raw      string     // original text after the sentinel
+	Line     int
+}
+
+// PragmaText implements ast.Pragma.
+func (d *Directive) PragmaText() string { return d.Raw }
+
+// Has reports whether the directive carries a clause of the given kind.
+func (d *Directive) Has(k ClauseKind) bool { return d.Get(k) != nil }
+
+// Get returns the first clause of the given kind, or nil.
+func (d *Directive) Get(k ClauseKind) *Clause {
+	for i := range d.Clauses {
+		if d.Clauses[i].Kind == k {
+			return &d.Clauses[i]
+		}
+	}
+	return nil
+}
+
+// All returns every clause of the given kind.
+func (d *Directive) All(k ClauseKind) []*Clause {
+	var out []*Clause
+	for i := range d.Clauses {
+		if d.Clauses[i].Kind == k {
+			out = append(out, &d.Clauses[i])
+		}
+	}
+	return out
+}
+
+// DataClauses returns the clauses that manage device data, in source order.
+func (d *Directive) DataClauses() []*Clause {
+	var out []*Clause
+	for i := range d.Clauses {
+		if d.Clauses[i].Kind.IsData() {
+			out = append(out, &d.Clauses[i])
+		}
+	}
+	return out
+}
+
+// String renders the directive for diagnostics.
+func (d *Directive) String() string {
+	return fmt.Sprintf("acc %s", strings.TrimSpace(d.Raw))
+}
+
+// ExprParser parses clause-argument expressions in the frontend's language.
+type ExprParser interface {
+	ParseClauseExpr(src string, line int) (ast.Expr, error)
+}
+
+// ParseError describes a directive syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: invalid acc directive: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

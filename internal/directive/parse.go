@@ -1,0 +1,478 @@
+package directive
+
+import (
+	"strings"
+
+	"accv/internal/ast"
+)
+
+// Parse parses the text of an OpenACC directive (everything after the
+// "#pragma acc" / "!$acc" sentinel) into a Directive. Clause-argument
+// expressions are parsed by ep in the frontend's own expression grammar.
+func Parse(text string, lang ast.Lang, line int, ep ExprParser) (*Directive, error) {
+	p := &dirParser{src: text, lang: lang, line: line, ep: ep}
+	d, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	d.Raw = strings.TrimSpace(text)
+	d.Line = line
+	return d, nil
+}
+
+// dirParser is a cursor over the directive text.
+type dirParser struct {
+	src  string
+	pos  int
+	lang ast.Lang
+	line int
+	ep   ExprParser
+}
+
+func (p *dirParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *dirParser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+func isIdentByte(c byte, first bool) bool {
+	if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// ident consumes and returns the next identifier, or "".
+func (p *dirParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	return strings.ToLower(p.src[start:p.pos])
+}
+
+// peekIdent returns the next identifier without consuming it.
+func (p *dirParser) peekIdent() string {
+	save := p.pos
+	id := p.ident()
+	p.pos = save
+	return id
+}
+
+// parenGroup consumes a balanced "( ... )" group and returns the inner text.
+// ok is false when the next token is not an open paren.
+func (p *dirParser) parenGroup() (inner string, ok bool, err error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return "", false, nil
+	}
+	depth := 0
+	start := p.pos + 1
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				inner = p.src[start:i]
+				p.pos = i + 1
+				return inner, true, nil
+			}
+		}
+	}
+	return "", false, errf(p.line, "unbalanced parentheses in %q", p.src)
+}
+
+// parse reads the directive name and clause list.
+func (p *dirParser) parse() (*Directive, error) {
+	first := p.ident()
+	if first == "" {
+		return nil, errf(p.line, "missing directive name")
+	}
+	d := &Directive{}
+	switch first {
+	case "parallel", "kernels":
+		d.Name = Parallel
+		if first == "kernels" {
+			d.Name = Kernels
+		}
+		if p.peekIdent() == "loop" {
+			p.ident()
+			if d.Name == Parallel {
+				d.Name = ParallelLoop
+			} else {
+				d.Name = KernelsLoop
+			}
+		}
+	case "data":
+		d.Name = Data
+	case "enter":
+		if p.ident() != "data" {
+			return nil, errf(p.line, "expected 'enter data'")
+		}
+		d.Name = EnterData
+	case "exit":
+		if p.ident() != "data" {
+			return nil, errf(p.line, "expected 'exit data'")
+		}
+		d.Name = ExitData
+	case "host_data":
+		d.Name = HostData
+	case "loop":
+		d.Name = Loop
+	case "update":
+		d.Name = Update
+	case "declare":
+		d.Name = Declare
+	case "routine":
+		d.Name = Routine
+	case "cache":
+		d.Name = Cache
+		inner, ok, err := p.parenGroup()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, errf(p.line, "cache directive requires a var-list")
+		}
+		vars, err := p.parseVarList(inner)
+		if err != nil {
+			return nil, err
+		}
+		d.Clauses = append(d.Clauses, Clause{Kind: CacheVars, Vars: vars})
+		return d, p.expectEnd(d)
+	case "wait":
+		d.Name = Wait
+		inner, ok, err := p.parenGroup()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			args, err := p.parseExprList(inner)
+			if err != nil {
+				return nil, err
+			}
+			d.WaitArgs = args
+		}
+		return d, p.expectEnd(d)
+	case "end":
+		rest := p.ident()
+		switch rest {
+		case "parallel":
+			d.Name = EndParallel
+			if p.peekIdent() == "loop" {
+				p.ident()
+				d.Name = EndParallelLoop
+			}
+		case "kernels":
+			d.Name = EndKernels
+			if p.peekIdent() == "loop" {
+				p.ident()
+				d.Name = EndKernelsLoop
+			}
+		case "data":
+			d.Name = EndData
+		case "host_data":
+			d.Name = EndHostData
+		default:
+			return nil, errf(p.line, "unknown end directive %q", rest)
+		}
+		return d, p.expectEnd(d)
+	default:
+		return nil, errf(p.line, "unknown directive %q", first)
+	}
+	if err := p.parseClauses(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// expectEnd verifies nothing trails the directive.
+func (p *dirParser) expectEnd(d *Directive) error {
+	if !p.eof() {
+		return errf(p.line, "unexpected text %q after %s", p.src[p.pos:], d.Name)
+	}
+	return nil
+}
+
+// parseClauses reads clauses until end of text. Commas between clauses are
+// tolerated, as in the OpenACC grammar.
+func (p *dirParser) parseClauses(d *Directive) error {
+	for !p.eof() {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		name := p.ident()
+		if name == "" {
+			return errf(p.line, "expected clause near %q", p.src[p.pos:])
+		}
+		kind, ok := clauseNames[name]
+		if !ok {
+			return errf(p.line, "unknown clause %q on %s", name, d.Name)
+		}
+		cl := Clause{Kind: kind}
+		inner, hasParen, err := p.parenGroup()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case Seq, Independent, Auto:
+			if hasParen {
+				return errf(p.line, "clause %s takes no argument", kind)
+			}
+		case If, NumGangs, NumWorkers, VectorLength, Collapse:
+			if !hasParen {
+				return errf(p.line, "clause %s requires an argument", kind)
+			}
+			e, err := p.ep.ParseClauseExpr(inner, p.line)
+			if err != nil {
+				return errf(p.line, "bad %s argument: %v", kind, err)
+			}
+			cl.Arg = e
+		case Async, Gang, Worker, Vector:
+			if hasParen {
+				e, err := p.ep.ParseClauseExpr(inner, p.line)
+				if err != nil {
+					return errf(p.line, "bad %s argument: %v", kind, err)
+				}
+				cl.Arg = e
+			}
+		case Reduction:
+			if !hasParen {
+				return errf(p.line, "reduction requires (operator:var-list)")
+			}
+			op, list, found := cutTopLevel(inner, ':')
+			if !found {
+				return errf(p.line, "reduction requires (operator:var-list)")
+			}
+			rop, err := normalizeReduceOp(strings.TrimSpace(op))
+			if err != nil {
+				return errf(p.line, "%v", err)
+			}
+			cl.ReduceOp = rop
+			vars, err := p.parseVarList(list)
+			if err != nil {
+				return err
+			}
+			cl.Vars = vars
+		case Default:
+			if !hasParen || strings.TrimSpace(strings.ToLower(inner)) != "none" {
+				return errf(p.line, "default clause requires (none)")
+			}
+			cl.DefaultK = "none"
+		default: // var-list clauses
+			if !hasParen {
+				return errf(p.line, "clause %s requires a var-list", kind)
+			}
+			vars, err := p.parseVarList(inner)
+			if err != nil {
+				return err
+			}
+			cl.Vars = vars
+		}
+		d.Clauses = append(d.Clauses, cl)
+	}
+	return nil
+}
+
+// cutTopLevel splits s at the first occurrence of sep outside parentheses
+// and brackets.
+func cutTopLevel(s string, sep byte) (before, after string, found bool) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		default:
+			if depth == 0 && s[i] == sep {
+				return s[:i], s[i+1:], true
+			}
+		}
+	}
+	return s, "", false
+}
+
+// splitTopLevel splits s at every top-level sep.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		default:
+			if depth == 0 && s[i] == sep {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// normalizeReduceOp maps language spellings of reduction operators to the
+// canonical C spellings used throughout the runtime.
+func normalizeReduceOp(op string) (string, error) {
+	switch strings.ToLower(op) {
+	case "+", "*", "max", "min", "&&", "||", "&", "|", "^":
+		return strings.ToLower(op), nil
+	case ".and.":
+		return "&&", nil
+	case ".or.":
+		return "||", nil
+	case "iand":
+		return "&", nil
+	case "ior":
+		return "|", nil
+	case "ieor":
+		return "^", nil
+	}
+	return "", &ParseError{Msg: "unknown reduction operator " + op}
+}
+
+// parseExprList parses a comma-separated expression list.
+func (p *dirParser) parseExprList(s string) ([]ast.Expr, error) {
+	var out []ast.Expr
+	for _, part := range splitTopLevel(s, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := p.ep.ParseClauseExpr(part, p.line)
+		if err != nil {
+			return nil, errf(p.line, "bad expression %q: %v", part, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// parseVarList parses a clause var-list: comma-separated names with optional
+// array sections in either C ([lo:len]) or Fortran ((lb:ub)) syntax.
+func (p *dirParser) parseVarList(s string) ([]VarRef, error) {
+	var out []VarRef
+	for _, item := range splitTopLevel(s, ',') {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		v, err := p.parseVarRef(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseVarRef parses one var-list item.
+func (p *dirParser) parseVarRef(item string) (VarRef, error) {
+	i := 0
+	for i < len(item) && isIdentByte(item[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return VarRef{}, errf(p.line, "bad var-list item %q", item)
+	}
+	v := VarRef{Name: item[:i]}
+	rest := strings.TrimSpace(item[i:])
+	switch {
+	case rest == "":
+		return v, nil
+	case rest[0] == '[': // C sections, possibly repeated per dimension
+		for len(rest) > 0 {
+			if rest[0] != '[' {
+				return VarRef{}, errf(p.line, "bad section in %q", item)
+			}
+			close := matchingBracket(rest, '[', ']')
+			if close < 0 {
+				return VarRef{}, errf(p.line, "unbalanced brackets in %q", item)
+			}
+			sec, err := p.parseSection(rest[1:close], true)
+			if err != nil {
+				return VarRef{}, err
+			}
+			v.Sections = append(v.Sections, sec)
+			rest = strings.TrimSpace(rest[close+1:])
+		}
+		return v, nil
+	case rest[0] == '(': // Fortran sections: (lb:ub [, lb:ub ...])
+		close := matchingBracket(rest, '(', ')')
+		if close < 0 || strings.TrimSpace(rest[close+1:]) != "" {
+			return VarRef{}, errf(p.line, "bad section in %q", item)
+		}
+		for _, dim := range splitTopLevel(rest[1:close], ',') {
+			sec, err := p.parseSection(dim, false)
+			if err != nil {
+				return VarRef{}, err
+			}
+			v.Sections = append(v.Sections, sec)
+		}
+		return v, nil
+	}
+	return VarRef{}, errf(p.line, "bad var-list item %q", item)
+}
+
+// matchingBracket returns the index of the bracket closing s[0], or -1.
+func matchingBracket(s string, open, close byte) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseSection parses "lo:hi" (either bound may be empty).
+func (p *dirParser) parseSection(s string, lenIsCount bool) (Section, error) {
+	lo, hi, found := cutTopLevel(s, ':')
+	if !found {
+		// A bare subscript denotes a single element: lo == hi.
+		e, err := p.ep.ParseClauseExpr(strings.TrimSpace(s), p.line)
+		if err != nil {
+			return Section{}, errf(p.line, "bad section %q: %v", s, err)
+		}
+		if lenIsCount {
+			one := &ast.BasicLit{Kind: ast.IntLit, Value: "1", Line: p.line}
+			return Section{Lo: e, Hi: one, LenIsCount: true}, nil
+		}
+		return Section{Lo: e, Hi: e, LenIsCount: false}, nil
+	}
+	sec := Section{LenIsCount: lenIsCount}
+	if t := strings.TrimSpace(lo); t != "" {
+		e, err := p.ep.ParseClauseExpr(t, p.line)
+		if err != nil {
+			return Section{}, errf(p.line, "bad section bound %q: %v", t, err)
+		}
+		sec.Lo = e
+	}
+	if t := strings.TrimSpace(hi); t != "" {
+		e, err := p.ep.ParseClauseExpr(t, p.line)
+		if err != nil {
+			return Section{}, errf(p.line, "bad section bound %q: %v", t, err)
+		}
+		sec.Hi = e
+	}
+	return sec, nil
+}

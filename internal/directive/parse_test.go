@@ -1,0 +1,235 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"accv/internal/ast"
+)
+
+// exprStub parses clause expressions as single identifiers or integers —
+// enough to exercise the directive grammar without a frontend.
+type exprStub struct{}
+
+func (exprStub) ParseClauseExpr(src string, line int) (ast.Expr, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, &ParseError{Line: line, Msg: "empty expression"}
+	}
+	return &ast.Ident{Name: src, Line: line}, nil
+}
+
+func parseC(t *testing.T, text string) *Directive {
+	t.Helper()
+	d, err := Parse(text, ast.LangC, 1, exprStub{})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return d
+}
+
+func TestDirectiveNames(t *testing.T) {
+	cases := map[string]Name{
+		"parallel":                Parallel,
+		"kernels":                 Kernels,
+		"parallel loop":           ParallelLoop,
+		"kernels loop":            KernelsLoop,
+		"data":                    Data,
+		"host_data use_device(a)": HostData,
+		"loop":                    Loop,
+		"update host(a)":          Update,
+		"declare copyin(a)":       Declare,
+		"wait":                    Wait,
+		"enter data copyin(a)":    EnterData,
+		"exit data copyout(a)":    ExitData,
+		"routine":                 Routine,
+		"end parallel":            EndParallel,
+		"end kernels loop":        EndKernelsLoop,
+		"end host_data":           EndHostData,
+	}
+	for text, want := range cases {
+		d := parseC(t, text)
+		if d.Name != want {
+			t.Errorf("Parse(%q).Name = %s, want %s", text, d.Name, want)
+		}
+	}
+}
+
+func TestClauseParsing(t *testing.T) {
+	d := parseC(t, "parallel if(cond) async(3) num_gangs(g) num_workers(w) vector_length(64) private(x, y) firstprivate(z) reduction(+:s) copy(a[0:n])")
+	for _, k := range []ClauseKind{If, Async, NumGangs, NumWorkers, VectorLength, Private, FirstPrivate, Reduction, Copy} {
+		if !d.Has(k) {
+			t.Errorf("missing clause %s", k)
+		}
+	}
+	if cl := d.Get(Private); len(cl.Vars) != 2 || cl.Vars[0].Name != "x" || cl.Vars[1].Name != "y" {
+		t.Errorf("private vars: %v", cl.Vars)
+	}
+	if cl := d.Get(Reduction); cl.ReduceOp != "+" || cl.Vars[0].Name != "s" {
+		t.Errorf("reduction: %q %v", cl.ReduceOp, cl.Vars)
+	}
+}
+
+func TestAsyncWithoutArgument(t *testing.T) {
+	d := parseC(t, "kernels async")
+	if cl := d.Get(Async); cl == nil || cl.Arg != nil {
+		t.Fatal("bare async must parse with a nil argument")
+	}
+}
+
+func TestPcopyAliases(t *testing.T) {
+	d := parseC(t, "data pcopy(a) pcopyin(b) pcopyout(c) pcreate(d)")
+	for _, k := range []ClauseKind{PresentOrCopy, PresentOrCopyin, PresentOrCopyout, PresentOrCreate} {
+		if !d.Has(k) {
+			t.Errorf("alias for %s not recognized", k)
+		}
+	}
+}
+
+func TestCSectionSyntax(t *testing.T) {
+	d := parseC(t, "data copy(a[0:n], m[2:4][0:cols])")
+	cl := d.Get(Copy)
+	if len(cl.Vars) != 2 {
+		t.Fatalf("vars: %v", cl.Vars)
+	}
+	a := cl.Vars[0]
+	if a.Name != "a" || len(a.Sections) != 1 || !a.Sections[0].LenIsCount {
+		t.Errorf("a section: %+v", a)
+	}
+	m := cl.Vars[1]
+	if m.Name != "m" || len(m.Sections) != 2 {
+		t.Errorf("m sections: %+v", m)
+	}
+}
+
+func TestFortranSectionSyntax(t *testing.T) {
+	d, err := Parse("data copy(a(1:n), m(1:rows, 1:cols))", ast.LangFortran, 1, exprStub{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := d.Get(Copy)
+	if len(cl.Vars) != 2 {
+		t.Fatalf("vars: %v", cl.Vars)
+	}
+	if cl.Vars[0].Sections[0].LenIsCount {
+		t.Error("Fortran sections carry inclusive upper bounds, not lengths")
+	}
+	if len(cl.Vars[1].Sections) != 2 {
+		t.Errorf("multi-dimensional Fortran section: %+v", cl.Vars[1])
+	}
+}
+
+func TestFortranReductionSpellings(t *testing.T) {
+	for spelling, want := range map[string]string{
+		".and.": "&&", ".or.": "||", "iand": "&", "ior": "|", "ieor": "^",
+		"max": "max", "+": "+",
+	} {
+		d, err := Parse("loop reduction("+spelling+":s)", ast.LangFortran, 1, exprStub{})
+		if err != nil {
+			t.Fatalf("%s: %v", spelling, err)
+		}
+		if got := d.Get(Reduction).ReduceOp; got != want {
+			t.Errorf("reduction %q normalized to %q, want %q", spelling, got, want)
+		}
+	}
+}
+
+func TestWaitArguments(t *testing.T) {
+	d := parseC(t, "wait(1, 2, 3)")
+	if len(d.WaitArgs) != 3 {
+		t.Fatalf("wait args: %d", len(d.WaitArgs))
+	}
+	d = parseC(t, "wait")
+	if len(d.WaitArgs) != 0 {
+		t.Fatal("bare wait must have no args")
+	}
+}
+
+func TestCacheDirective(t *testing.T) {
+	d := parseC(t, "cache(a[i:1], b)")
+	cl := d.Get(CacheVars)
+	if cl == nil || len(cl.Vars) != 2 {
+		t.Fatalf("cache vars: %+v", d.Clauses)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                      // no name
+		"parllel",               // typo
+		"parallel nonsense(x)",  // unknown clause
+		"parallel if",           // missing argument
+		"parallel seq(3)",       // argument on a bare clause
+		"loop reduction(s)",     // missing operator
+		"loop reduction(?:s)",   // unknown operator
+		"parallel copy(a[0:n)",  // unbalanced
+		"cache",                 // cache without var-list
+		"default(none)",         // clause alone is not a directive
+		"parallel default(all)", // default requires none
+	}
+	for _, text := range bad {
+		if _, err := Parse(text, ast.LangC, 1, exprStub{}); err == nil {
+			t.Errorf("Parse(%q) should fail", text)
+		}
+	}
+}
+
+func TestCommaSeparatedClauses(t *testing.T) {
+	d := parseC(t, "parallel copy(a), async(2)")
+	if !d.Has(Copy) || !d.Has(Async) {
+		t.Error("comma-separated clauses must parse")
+	}
+}
+
+func TestDirectivePredicates(t *testing.T) {
+	if !ParallelLoop.IsCompute() || !ParallelLoop.IsCombined() {
+		t.Error("parallel loop predicates")
+	}
+	if !Update.IsStandalone() || Parallel.IsStandalone() {
+		t.Error("standalone predicates")
+	}
+	if EndFor(Parallel) != EndParallel || EndFor(Loop) != Invalid {
+		t.Error("EndFor mapping")
+	}
+	if !EndParallel.IsEnd() || Parallel.IsEnd() {
+		t.Error("IsEnd")
+	}
+}
+
+func TestSingleElementSection(t *testing.T) {
+	// C: a[i:1] is explicit; a bare subscript in a cache list means one
+	// element.
+	d := parseC(t, "cache(a[i])")
+	sec := d.Get(CacheVars).Vars[0].Sections[0]
+	if sec.Lo == nil || sec.Hi == nil || !sec.LenIsCount {
+		t.Errorf("bare C subscript: %+v", sec)
+	}
+	// Fortran: a(i) means the single element i.
+	df, err := Parse("cache(a(i))", ast.LangFortran, 1, exprStub{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secf := df.Get(CacheVars).Vars[0].Sections[0]
+	if secf.LenIsCount {
+		t.Errorf("bare Fortran subscript: %+v", secf)
+	}
+}
+
+// Property: the directive parser never panics on arbitrary input — it
+// either parses or returns a ParseError.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(string(raw), ast.LangC, 1, exprStub{})
+		_, _ = Parse(string(raw), ast.LangFortran, 1, exprStub{})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package ffront is the Fortran-subset frontend of the validation suite.
+// It covers the surface used by the paper's Fortran test programs —
+// integer/real/double precision/logical declarations, do loops, if/then,
+// subroutines and functions, and "!$acc" directive sentinels — and lowers
+// to the same AST as the C frontend, so the compiler and interpreter are
+// language-agnostic. Table I and Fig. 8 report C and Fortran results
+// separately, which is why the suite carries two full frontends.
+package ffront
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNL
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct
+	tokPragma // a "!$acc" line; Lit holds the text after the sentinel
+)
+
+// token is one lexical token.
+type token struct {
+	Kind tokKind
+	Lit  string
+	Line int
+}
+
+func (t token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of file"
+	case tokNL:
+		return "end of line"
+	case tokPragma:
+		return "!$acc " + t.Lit
+	case tokString:
+		return fmt.Sprintf("%q", t.Lit)
+	}
+	return t.Lit
+}
+
+// lexError is a scanning error.
+type lexError struct {
+	Line int
+	Msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// dot-delimited operators and logical literals.
+var dotOps = []string{
+	".and.", ".or.", ".not.", ".eqv.", ".neqv.",
+	".eq.", ".ne.", ".lt.", ".le.", ".gt.", ".ge.",
+	".true.", ".false.",
+}
+
+// multi-character punctuation, longest first.
+var fMultiOps = []string{"::", "**", "==", "/=", "<=", ">=", "=>"}
+
+// lex scans Fortran-subset source into tokens. Free-form continuations
+// ('&' at line end, optional leading '&') are honoured, including inside
+// !$acc directive lines. Keywords and identifiers are lowercased.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i, n := 0, len(src)
+	emitNL := func() {
+		if len(toks) > 0 && toks[len(toks)-1].Kind != tokNL {
+			toks = append(toks, token{tokNL, "\n", line})
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emitNL()
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			if c == ';' {
+				emitNL()
+			}
+			i++
+		case c == '&':
+			// Continuation: skip to (and past) the newline, plus an
+			// optional leading '&' on the next line.
+			i++
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			if i < n {
+				i++
+				line++
+			}
+			for i < n && (src[i] == ' ' || src[i] == '\t') {
+				i++
+			}
+			if i < n && src[i] == '&' {
+				i++
+			}
+		case c == '!':
+			// Comment or !$acc sentinel.
+			rest := src[i:]
+			if len(rest) >= 5 && strings.EqualFold(rest[:5], "!$acc") {
+				start := line
+				i += 5
+				var sb strings.Builder
+				for i < n && src[i] != '\n' {
+					if src[i] == '&' {
+						// Directive continuation: "!$acc ... &" then
+						// "!$acc ..." on the next line.
+						for i < n && src[i] != '\n' {
+							i++
+						}
+						if i < n {
+							i++
+							line++
+						}
+						for i < n && (src[i] == ' ' || src[i] == '\t') {
+							i++
+						}
+						if i+5 <= n && strings.EqualFold(src[i:i+5], "!$acc") {
+							i += 5
+						}
+						sb.WriteByte(' ')
+						continue
+					}
+					sb.WriteByte(src[i])
+					i++
+				}
+				toks = append(toks, token{tokPragma, strings.ToLower(strings.TrimSpace(sb.String())), start})
+				break
+			}
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != quote {
+				if src[j] == '\n' {
+					return nil, &lexError{line, "unterminated string"}
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string"}
+			}
+			toks = append(toks, token{tokString, sb.String(), line})
+			i = j + 1
+		case c == '.' && i+1 < n && isAlpha(src[i+1]):
+			matched := false
+			low := strings.ToLower(src[i:min(i+7, n)])
+			for _, op := range dotOps {
+				if strings.HasPrefix(low, op) {
+					toks = append(toks, token{tokPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &lexError{line, "unknown dot-operator near " + src[i:min(i+6, n)]}
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(src[i+1])):
+			j := i
+			isFloat := false
+			for j < n {
+				ch := src[j]
+				if isDigit(ch) {
+					j++
+					continue
+				}
+				if ch == '.' {
+					// "1." followed by a dot-operator letter means the dot
+					// belongs to the operator: "1.and." is not valid anyway.
+					isFloat = true
+					j++
+					continue
+				}
+				if ch == 'e' || ch == 'E' || ch == 'd' || ch == 'D' {
+					if j+1 < n && (isDigit(src[j+1]) || src[j+1] == '+' || src[j+1] == '-') {
+						isFloat = true
+						j++
+						if j < n && (src[j] == '+' || src[j] == '-') {
+							j++
+						}
+						continue
+					}
+				}
+				break
+			}
+			lit := strings.Map(func(r rune) rune {
+				if r == 'd' || r == 'D' {
+					return 'e'
+				}
+				return r
+			}, src[i:j])
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind, lit, line})
+			i = j
+		case isAlpha(c) || c == '_':
+			j := i
+			for j < n && (isAlpha(src[j]) || isDigit(src[j]) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(src[i:j]), line})
+			i = j
+		default:
+			matched := false
+			for _, op := range fMultiOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tokPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.ContainsRune("+-*/=<>(),:%", rune(c)) {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				break
+			}
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	if len(toks) > 0 && toks[len(toks)-1].Kind != tokNL {
+		toks = append(toks, token{tokNL, "\n", line})
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

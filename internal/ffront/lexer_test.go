@@ -1,0 +1,203 @@
+package ffront
+
+import (
+	"strings"
+	"testing"
+)
+
+func lits(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, tk := range toks {
+		if tk.Kind == tokEOF {
+			break
+		}
+		out = append(out, tk.Lit)
+	}
+	return out
+}
+
+func TestLexLowercasesIdentifiers(t *testing.T) {
+	got := lits(t, "Program TEST\n")
+	if got[0] != "program" || got[1] != "test" {
+		t.Errorf("Fortran is case-insensitive: %v", got)
+	}
+}
+
+func TestLexDotOperators(t *testing.T) {
+	got := lits(t, "a .and. b .or. .not. c .true. .false. x .le. y\n")
+	want := []string{"a", ".and.", "b", ".or.", ".not.", "c", ".true.", ".false.", "x", ".le.", "y", "\n"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexDExponent(t *testing.T) {
+	got := lits(t, "x = 1.5d-3\n")
+	if got[2] != "1.5e-3" {
+		t.Errorf("d exponent not normalized: %v", got)
+	}
+}
+
+func TestLexContinuation(t *testing.T) {
+	got := lits(t, "x = 1 + &\n    2\n")
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, "1 + 2") {
+		t.Errorf("continuation lost: %v", got)
+	}
+	// Leading '&' on the continued line is also consumed.
+	got = lits(t, "x = 1 + &\n  & 2\n")
+	joined = strings.Join(got, " ")
+	if !strings.Contains(joined, "1 + 2") {
+		t.Errorf("leading-& continuation lost: %v", got)
+	}
+}
+
+func TestLexDirectiveContinuation(t *testing.T) {
+	toks, err := lex("!$acc parallel copy(a) &\n!$acc num_gangs(4)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != tokPragma {
+		t.Fatal("want pragma token")
+	}
+	if !strings.Contains(toks[0].Lit, "num_gangs(4)") {
+		t.Errorf("directive continuation lost: %q", toks[0].Lit)
+	}
+}
+
+func TestLexCommentsIgnored(t *testing.T) {
+	got := lits(t, "x = 1 ! trailing comment\n! whole-line comment\ny = 2\n")
+	joined := strings.Join(got, " ")
+	if strings.Contains(joined, "comment") {
+		t.Errorf("comments leaked: %v", got)
+	}
+	if !strings.Contains(joined, "y = 2") {
+		t.Errorf("statement after comment lost: %v", got)
+	}
+}
+
+func TestLexSemicolonSeparator(t *testing.T) {
+	got := lits(t, "x = 1; y = 2\n")
+	nl := 0
+	for _, l := range got {
+		if l == "\n" {
+			nl++
+		}
+	}
+	if nl != 2 {
+		t.Errorf("semicolon must separate statements: %v", got)
+	}
+}
+
+func TestParseFunctionUnit(t *testing.T) {
+	prog, err := Parse(`
+program main
+  integer :: r
+  r = double_it(21)
+  if (r == 42) test_result = 1
+end program main
+
+integer function double_it(x)
+  integer :: x
+  double_it = 2 * x
+end function double_it
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Lookup("double_it")
+	if fn == nil {
+		t.Fatal("function unit missing")
+	}
+	if len(fn.Params) != 1 || fn.Params[0].Name != "x" {
+		t.Errorf("params: %+v", fn.Params)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	if _, err := Parse(`
+program main
+  integer :: x
+  x = 2
+  if (x == 1) then
+    test_result = 10
+  else if (x == 2) then
+    test_result = 1
+  else
+    test_result = 20
+  end if
+end program main
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDoWhile(t *testing.T) {
+	if _, err := Parse(`
+program main
+  integer :: i
+  i = 0
+  do while (i < 5)
+    i = i + 1
+  end do
+  if (i == 5) test_result = 1
+end program main
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrorsFortran(t *testing.T) {
+	bad := []string{
+		"program main\n  do i = 1\n  end do\nend program\n", // malformed do
+		"program main\n  if (x then\nend program\n",         // bad if
+		"program main\n  !$acc parallel\nend program\n",     // missing end parallel
+		"program main\n  !$acc end parallel\nend program\n", // unmatched end
+		"subroutine s(\nend subroutine\n",                   // bad params
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParameterAttribute(t *testing.T) {
+	prog, err := Parse(`
+program main
+  integer, parameter :: n = 10
+  integer :: a(n)
+  a(1) = n
+  if (a(1) == 10) test_result = 1
+end program main
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.EntryFunc() == nil {
+		t.Fatal("entry missing")
+	}
+}
+
+func TestLowerBoundDeclaration(t *testing.T) {
+	if _, err := Parse(`
+program main
+  integer :: a(0:9)
+  a(0) = 1
+  a(9) = 2
+  if (a(0) + a(9) == 3) test_result = 1
+end program main
+`); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,820 @@
+package ffront
+
+import (
+	"fmt"
+
+	"accv/internal/ast"
+	"accv/internal/directive"
+)
+
+// ParseError is a Fortran-subset syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// Parse parses a Fortran-subset source file. The main program becomes the
+// entry procedure "acc_test"; by the suite's convention it reports its
+// verdict by assigning the integer variable test_result (1 = pass).
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{Lang: ast.LangFortran, Entry: "acc_test"}
+	for {
+		p.skipNL()
+		if p.at(tokEOF) {
+			break
+		}
+		fn, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if prog.EntryFunc() == nil && len(prog.Funcs) > 0 {
+		prog.Entry = prog.Funcs[0].Name
+	}
+	// A "!$acc routine" directive in a procedure's declaration part marks
+	// the procedure itself (OpenACC 2.0 §VI).
+	for _, fn := range prog.Funcs {
+		ast.Walk(fn.Body, func(n ast.Node) bool {
+			if ps, ok := n.(*ast.PragmaStmt); ok {
+				if d, ok := ps.Dir.(*directive.Directive); ok && d.Name == directive.Routine {
+					fn.Routine = true
+				}
+			}
+			return true
+		})
+	}
+	return prog, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	// arrays tracks names declared with array shape in the current unit,
+	// resolving the Fortran a(i) index-vs-call ambiguity.
+	arrays map[string]bool
+	// fname is the current function's name (assignment target / return value).
+	fname string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atIdent(lit string) bool {
+	return p.cur().Kind == tokIdent && p.cur().Lit == lit
+}
+
+func (p *parser) atPunct(lit string) bool {
+	return p.cur().Kind == tokPunct && p.cur().Lit == lit
+}
+
+func (p *parser) accept(lit string) bool {
+	if p.atPunct(lit) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(lit string) bool {
+	if p.atIdent(lit) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(lit string) error {
+	if !p.accept(lit) {
+		return p.errf("expected %q, found %s", lit, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectNL() error {
+	if p.at(tokNL) {
+		p.pos++
+		return nil
+	}
+	if p.at(tokEOF) {
+		return nil
+	}
+	return p.errf("expected end of statement, found %s", p.cur())
+}
+
+func (p *parser) skipNL() {
+	for p.at(tokNL) {
+		p.pos++
+	}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.cur().Line, fmt.Sprintf(format, args...)}
+}
+
+// parseUnit parses one program unit.
+func (p *parser) parseUnit() (*ast.FuncDecl, error) {
+	line := p.cur().Line
+	p.arrays = map[string]bool{}
+	p.fname = ""
+	switch {
+	case p.acceptIdent("program"):
+		if p.cur().Kind != tokIdent {
+			return nil, p.errf("expected program name")
+		}
+		p.next()
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBody("program")
+		if err != nil {
+			return nil, err
+		}
+		// The entry procedure returns test_result (0 when never assigned).
+		body.Stmts = append([]ast.Stmt{
+			&ast.DeclStmt{Name: "test_result", Type: ast.Type{Base: ast.Int},
+				Init: &ast.BasicLit{Kind: ast.IntLit, Value: "0"}, Line: line},
+		}, body.Stmts...)
+		body.Stmts = append(body.Stmts, &ast.ReturnStmt{X: &ast.Ident{Name: "test_result"}})
+		return &ast.FuncDecl{Name: "acc_test", Result: ast.Type{Base: ast.Int}, Body: body, Line: line}, nil
+	case p.acceptIdent("subroutine"):
+		return p.parseProc("subroutine", ast.Type{Base: ast.Void})
+	case p.atIdent("integer") || p.atIdent("real") || p.atIdent("double") || p.atIdent("logical"):
+		// "<type> function name(...)".
+		save := p.pos
+		t, err := p.parseTypeKeyword()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptIdent("function") {
+			return p.parseProc("function", t)
+		}
+		p.pos = save
+		return nil, p.errf("expected a program unit, found %s", p.cur())
+	case p.acceptIdent("function"):
+		return p.parseProc("function", ast.Type{Base: ast.Int})
+	}
+	return nil, p.errf("expected a program unit, found %s", p.cur())
+}
+
+// parseProc parses a subroutine or function after its introducing keyword.
+func (p *parser) parseProc(kind string, result ast.Type) (*ast.FuncDecl, error) {
+	line := p.cur().Line
+	if p.cur().Kind != tokIdent {
+		return nil, p.errf("expected %s name", kind)
+	}
+	name := p.next().Lit
+	fn := &ast.FuncDecl{Name: name, Result: result, Line: line}
+	if kind == "function" {
+		p.fname = name
+	}
+	var paramNames []string
+	if p.accept("(") {
+		for !p.accept(")") {
+			if p.cur().Kind != tokIdent {
+				return nil, p.errf("expected parameter name")
+			}
+			paramNames = append(paramNames, p.next().Lit)
+			if !p.accept(",") && !p.atPunct(")") {
+				return nil, p.errf("expected , or ) in parameter list")
+			}
+		}
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBody(kind)
+	if err != nil {
+		return nil, err
+	}
+	// Lift the parameters' declaration statements out of the body.
+	isParam := map[string]bool{}
+	for _, n := range paramNames {
+		isParam[n] = true
+	}
+	declOf := map[string]*ast.DeclStmt{}
+	var kept []ast.Stmt
+	for _, st := range body.Stmts {
+		if d, ok := st.(*ast.DeclStmt); ok && isParam[d.Name] {
+			declOf[d.Name] = d
+			continue
+		}
+		kept = append(kept, st)
+	}
+	body.Stmts = kept
+	for _, n := range paramNames {
+		prm := &ast.Param{Name: n, Type: ast.Type{Base: ast.Int}}
+		if d, ok := declOf[n]; ok {
+			prm.Type = d.Type
+			prm.IsArray = len(d.Dims) > 0
+		}
+		fn.Params = append(fn.Params, prm)
+	}
+	if kind == "function" {
+		// The function result variable, returned at the end.
+		body.Stmts = append([]ast.Stmt{
+			&ast.DeclStmt{Name: name, Type: result, Line: line},
+		}, body.Stmts...)
+		body.Stmts = append(body.Stmts, &ast.ReturnStmt{X: &ast.Ident{Name: name}})
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// parseBody parses statements until "end [<kind>]".
+func (p *parser) parseBody(kind string) (*ast.Block, error) {
+	body, err := p.parseStmts(func() bool { return p.atIdent("end") })
+	if err != nil {
+		return nil, err
+	}
+	p.acceptIdent("end")
+	p.acceptIdent(kind)
+	if p.cur().Kind == tokIdent { // optional unit name after "end program"
+		p.next()
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// parseStmts parses statements until stop() reports a terminator (which is
+// left unconsumed).
+func (p *parser) parseStmts(stop func() bool) (*ast.Block, error) {
+	b := &ast.Block{Line: p.cur().Line}
+	for {
+		p.skipNL()
+		if p.at(tokEOF) || stop() {
+			return b, nil
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			b.Stmts = append(b.Stmts, st)
+		}
+	}
+}
+
+// endDirectiveStop builds a stop predicate matching a Fortran acc end
+// directive.
+func (p *parser) atEndDirective(want directive.Name) bool {
+	if !p.at(tokPragma) {
+		return false
+	}
+	d, err := directive.Parse(p.cur().Lit, ast.LangFortran, p.cur().Line, ClauseExprParser{})
+	if err != nil {
+		return false
+	}
+	return d.Name == want
+}
+
+// parseStmt parses one statement (terminated by a newline).
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	switch {
+	case p.at(tokPragma):
+		return p.parsePragma()
+	case p.atIdent("implicit"):
+		for !p.at(tokNL) && !p.at(tokEOF) {
+			p.next()
+		}
+		return nil, nil
+	case p.atIdent("integer") || p.atIdent("real") || p.atIdent("double") || p.atIdent("logical"):
+		return p.parseDecl()
+	case p.atIdent("if"):
+		return p.parseIf()
+	case p.atIdent("do"):
+		return p.parseDo()
+	case p.atIdent("call"):
+		p.next()
+		if p.cur().Kind != tokIdent {
+			return nil, p.errf("expected subroutine name after call")
+		}
+		name := p.next()
+		call := &ast.CallExpr{Fun: name.Lit, Line: name.Line}
+		if p.accept("(") {
+			for !p.accept(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(",") && !p.atPunct(")") {
+					return nil, p.errf("expected , or ) in call")
+				}
+			}
+		}
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		return &ast.ExprStmt{X: call, Line: name.Line}, nil
+	case p.atIdent("return"):
+		line := p.next().Line
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		var x ast.Expr
+		if p.fname != "" {
+			x = &ast.Ident{Name: p.fname, Line: line}
+		}
+		return &ast.ReturnStmt{X: x, Line: line}, nil
+	case p.atIdent("continue"):
+		p.next()
+		return nil, p.expectNL()
+	case p.atIdent("print"):
+		line := p.next().Line
+		if err := p.expect("*"); err != nil {
+			return nil, err
+		}
+		call := &ast.CallExpr{Fun: "__print", Line: line}
+		for p.accept(",") {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+		}
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		return &ast.ExprStmt{X: call, Line: line}, nil
+	case p.cur().Kind == tokIdent:
+		return p.parseAssign()
+	}
+	return nil, p.errf("unexpected token %s at statement start", p.cur())
+}
+
+// parseTypeKeyword consumes a type spec.
+func (p *parser) parseTypeKeyword() (ast.Type, error) {
+	switch {
+	case p.acceptIdent("integer"):
+		return ast.Type{Base: ast.Int}, nil
+	case p.acceptIdent("real"):
+		return ast.Type{Base: ast.Float}, nil
+	case p.acceptIdent("logical"):
+		return ast.Type{Base: ast.Logical}, nil
+	case p.acceptIdent("double"):
+		if !p.acceptIdent("precision") {
+			return ast.Type{}, p.errf(`expected "precision" after "double"`)
+		}
+		return ast.Type{Base: ast.Double}, nil
+	}
+	return ast.Type{}, p.errf("expected type keyword")
+}
+
+// parseDecl parses "type [, parameter] :: item {, item}".
+func (p *parser) parseDecl() (ast.Stmt, error) {
+	line := p.cur().Line
+	t, err := p.parseTypeKeyword()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(",") {
+		if !p.acceptIdent("parameter") && !p.acceptIdent("dimension") && !p.acceptIdent("intent") {
+			return nil, p.errf("unsupported declaration attribute %s", p.cur())
+		}
+		if p.accept("(") { // intent(in) etc.
+			for !p.accept(")") {
+				p.next()
+			}
+		}
+	}
+	p.accept("::")
+	b := &ast.Block{Line: line, Bare: true}
+	for {
+		if p.cur().Kind != tokIdent {
+			return nil, p.errf("expected declarator name")
+		}
+		d := &ast.DeclStmt{Name: p.next().Lit, Type: t, Line: line}
+		if p.accept("(") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if p.accept(":") {
+					hi, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					d.Lower = append(d.Lower, e)
+					d.Dims = append(d.Dims, hi)
+				} else {
+					d.Lower = append(d.Lower, nil)
+					d.Dims = append(d.Dims, e)
+				}
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			p.arrays[d.Name] = true
+		}
+		if p.accept("=") {
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		b.Stmts = append(b.Stmts, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	if len(b.Stmts) == 1 {
+		return b.Stmts[0], nil
+	}
+	return b, nil
+}
+
+// parseAssign parses "lhs = expr".
+func (p *parser) parseAssign() (ast.Stmt, error) {
+	line := p.cur().Line
+	lhs, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	// Calls are not assignable; a(i) parsed as a call must be an index.
+	if call, ok := lhs.(*ast.CallExpr); ok {
+		lhs = &ast.IndexExpr{X: &ast.Ident{Name: call.Fun, Line: line}, Idx: call.Args, Line: line}
+	}
+	return &ast.AssignStmt{LHS: lhs, Op: "=", RHS: rhs, Line: line}, nil
+}
+
+// parseIf parses block and single-line if statements.
+func (p *parser) parseIf() (ast.Stmt, error) {
+	line := p.next().Line // "if"
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if !p.acceptIdent("then") {
+		// Single-line if.
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.IfStmt{Cond: cond, Then: st, Line: line}, nil
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	thenBlk, err := p.parseStmts(func() bool { return p.atIdent("else") || p.atIdent("end") || p.atIdent("endif") })
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Cond: cond, Then: thenBlk, Line: line}
+	if p.acceptIdent("else") {
+		if p.atIdent("if") {
+			// "else if (...) then" chains.
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = nested
+			return st, nil
+		}
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		elseBlk, err := p.parseStmts(func() bool { return p.atIdent("end") || p.atIdent("endif") })
+		if err != nil {
+			return nil, err
+		}
+		st.Else = elseBlk
+	}
+	if p.acceptIdent("endif") {
+		return st, p.expectNL()
+	}
+	if !p.acceptIdent("end") || !p.acceptIdent("if") {
+		return nil, p.errf(`expected "end if"`)
+	}
+	return st, p.expectNL()
+}
+
+// parseDo parses counted and while loops.
+func (p *parser) parseDo() (ast.Stmt, error) {
+	line := p.next().Line // "do"
+	if p.acceptIdent("while") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		body, err := p.parseEndDo()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	}
+	if p.cur().Kind != tokIdent {
+		return nil, p.errf("expected do-loop variable")
+	}
+	v := p.next().Lit
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var step ast.Expr
+	if p.accept(",") {
+		step, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseEndDo()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.DoStmt{Var: v, From: from, To: to, Step: step, Body: body, Line: line}, nil
+}
+
+// parseEndDo parses a loop body up to and including "end do".
+func (p *parser) parseEndDo() (*ast.Block, error) {
+	body, err := p.parseStmts(func() bool { return p.atIdent("end") || p.atIdent("enddo") })
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptIdent("enddo") {
+		return body, p.expectNL()
+	}
+	if !p.acceptIdent("end") || !p.acceptIdent("do") {
+		return nil, p.errf(`expected "end do"`)
+	}
+	return body, p.expectNL()
+}
+
+// parsePragma parses a !$acc directive and, for structured constructs, the
+// statements up to the matching end directive.
+func (p *parser) parsePragma() (ast.Stmt, error) {
+	t := p.next()
+	d, err := directive.Parse(t.Lit, ast.LangFortran, t.Line, ClauseExprParser{})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectNL(); err != nil {
+		return nil, err
+	}
+	st := &ast.PragmaStmt{Dir: d, Line: t.Line}
+	switch {
+	case d.Name.IsEnd():
+		return nil, &ParseError{t.Line, fmt.Sprintf("unmatched %s directive", d.Name)}
+	case d.Name.IsStandalone():
+		return st, nil
+	case d.Name == directive.Loop || d.Name.IsCombined():
+		// Applies to the following do loop; a matching end directive is
+		// optional for combined constructs.
+		p.skipNL()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if body == nil {
+			return nil, &ParseError{t.Line, "loop directive requires a following do loop"}
+		}
+		st.Body = body
+		if d.Name.IsCombined() {
+			p.skipNL()
+			if p.atEndDirective(directive.EndFor(d.Name)) {
+				p.next()
+				if err := p.expectNL(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return st, nil
+	default:
+		// Structured construct: body runs to the matching end directive.
+		endName := directive.EndFor(d.Name)
+		body, err := p.parseStmts(func() bool { return p.atEndDirective(endName) })
+		if err != nil {
+			return nil, err
+		}
+		if !p.atEndDirective(endName) {
+			return nil, &ParseError{t.Line, fmt.Sprintf("missing !$acc end %s", d.Name)}
+		}
+		p.next()
+		if err := p.expectNL(); err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	}
+}
+
+// ---- expressions ----
+
+// Fortran binary precedence levels, lowest first.
+var fPrecLevels = [][]string{
+	{".or."},
+	{".and."},
+	{"==", "/=", "<", "<=", ">", ">=", ".eq.", ".ne.", ".lt.", ".le.", ".gt.", ".ge."},
+	{"+", "-"},
+	{"*", "/"},
+	{"**"},
+}
+
+// opCanon maps Fortran operator spellings to canonical AST operators.
+var opCanon = map[string]string{
+	".or.": "||", ".and.": "&&",
+	".eq.": "==", ".ne.": "!=", ".lt.": "<", ".le.": "<=",
+	".gt.": ">", ".ge.": ">=", "/=": "!=",
+}
+
+func canonOp(op string) string {
+	if c, ok := opCanon[op]; ok {
+		return c
+	}
+	return op
+}
+
+// parseExpr parses a full expression.
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseBinary(0) }
+
+func (p *parser) parseBinary(level int) (ast.Expr, error) {
+	if level >= len(fPrecLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range fPrecLevels[level] {
+			if p.atPunct(op) {
+				line := p.next().Line
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &ast.BinaryExpr{Op: canonOp(op), X: x, Y: y, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+// parseUnary parses - + .not. prefixes.
+func (p *parser) parseUnary() (ast.Expr, error) {
+	line := p.cur().Line
+	switch {
+	case p.accept("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "-", X: x, Line: line}, nil
+	case p.accept("+"):
+		return p.parseUnary()
+	case p.accept(".not."):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "!", X: x, Line: line}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses primaries with subscripts/calls. The index-vs-call
+// ambiguity resolves through the unit's declared arrays.
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case tokIdent:
+		p.next()
+		if !p.atPunct("(") {
+			return &ast.Ident{Name: t.Lit, Line: t.Line}, nil
+		}
+		p.next() // '('
+		var args []ast.Expr
+		for !p.accept(")") {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(",") && !p.atPunct(")") {
+				return nil, p.errf("expected , or ) in argument list")
+			}
+		}
+		if p.arrays[t.Lit] {
+			return &ast.IndexExpr{X: &ast.Ident{Name: t.Lit, Line: t.Line}, Idx: args, Line: t.Line}, nil
+		}
+		return &ast.CallExpr{Fun: t.Lit, Args: args, Line: t.Line}, nil
+	case tokInt:
+		p.next()
+		return &ast.BasicLit{Kind: ast.IntLit, Value: t.Lit, Line: t.Line}, nil
+	case tokFloat:
+		p.next()
+		return &ast.BasicLit{Kind: ast.FloatLit, Value: t.Lit, Line: t.Line}, nil
+	case tokString:
+		p.next()
+		return &ast.BasicLit{Kind: ast.StringLit, Value: t.Lit, Line: t.Line}, nil
+	case tokPunct:
+		switch t.Lit {
+		case "(":
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expect(")")
+		case ".true.":
+			p.next()
+			return &ast.BasicLit{Kind: ast.IntLit, Value: "1", Line: t.Line}, nil
+		case ".false.":
+			p.next()
+			return &ast.BasicLit{Kind: ast.IntLit, Value: "0", Line: t.Line}, nil
+		}
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// ClauseExprParser adapts the Fortran expression grammar to directive clause
+// arguments, implementing directive.ExprParser. Parenthesized name groups in
+// clause expressions are treated as calls; the interpreter resolves calls of
+// array names back to subscripts.
+type ClauseExprParser struct{}
+
+// ParseClauseExpr parses a clause-argument expression in Fortran syntax.
+func (ClauseExprParser) ParseClauseExpr(src string, line int) (ast.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	for i := range toks {
+		if toks[i].Line == 1 {
+			toks[i].Line = line
+		}
+	}
+	p := &parser{toks: toks, arrays: map[string]bool{}}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipNL()
+	if !p.at(tokEOF) {
+		return nil, p.errf("unexpected trailing tokens in clause expression %q", src)
+	}
+	return e, nil
+}

@@ -1,0 +1,122 @@
+package ffront_test
+
+import (
+	"testing"
+
+	"accv/internal/compiler"
+	"accv/internal/ffront"
+	"accv/internal/interp"
+)
+
+// runF parses, compiles and runs a Fortran source.
+func runF(t *testing.T, src string) interp.Result {
+	t.Helper()
+	prog, err := ffront.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	exe, diags, err := compiler.Compile(prog, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v (diags %v)", err, diags)
+	}
+	return interp.Run(exe, interp.RunConfig{Seed: 7})
+}
+
+func TestFortranVectorAdd(t *testing.T) {
+	src := `
+program test
+  implicit none
+  integer :: i, n, errors
+  integer :: a(100), b(100), c(100)
+  n = 100
+  errors = 0
+  do i = 1, n
+    a(i) = i
+    b(i) = 2*i
+    c(i) = 0
+  end do
+  !$acc parallel copyin(a(1:n), b(1:n)) copyout(c(1:n)) num_gangs(4)
+  !$acc loop
+  do i = 1, n
+    c(i) = a(i) + b(i)
+  end do
+  !$acc end parallel
+  do i = 1, n
+    if (c(i) /= 3*i) errors = errors + 1
+  end do
+  if (errors == 0) then
+    test_result = 1
+  end if
+end program test
+`
+	res := runF(t, src)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.Exit != 1 {
+		t.Fatalf("expected pass, got %d", res.Exit)
+	}
+}
+
+func TestFortranReductionAndCombined(t *testing.T) {
+	src := `
+program test
+  implicit none
+  integer :: i, n
+  real :: fsum, ft, fpt, fknown
+  n = 20
+  fsum = 0.0
+  ft = 0.5
+  fpt = 1.0
+  do i = 1, n
+    fpt = fpt * ft
+  end do
+  fknown = (1.0 - fpt) / (1.0 - ft)
+  !$acc kernels loop reduction(+:fsum)
+  do i = 0, n - 1
+    fsum = fsum + ft**i
+  end do
+  if (abs(fsum - fknown) <= 1.0e-9) then
+    test_result = 1
+  else
+    test_result = 0
+  end if
+end program test
+`
+	res := runF(t, src)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.Exit != 1 {
+		t.Fatalf("expected reduction to match closed form, got exit %d (out=%q)", res.Exit, res.Output)
+	}
+}
+
+func TestFortranSubroutineCall(t *testing.T) {
+	src := `
+program test
+  implicit none
+  integer :: n
+  integer :: a(10)
+  n = 10
+  call fill(a, n)
+  if (a(3) == 30) test_result = 1
+end program test
+
+subroutine fill(a, n)
+  integer :: n
+  integer :: a(n)
+  integer :: i
+  do i = 1, n
+    a(i) = 10*i
+  end do
+end subroutine fill
+`
+	res := runF(t, src)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if res.Exit != 1 {
+		t.Fatalf("expected pass, got %d", res.Exit)
+	}
+}

@@ -1,0 +1,273 @@
+// Package harness implements the production deployment of §VII: the
+// validation suite wired into a Titan-style cluster harness. The suite
+// "runs on random nodes to check functionality requirements of the nodes"
+// and tracks "functionality improvements or degradation over time" across
+// different software stacks — compilers times translation backends
+// (OpenACC → CUDA or OpenCL, Fig. 13).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/core"
+	"accv/internal/device"
+	"accv/internal/vendors"
+)
+
+// Fault enumerates node degradation modes for failure injection.
+type Fault int
+
+// Node faults.
+const (
+	// Healthy nodes run the stock stack.
+	Healthy Fault = iota
+	// BadMemory corrupts one element of every host→device transfer.
+	BadMemory
+	// StaleDriver breaks asynchronous execution (a driver regression).
+	StaleDriver
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case BadMemory:
+		return "bad-memory"
+	case StaleDriver:
+		return "stale-driver"
+	}
+	return "healthy"
+}
+
+// Stack is one software stack installed on the machine: a vendor compiler
+// version and the translation backend it targets (Fig. 13).
+type Stack struct {
+	Compiler string // "caps", "pgi", "cray", "reference"
+	Version  string
+	Backend  device.Backend
+}
+
+// Name renders the stack identity.
+func (s Stack) Name() string {
+	return fmt.Sprintf("%s-%s/%s", s.Compiler, s.Version, s.Backend.Name)
+}
+
+// Node is one compute node.
+type Node struct {
+	ID    int
+	Fault Fault
+}
+
+// Screening is one suite run on one node with one stack.
+type Screening struct {
+	Epoch    int
+	Node     int
+	Stack    string
+	Lang     ast.Lang
+	PassRate float64
+	Failed   []string
+}
+
+// Harness drives suite screenings across the node pool.
+type Harness struct {
+	Nodes  []*Node
+	Stacks []Stack
+	Suite  []*core.Template
+	// Iterations is the per-test repeat count (kept low in production
+	// screening; the full statistics run in nightly sweeps).
+	Iterations int
+
+	mu      sync.Mutex
+	epoch   int
+	history []Screening
+}
+
+// New builds a harness over n nodes with the given stacks. The default
+// suite is every registered C template (Titan's harness ran the C suite on
+// node screening; language is configurable per screening).
+func New(n int, stacks []Stack) *Harness {
+	h := &Harness{Stacks: stacks, Iterations: 1, Suite: core.ByLang(ast.LangC)}
+	for i := 0; i < n; i++ {
+		h.Nodes = append(h.Nodes, &Node{ID: i})
+	}
+	return h
+}
+
+// DefaultStacks returns the Fig. 13 software stacks: the three vendor
+// compilers over their translation backends.
+func DefaultStacks() []Stack {
+	return []Stack{
+		{Compiler: "cray", Version: "8.2.0", Backend: device.CUDA},
+		{Compiler: "pgi", Version: "13.8", Backend: device.CUDA},
+		{Compiler: "caps", Version: "3.3.4", Backend: device.CUDA},
+		{Compiler: "caps", Version: "3.3.4", Backend: device.OpenCL},
+	}
+}
+
+// InjectFault degrades a node.
+func (h *Harness) InjectFault(node int, f Fault) error {
+	if node < 0 || node >= len(h.Nodes) {
+		return fmt.Errorf("no node %d", node)
+	}
+	h.Nodes[node].Fault = f
+	return nil
+}
+
+// nodeToolchain wraps a stack's compiler with the node's device
+// configuration (backend and fault injection).
+type nodeToolchain struct {
+	compiler.Toolchain
+	cfg device.Config
+}
+
+// DeviceConfig implements compiler.Toolchain.
+func (t nodeToolchain) DeviceConfig() device.Config { return t.cfg }
+
+// toolchainFor builds the toolchain a screening runs with.
+func (h *Harness) toolchainFor(n *Node, s Stack) (compiler.Toolchain, error) {
+	tc, err := vendors.New(s.Compiler, s.Version)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tc.DeviceConfig()
+	cfg.Backend = s.Backend
+	if n.Fault == BadMemory {
+		cfg.CorruptTransfers = true
+	}
+	if n.Fault == StaleDriver {
+		// A driver regression: all queues behave synchronously and
+		// completion queries lie, which the async tests catch.
+		return faultyAsync{nodeToolchain{tc, cfg}}, nil
+	}
+	return nodeToolchain{tc, cfg}, nil
+}
+
+// faultyAsync layers the stale-driver behaviour onto any compiler by
+// post-processing its executables.
+type faultyAsync struct {
+	nodeToolchain
+}
+
+// Compile wraps the inner compiler and disables async completion tracking.
+func (t faultyAsync) Compile(prog *ast.Program) (*compiler.Executable, []compiler.Diagnostic, error) {
+	exe, diags, err := t.Toolchain.Compile(prog)
+	if exe != nil {
+		exe.Hooks.AsyncTestStale = true
+		exe.Hooks.WaitNoop = true
+	}
+	return exe, diags, err
+}
+
+// Screen runs the suite on node with the given stack and records the result.
+func (h *Harness) Screen(node int, stack Stack, lang ast.Lang) (Screening, error) {
+	if node < 0 || node >= len(h.Nodes) {
+		return Screening{}, fmt.Errorf("no node %d", node)
+	}
+	n := h.Nodes[node]
+	tc, err := h.toolchainFor(n, stack)
+	if err != nil {
+		return Screening{}, err
+	}
+	suite := h.Suite
+	if lang == ast.LangFortran {
+		suite = core.ByLang(ast.LangFortran)
+	}
+	res := core.RunSuite(core.Config{Toolchain: tc, Iterations: h.Iterations}, suite)
+	var failed []string
+	for i := range res.Results {
+		if res.Results[i].Outcome.Failed() {
+			failed = append(failed, res.Results[i].ID())
+		}
+	}
+	h.mu.Lock()
+	s := Screening{
+		Epoch: h.epoch, Node: node, Stack: stack.Name(), Lang: lang,
+		PassRate: res.PassRate(), Failed: failed,
+	}
+	h.history = append(h.history, s)
+	h.mu.Unlock()
+	return s, nil
+}
+
+// ScreenRandomNodes screens k distinct pseudo-randomly chosen nodes with
+// every stack and advances the epoch. The seed makes screening schedules
+// reproducible.
+func (h *Harness) ScreenRandomNodes(k int, seed int64) ([]Screening, error) {
+	if k > len(h.Nodes) {
+		k = len(h.Nodes)
+	}
+	order := make([]int, len(h.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := len(order) - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int((state >> 33) % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	var out []Screening
+	for _, node := range order[:k] {
+		for _, stack := range h.Stacks {
+			s, err := h.Screen(node, stack, ast.LangC)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, s)
+		}
+	}
+	h.mu.Lock()
+	h.epoch++
+	h.mu.Unlock()
+	return out, nil
+}
+
+// History returns all recorded screenings.
+func (h *Harness) History() []Screening {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Screening(nil), h.history...)
+}
+
+// DetectDegraded flags nodes whose recent pass rate on any stack falls more
+// than threshold percentage points below the fleet median for that same
+// stack — the "track functionality degradation over time" workflow of §VII.
+// The comparison is per-stack because a compiler's own bugs depress every
+// node equally (PGI's async family, say) and must not mask a node fault.
+func (h *Harness) DetectDegraded(threshold float64) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	type key struct {
+		stack string
+		node  int
+	}
+	latest := map[key]float64{}
+	for _, s := range h.history {
+		latest[key{s.Stack, s.Node}] = s.PassRate
+	}
+	perStack := map[string][]float64{}
+	for k, r := range latest {
+		perStack[k.stack] = append(perStack[k.stack], r)
+	}
+	medians := map[string]float64{}
+	for stack, rates := range perStack {
+		sort.Float64s(rates)
+		medians[stack] = rates[len(rates)/2]
+	}
+	flagged := map[int]bool{}
+	for k, r := range latest {
+		if !math.IsNaN(r) && medians[k.stack]-r > threshold {
+			flagged[k.node] = true
+		}
+	}
+	out := make([]int, 0, len(flagged))
+	for node := range flagged {
+		out = append(out, node)
+	}
+	sort.Ints(out)
+	return out
+}

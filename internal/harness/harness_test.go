@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/core"
+	"accv/internal/device"
+	_ "accv/internal/templates"
+)
+
+// smallSuite keeps harness tests fast: a representative slice of the full
+// registry (data movement + async, the features node faults perturb).
+func smallSuite() []*core.Template {
+	var out []*core.Template
+	for _, name := range []string{"parallel_copy", "parallel_copyin", "data_copy", "parallel_async", "loop"} {
+		if tpl := core.Lookup(name, ast.LangC); tpl != nil {
+			out = append(out, tpl)
+		}
+	}
+	return out
+}
+
+func TestScreeningHealthyNode(t *testing.T) {
+	h := New(2, []Stack{DefaultStacks()[2]}) // caps 3.3.4 / cuda: bug-free
+	h.Suite = smallSuite()
+	s, err := h.Screen(0, h.Stacks[0], ast.LangC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PassRate != 100 {
+		t.Fatalf("healthy node on a clean stack: %.1f%% (%v)", s.PassRate, s.Failed)
+	}
+}
+
+func TestBadMemoryNodeDetected(t *testing.T) {
+	h := New(4, []Stack{DefaultStacks()[2]})
+	h.Suite = smallSuite()
+	if err := h.InjectFault(1, BadMemory); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ScreenRandomNodes(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	deg := h.DetectDegraded(5)
+	if len(deg) != 1 || deg[0] != 1 {
+		t.Fatalf("degraded = %v, want [1]", deg)
+	}
+}
+
+func TestStaleDriverNodeDetected(t *testing.T) {
+	h := New(3, []Stack{DefaultStacks()[2]})
+	h.Suite = smallSuite()
+	if err := h.InjectFault(2, StaleDriver); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ScreenRandomNodes(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	deg := h.DetectDegraded(5)
+	if len(deg) != 1 || deg[0] != 2 {
+		t.Fatalf("degraded = %v, want [2]", deg)
+	}
+}
+
+func TestScreenRandomNodesCoversDistinctNodes(t *testing.T) {
+	h := New(6, []Stack{DefaultStacks()[2]})
+	h.Suite = smallSuite()[:1]
+	screenings, err := h.ScreenRandomNodes(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range screenings {
+		seen[s.Node] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("screened %d distinct nodes, want 3", len(seen))
+	}
+	if len(h.History()) != len(screenings) {
+		t.Error("history must record every screening")
+	}
+}
+
+func TestInjectFaultBounds(t *testing.T) {
+	h := New(2, DefaultStacks())
+	if err := h.InjectFault(5, BadMemory); err == nil {
+		t.Error("out-of-range node must fail")
+	}
+	if _, err := h.Screen(9, h.Stacks[0], ast.LangC); err == nil {
+		t.Error("screening an unknown node must fail")
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	if Healthy.String() != "healthy" || BadMemory.String() != "bad-memory" || StaleDriver.String() != "stale-driver" {
+		t.Error("fault names")
+	}
+	s := Stack{Compiler: "cray", Version: "8.2.0", Backend: device.CUDA}
+	if s.Name() != "cray-8.2.0/cuda" {
+		t.Errorf("stack name %q", s.Name())
+	}
+}

@@ -1,0 +1,95 @@
+package interp_test
+
+import (
+	"testing"
+
+	"accv/internal/cfront"
+	"accv/internal/compiler"
+	"accv/internal/device"
+	"accv/internal/interp"
+)
+
+// compileBench prepares an executable once for repeated runs.
+func compileBench(b *testing.B, src string) *compiler.Executable {
+	b.Helper()
+	prog, err := cfront.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exe, _, err := compiler.Compile(prog, compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exe
+}
+
+// BenchmarkHostDispatch measures raw statement-dispatch throughput of the
+// interpreter (no device involvement).
+func BenchmarkHostDispatch(b *testing.B) {
+	exe := compileBench(b, `
+int acc_test()
+{
+    int i;
+    int s = 0;
+    for (i = 0; i < 10000; i++)
+        s = s + i;
+    return (s == 49995000);
+}
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := interp.Run(exe, interp.RunConfig{})
+		if r.Err != nil || r.Exit != 1 {
+			b.Fatalf("%v exit=%d", r.Err, r.Exit)
+		}
+	}
+	b.ReportMetric(10000, "iters/run")
+}
+
+// BenchmarkRegionLaunch measures the fixed cost of entering and leaving a
+// compute region (data setup, gang fan-out, join, copyback).
+func BenchmarkRegionLaunch(b *testing.B) {
+	exe := compileBench(b, `
+int acc_test()
+{
+    int flag = 0;
+    #pragma acc parallel copy(flag) num_gangs(4)
+    {
+        flag = 1;
+    }
+    return (flag == 1);
+}
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := interp.Run(exe, interp.RunConfig{})
+		if r.Err != nil || r.Exit != 1 {
+			b.Fatalf("%v exit=%d", r.Err, r.Exit)
+		}
+	}
+}
+
+// BenchmarkReductionKernel measures the reduction machinery (per-lane
+// accumulators + combine) end to end.
+func BenchmarkReductionKernel(b *testing.B) {
+	exe := compileBench(b, `
+int acc_test()
+{
+    int i;
+    int s = 0;
+    int a[4096];
+    for (i = 0; i < 4096; i++) a[i] = 1;
+    #pragma acc kernels loop reduction(+:s) copyin(a[0:4096])
+    for (i = 0; i < 4096; i++)
+        s = s + a[i];
+    return (s == 4096);
+}
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := interp.Run(exe, interp.RunConfig{Platform: device.NewPlatform(device.Config{}, 1)})
+		if r.Err != nil || r.Exit != 1 {
+			b.Fatalf("%v exit=%d", r.Err, r.Exit)
+		}
+	}
+}

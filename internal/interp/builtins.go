@@ -1,0 +1,587 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"time"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/device"
+	"accv/internal/mem"
+)
+
+// runtimeConstants are the predefined identifiers of the OpenACC runtime:
+// device-type enumerators, async sentinels, and stdio handles.
+var runtimeConstants = map[string]mem.Value{
+	"acc_device_none":          mem.Int(int64(device.None)),
+	"acc_device_default":       mem.Int(int64(device.Default)),
+	"acc_device_host":          mem.Int(int64(device.HostDev)),
+	"acc_device_not_host":      mem.Int(int64(device.NotHost)),
+	"acc_device_nvidia":        mem.Int(int64(device.Nvidia)),
+	"acc_device_cuda":          mem.Int(int64(device.Cuda)),
+	"acc_device_opencl":        mem.Int(int64(device.Opencl)),
+	"acc_device_radeon":        mem.Int(int64(device.Radeon)),
+	"acc_device_xeonphi":       mem.Int(int64(device.Xeonphi)),
+	"acc_device_pgi_opencl":    mem.Int(int64(device.PGIOpencl)),
+	"acc_device_nvidia_opencl": mem.Int(int64(device.NvidiaOpencl)),
+	"acc_async_noval":          mem.Int(-1),
+	"acc_async_sync":           mem.Int(-2),
+	"NULL":                     mem.PtrVal(mem.Ptr{}),
+	"stderr":                   mem.Str("stderr"),
+	"stdout":                   mem.Str("stdout"),
+}
+
+// call dispatches a call expression: user procedures, the OpenACC runtime
+// library, and math/stdio builtins.
+func (c *execCtx) call(x *ast.CallExpr) (mem.Value, error) {
+	if fn := c.in.exe.Prog.Lookup(x.Fun); fn != nil {
+		return c.callUser(fn, x)
+	}
+	if h, ok := accRuntime[x.Fun]; ok {
+		return h(c, x)
+	}
+	if h, ok := mathBuiltins[x.Fun]; ok {
+		return h(c, x)
+	}
+	// Fortran's a(i) is lexically a call; resolve against declared arrays.
+	if v, ok := c.env.Lookup(x.Fun); ok && (v.IsArray() || v.IsPtr) {
+		ie := &ast.IndexExpr{X: &ast.Ident{Name: x.Fun, Line: x.Line}, Idx: x.Args, Line: x.Line}
+		return c.eval(ie)
+	}
+	switch x.Fun {
+	case "printf", "fprintf":
+		return c.callPrintf(x)
+	case "__print":
+		vals, err := c.evalArgs(x)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		var sb strings.Builder
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteByte('\n')
+		c.in.printf(sb.String())
+		return mem.Int(0), nil
+	case "malloc":
+		if len(x.Args) != 1 {
+			return mem.Value{}, errf(x, "malloc takes one argument")
+		}
+		n, err := c.eval(x.Args[0])
+		if err != nil {
+			return mem.Value{}, err
+		}
+		words := int(n.AsInt() / 4)
+		buf := mem.NewBuffer(mem.KInt, words, c.space(), "malloc")
+		return mem.PtrVal(mem.Ptr{Buf: buf}), nil
+	case "free":
+		if _, err := c.evalArgs(x); err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(0), nil
+	}
+	return mem.Value{}, errf(x, "call of undefined function %q", x.Fun)
+}
+
+// callUser invokes a user-defined procedure. Inside compute regions this
+// requires the OpenACC 2.0 routine directive (§VI "Procedure calls").
+func (c *execCtx) callUser(fn *ast.FuncDecl, x *ast.CallExpr) (mem.Value, error) {
+	if c.kernel != nil && (!fn.Routine || c.in.exe.Opts.Spec < compiler.Spec20) {
+		return mem.Value{}, errf(x, "call of procedure %q inside a compute region requires the OpenACC 2.0 routine directive", fn.Name)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return mem.Value{}, errf(x, "%q called with %d arguments, wants %d", fn.Name, len(x.Args), len(fn.Params))
+	}
+	args := make([]*VarInfo, len(x.Args))
+	for i, ae := range x.Args {
+		v, err := c.eval(ae)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		p := fn.Params[i]
+		if p.IsArray {
+			if v.K != mem.KPtr || v.P.IsNil() {
+				return mem.Value{}, errf(x, "argument %d of %q must be an array or pointer", i+1, fn.Name)
+			}
+			args[i] = &VarInfo{
+				Name: p.Name, Kind: v.P.Buf.Elem, Buf: v.P.Buf,
+				Dims: []int{v.P.Buf.Len() - v.P.Off}, Lower: []int{lowerFor(c)},
+				Bias: -v.P.Off, IsPtr: true,
+			}
+		} else {
+			s := newScalar(p.Name, basicKind(p.Type), c.space())
+			if err := s.Buf.Store(0, v); err != nil {
+				return mem.Value{}, err
+			}
+			args[i] = s
+		}
+	}
+	return c.in.callFunction(fn, args, c.kernel, c.cudaLib || strings.HasPrefix(fn.Name, "cuda"))
+}
+
+// lowerFor returns the language's default array lower bound.
+func lowerFor(c *execCtx) int {
+	if c.in.exe.Prog.Lang == ast.LangFortran {
+		return 1
+	}
+	return 0
+}
+
+// evalArgs evaluates every argument.
+func (c *execCtx) evalArgs(x *ast.CallExpr) ([]mem.Value, error) {
+	vals := make([]mem.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// callPrintf implements printf/fprintf with %d, %i, %f, %g, %e, %s verbs.
+func (c *execCtx) callPrintf(x *ast.CallExpr) (mem.Value, error) {
+	vals, err := c.evalArgs(x)
+	if err != nil {
+		return mem.Value{}, err
+	}
+	if x.Fun == "fprintf" {
+		if len(vals) == 0 {
+			return mem.Value{}, errf(x, "fprintf needs a stream argument")
+		}
+		vals = vals[1:]
+	}
+	if len(vals) == 0 || vals[0].K != mem.KStr {
+		return mem.Value{}, errf(x, "%s needs a format string", x.Fun)
+	}
+	format := vals[0].S
+	args := vals[1:]
+	var sb strings.Builder
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' || i+1 >= len(format) {
+			sb.WriteByte(format[i])
+			continue
+		}
+		i++
+		// Skip width/precision.
+		for i < len(format) && (format[i] == '.' || format[i] == '-' || (format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == 'l' && i+1 < len(format) { // %ld
+			i++
+			verb = format[i]
+		}
+		if verb == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		var v mem.Value
+		if ai < len(args) {
+			v = args[ai]
+			ai++
+		}
+		sb.WriteString(formatValue(verb, v))
+	}
+	c.in.printf(sb.String())
+	return mem.Int(int64(sb.Len())), nil
+}
+
+// builtin is a native function handler.
+type builtin func(c *execCtx, x *ast.CallExpr) (mem.Value, error)
+
+// arg evaluates argument i.
+func arg(c *execCtx, x *ast.CallExpr, i int) (mem.Value, error) {
+	if i >= len(x.Args) {
+		return mem.Value{}, errf(x, "%s: missing argument %d", x.Fun, i+1)
+	}
+	return c.eval(x.Args[i])
+}
+
+// float1 wraps a 1-argument float builtin.
+func float1(f func(float64) float64, out mem.Kind) builtin {
+	return func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		r := f(v.AsFloat())
+		if out == mem.KF32 {
+			return mem.F32(r), nil
+		}
+		return mem.F64(r), nil
+	}
+}
+
+// float2 wraps a 2-argument float builtin.
+func float2(f func(a, b float64) float64, out mem.Kind) builtin {
+	return func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		r := f(a.AsFloat(), b.AsFloat())
+		if out == mem.KF32 {
+			return mem.F32(r), nil
+		}
+		return mem.F64(r), nil
+	}
+}
+
+// mathBuiltins and accRuntime are populated in init to break the
+// initialization cycle through the recursive evaluator.
+var (
+	mathBuiltins map[string]builtin
+	accRuntime   map[string]builtin
+)
+
+func init() {
+	mathBuiltins = mathBuiltinTable
+	accRuntime = accRuntimeTable
+}
+
+var mathBuiltinTable = map[string]builtin{
+	"pow":   float2(math.Pow, mem.KF64),
+	"powf":  float2(func(a, b float64) float64 { return float64(float32(math.Pow(a, b))) }, mem.KF32),
+	"fabs":  float1(math.Abs, mem.KF64),
+	"fabsf": float1(math.Abs, mem.KF32),
+	"sqrt":  float1(math.Sqrt, mem.KF64),
+	"sqrtf": float1(math.Sqrt, mem.KF32),
+	"exp":   float1(math.Exp, mem.KF64),
+	"expf":  float1(math.Exp, mem.KF32),
+	"log":   float1(math.Log, mem.KF64),
+	"logf":  float1(math.Log, mem.KF32),
+	"sin":   float1(math.Sin, mem.KF64),
+	"cos":   float1(math.Cos, mem.KF64),
+	"fmax":  float2(math.Max, mem.KF64),
+	"fmin":  float2(math.Min, mem.KF64),
+	"fmaxf": float2(math.Max, mem.KF32),
+	"fminf": float2(math.Min, mem.KF32),
+	"abs": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if v.K == mem.KInt {
+			if v.I < 0 {
+				return mem.Int(-v.I), nil
+			}
+			return v, nil
+		}
+		return mem.F64(math.Abs(v.AsFloat())), nil
+	},
+	"labs": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if v.I < 0 {
+			return mem.Int(-v.I), nil
+		}
+		return mem.Int(v.I), nil
+	},
+	// Fortran intrinsics.
+	"mod": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return binaryOp("%", a, b, x)
+	},
+	"iand": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(a.AsInt() & b.AsInt()), nil
+	},
+	"ior": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(a.AsInt() | b.AsInt()), nil
+	},
+	"ieor": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(a.AsInt() ^ b.AsInt()), nil
+	},
+	"max": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if a.K == mem.KInt && b.K == mem.KInt {
+			if a.I >= b.I {
+				return a, nil
+			}
+			return b, nil
+		}
+		return mem.F64(math.Max(a.AsFloat(), b.AsFloat())), nil
+	},
+	"min": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		a, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		b, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if a.K == mem.KInt && b.K == mem.KInt {
+			if a.I <= b.I {
+				return a, nil
+			}
+			return b, nil
+		}
+		return mem.F64(math.Min(a.AsFloat(), b.AsFloat())), nil
+	},
+	"merge": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		tv, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		fv, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		cond, err := arg(c, x, 2)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if cond.Truth() {
+			return tv, nil
+		}
+		return fv, nil
+	},
+	"real": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.F32(v.AsFloat()), nil
+	},
+	"dble": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.F64(v.AsFloat()), nil
+	},
+	"int": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(v.AsInt()), nil
+	},
+}
+
+// accRuntimeTable implements the OpenACC 1.0 runtime-library routines.
+var accRuntimeTable = map[string]builtin{
+	"acc_get_num_devices": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if c.in.hooks().NumDevicesZero {
+			return mem.Int(0), nil
+		}
+		return mem.Int(int64(c.in.plat.NumDevices(device.Type(v.AsInt())))), nil
+	},
+	"acc_set_device_type": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		c.in.plat.SetDeviceType(device.Type(v.AsInt()))
+		return mem.Int(0), nil
+	},
+	"acc_get_device_type": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		return mem.Int(int64(c.in.plat.DeviceType())), nil
+	},
+	"acc_set_device_num": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		n, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		t, err := arg(c, x, 1)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if c.in.hooks().SetDeviceNumNoop {
+			return mem.Int(0), nil
+		}
+		if err := c.in.plat.SetDeviceNum(int(n.AsInt()), device.Type(t.AsInt())); err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return mem.Int(0), nil
+	},
+	"acc_get_device_num": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		t, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(int64(c.in.plat.DeviceNum(device.Type(t.AsInt())))), nil
+	},
+	"acc_init": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if c.in.hooks().InitCrash {
+			return mem.Value{}, errf(x, "internal error in acc_init (injected crash)")
+		}
+		if err := c.in.plat.Init(device.Type(v.AsInt())); err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return mem.Int(0), nil
+	},
+	"acc_shutdown": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if err := c.in.plat.Shutdown(device.Type(v.AsInt())); err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return mem.Int(0), nil
+	},
+	"acc_on_device": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if c.in.hooks().OnDeviceWrong {
+			return mem.Int(0), nil
+		}
+		t := device.Type(v.AsInt())
+		if c.kernel != nil {
+			on := t == device.NotHost || t == device.Default ||
+				t == c.in.plat.Current().Cfg.ConcreteType
+			return mem.Bool(on), nil
+		}
+		return mem.Bool(t == device.HostDev), nil
+	},
+	"acc_malloc": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if c.in.hooks().MallocReturnsNull {
+			return mem.PtrVal(mem.Ptr{}), nil
+		}
+		p := c.in.plat.Current().Alloc(mem.KInt, int(v.AsInt()/4))
+		return mem.PtrVal(*p), nil
+	},
+	"acc_free": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if v.K != mem.KPtr {
+			return mem.Value{}, errf(x, "acc_free of non-pointer")
+		}
+		if err := c.in.plat.Current().Free(v.P); err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return mem.Int(0), nil
+	},
+	"acc_async_test": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if c.in.hooks().AsyncTestStale {
+			// PGI 13.x: the routine's result is never written; callers
+			// observe their initial value (Fig. 10 reports -1).
+			return mem.Int(-1), nil
+		}
+		return mem.Bool(c.in.plat.Current().Queue(v.AsInt()).Test()), nil
+	},
+	"acc_async_test_all": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		if c.in.hooks().AsyncTestStale {
+			return mem.Int(-1), nil
+		}
+		return mem.Bool(c.in.plat.Current().TestAll()), nil
+	},
+	"acc_async_wait": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		v, err := arg(c, x, 0)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if err := c.waitQueue(v.AsInt()); err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(0), nil
+	},
+	"acc_async_wait_all": func(c *execCtx, x *ast.CallExpr) (mem.Value, error) {
+		if c.in.hooks().HangOnWait {
+			return mem.Value{}, c.spinForever()
+		}
+		if c.in.hooks().WaitNoop {
+			return mem.Int(0), nil
+		}
+		if err := c.in.plat.Current().WaitAll(); err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Int(0), nil
+	},
+}
+
+// waitQueue waits on one async queue, honouring the hang and no-op
+// injection hooks.
+func (c *execCtx) waitQueue(tag int64) error {
+	if c.in.hooks().HangOnWait {
+		return c.spinForever()
+	}
+	if c.in.hooks().WaitNoop {
+		return nil
+	}
+	return c.in.plat.Current().Queue(tag).Wait()
+}
+
+// spinForever models an injected hang: it burns budget until the runner's
+// deadline or operation budget aborts the run.
+func (c *execCtx) spinForever() error {
+	for {
+		c.in.step(10000)
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,348 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"accv/internal/ast"
+	"accv/internal/mem"
+)
+
+// eval evaluates an expression.
+func (c *execCtx) eval(e ast.Expr) (mem.Value, error) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return c.evalIdent(x)
+	case *ast.BasicLit:
+		return evalLit(x)
+	case *ast.IndexExpr:
+		buf, idx, err := c.indexTarget(x)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		c.maybeYield()
+		v, err := buf.Load(idx)
+		if err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return v, nil
+	case *ast.CallExpr:
+		return c.call(x)
+	case *ast.BinaryExpr:
+		return c.evalBinary(x)
+	case *ast.UnaryExpr:
+		return c.evalUnary(x)
+	case *ast.CastExpr:
+		v, err := c.eval(x.X)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if x.To.Ptr {
+			if v.K != mem.KPtr {
+				return mem.Value{}, errf(x, "cast of non-pointer to pointer type")
+			}
+			// Retag freshly allocated raw memory with the destination
+			// element kind ((int*)acc_malloc(...) and friends).
+			if v.P.Buf != nil && (v.P.Buf.Name == "acc_malloc" || v.P.Buf.Name == "malloc") {
+				v.P.Buf.Elem = basicKind(ast.Type{Base: x.To.Base})
+			}
+			return v, nil
+		}
+		return v.Convert(basicKind(x.To)), nil
+	case *ast.SizeofExpr:
+		return mem.Int(mem.SizeofBasic(basicKind(x.Of))), nil
+	}
+	return mem.Value{}, errf(e, "unsupported expression %T", e)
+}
+
+// evalIdent resolves a name: host_data device views, then variables, then
+// predefined runtime constants.
+func (c *execCtx) evalIdent(x *ast.Ident) (mem.Value, error) {
+	if p, ok := c.env.DeviceView(x.Name); ok {
+		return mem.PtrVal(p), nil
+	}
+	if v, ok := c.env.Lookup(x.Name); ok {
+		if v.IsArray() {
+			// Arrays decay to a pointer to their first element.
+			return mem.PtrVal(mem.Ptr{Buf: v.Buf, Off: -v.Bias}), nil
+		}
+		if err := c.checkSpace(v, x); err != nil {
+			return mem.Value{}, err
+		}
+		c.maybeYield()
+		val, err := v.Buf.Load(0)
+		if err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return val, nil
+	}
+	if v, ok := runtimeConstants[x.Name]; ok {
+		return v, nil
+	}
+	return mem.Value{}, errf(x, "undeclared variable %q", x.Name)
+}
+
+// evalLit parses a literal token.
+func evalLit(x *ast.BasicLit) (mem.Value, error) {
+	switch x.Kind {
+	case ast.IntLit:
+		v, err := strconv.ParseInt(x.Value, 0, 64)
+		if err != nil {
+			return mem.Value{}, errf(x, "bad integer literal %q", x.Value)
+		}
+		return mem.Int(v), nil
+	case ast.FloatLit:
+		f, err := strconv.ParseFloat(x.Value, 64)
+		if err != nil {
+			return mem.Value{}, errf(x, "bad float literal %q", x.Value)
+		}
+		return mem.F64(f), nil
+	default:
+		return mem.Str(x.Value), nil
+	}
+}
+
+// evalBinary evaluates a binary operation with short-circuit && and ||.
+func (c *execCtx) evalBinary(x *ast.BinaryExpr) (mem.Value, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := c.eval(x.X)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		if x.Op == "&&" && !l.Truth() {
+			return mem.Int(0), nil
+		}
+		if x.Op == "||" && l.Truth() {
+			return mem.Int(1), nil
+		}
+		r, err := c.eval(x.Y)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.Bool(r.Truth()), nil
+	}
+	l, err := c.eval(x.X)
+	if err != nil {
+		return mem.Value{}, err
+	}
+	r, err := c.eval(x.Y)
+	if err != nil {
+		return mem.Value{}, err
+	}
+	return binaryOp(x.Op, l, r, x)
+}
+
+// binaryOp applies a (non-short-circuit) binary operator.
+func binaryOp(op string, l, r mem.Value, at ast.Node) (mem.Value, error) {
+	// Pointer arithmetic: ptr ± int, and pointer comparisons.
+	if l.K == mem.KPtr || r.K == mem.KPtr {
+		return pointerOp(op, l, r, at)
+	}
+	bothInt := l.K == mem.KInt && r.K == mem.KInt
+	switch op {
+	case "**": // Fortran power operator
+		if bothInt {
+			base, exp := l.I, r.I
+			if exp < 0 {
+				return mem.Int(0), nil
+			}
+			out := int64(1)
+			for ; exp > 0; exp-- {
+				out *= base
+			}
+			return mem.Int(out), nil
+		}
+		f := powFloat(l.AsFloat(), r.AsFloat())
+		if l.K == mem.KF64 || r.K == mem.KF64 {
+			return mem.F64(f), nil
+		}
+		return mem.F32(f), nil
+	case "+", "-", "*", "/":
+		if bothInt {
+			a, b := l.I, r.I
+			switch op {
+			case "+":
+				return mem.Int(a + b), nil
+			case "-":
+				return mem.Int(a - b), nil
+			case "*":
+				return mem.Int(a * b), nil
+			default:
+				if b == 0 {
+					return mem.Value{}, errf(at, "integer division by zero")
+				}
+				return mem.Int(a / b), nil
+			}
+		}
+		a, b := l.AsFloat(), r.AsFloat()
+		var f float64
+		switch op {
+		case "+":
+			f = a + b
+		case "-":
+			f = a - b
+		case "*":
+			f = a * b
+		default:
+			f = a / b
+		}
+		if l.K == mem.KF64 || r.K == mem.KF64 {
+			return mem.F64(f), nil
+		}
+		return mem.F32(f), nil
+	case "%":
+		if !bothInt {
+			return mem.Value{}, errf(at, "%% requires integer operands")
+		}
+		if r.I == 0 {
+			return mem.Value{}, errf(at, "integer modulo by zero")
+		}
+		return mem.Int(l.I % r.I), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		var res bool
+		if bothInt {
+			a, b := l.I, r.I
+			switch op {
+			case "==":
+				res = a == b
+			case "!=":
+				res = a != b
+			case "<":
+				res = a < b
+			case "<=":
+				res = a <= b
+			case ">":
+				res = a > b
+			default:
+				res = a >= b
+			}
+		} else {
+			a, b := l.AsFloat(), r.AsFloat()
+			switch op {
+			case "==":
+				res = a == b
+			case "!=":
+				res = a != b
+			case "<":
+				res = a < b
+			case "<=":
+				res = a <= b
+			case ">":
+				res = a > b
+			default:
+				res = a >= b
+			}
+		}
+		return mem.Bool(res), nil
+	case "&", "|", "^", "<<", ">>":
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case "&":
+			return mem.Int(a & b), nil
+		case "|":
+			return mem.Int(a | b), nil
+		case "^":
+			return mem.Int(a ^ b), nil
+		case "<<":
+			return mem.Int(a << (uint(b) & 63)), nil
+		default:
+			return mem.Int(a >> (uint(b) & 63)), nil
+		}
+	}
+	return mem.Value{}, errf(at, "unsupported operator %q", op)
+}
+
+// pointerOp handles pointer arithmetic and comparison.
+func pointerOp(op string, l, r mem.Value, at ast.Node) (mem.Value, error) {
+	switch op {
+	case "+":
+		if l.K == mem.KPtr && r.K != mem.KPtr {
+			p := l.P
+			p.Off += int(r.AsInt())
+			return mem.PtrVal(p), nil
+		}
+		if r.K == mem.KPtr && l.K != mem.KPtr {
+			p := r.P
+			p.Off += int(l.AsInt())
+			return mem.PtrVal(p), nil
+		}
+	case "-":
+		if l.K == mem.KPtr && r.K != mem.KPtr {
+			p := l.P
+			p.Off -= int(r.AsInt())
+			return mem.PtrVal(p), nil
+		}
+		if l.K == mem.KPtr && r.K == mem.KPtr && l.P.Buf == r.P.Buf {
+			return mem.Int(int64(l.P.Off - r.P.Off)), nil
+		}
+	case "==":
+		return mem.Bool(l.P == r.P && l.K == r.K || (l.K == mem.KPtr && r.K == mem.KInt && r.I == 0 && l.P.IsNil())), nil
+	case "!=":
+		eq, _ := pointerOp("==", l, r, at)
+		return mem.Bool(!eq.Truth()), nil
+	}
+	return mem.Value{}, errf(at, "invalid pointer operation %q", op)
+}
+
+// evalUnary evaluates prefix operators.
+func (c *execCtx) evalUnary(x *ast.UnaryExpr) (mem.Value, error) {
+	if x.Op == "&" {
+		buf, idx, err := c.lvalue(x.X)
+		if err != nil {
+			return mem.Value{}, err
+		}
+		return mem.PtrVal(mem.Ptr{Buf: buf, Off: idx}), nil
+	}
+	v, err := c.eval(x.X)
+	if err != nil {
+		return mem.Value{}, err
+	}
+	switch x.Op {
+	case "-":
+		switch v.K {
+		case mem.KInt:
+			return mem.Int(-v.I), nil
+		case mem.KF32:
+			return mem.F32(-v.F), nil
+		case mem.KF64:
+			return mem.F64(-v.F), nil
+		}
+	case "!", ".not.":
+		return mem.Bool(!v.Truth()), nil
+	case "~":
+		return mem.Int(^v.AsInt()), nil
+	case "*":
+		if v.K != mem.KPtr || v.P.IsNil() {
+			return mem.Value{}, errf(x, "dereference of non-pointer value")
+		}
+		if err := c.checkDeref(v.P.Buf, x); err != nil {
+			return mem.Value{}, err
+		}
+		c.maybeYield()
+		out, err := v.P.Buf.Load(v.P.Off)
+		if err != nil {
+			return mem.Value{}, errf(x, "%v", err)
+		}
+		return out, nil
+	}
+	return mem.Value{}, errf(x, "unsupported unary operator %q", x.Op)
+}
+
+// powFloat computes a**b for the Fortran power operator.
+func powFloat(a, b float64) float64 { return math.Pow(a, b) }
+
+// formatValue renders a value for printf's %d/%f/%g/%s verbs.
+func formatValue(verb byte, v mem.Value) string {
+	switch verb {
+	case 'd', 'i':
+		return strconv.FormatInt(v.AsInt(), 10)
+	case 'f':
+		return strconv.FormatFloat(v.AsFloat(), 'f', 6, 64)
+	case 'g', 'e':
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case 's':
+		return v.S
+	}
+	return fmt.Sprintf("%%%c", verb)
+}

@@ -1,0 +1,446 @@
+package interp
+
+import (
+	"fmt"
+
+	"accv/internal/ast"
+	"accv/internal/mem"
+)
+
+// ctl is the control-flow outcome of a statement.
+type ctl int
+
+const (
+	ctlNone ctl = iota
+	ctlReturn
+)
+
+// execCtx is an execution context: an environment plus, inside compute
+// regions, the kernel lane identity.
+type execCtx struct {
+	in     *Interp
+	env    *Env
+	kernel *kernelState
+	// hostFallback marks region bodies executing on the host because an if
+	// clause evaluated false; loop directives then run sequentially.
+	hostFallback bool
+	// cudaLib marks procedures simulating low-level device libraries
+	// (names prefixed "cuda"): they may dereference device pointers from
+	// host code, which the host_data tests rely on.
+	cudaLib bool
+	retVal  mem.Value
+}
+
+// space is the memory space new declarations live in.
+func (c *execCtx) space() mem.Space {
+	if c.kernel != nil {
+		return mem.Device
+	}
+	return mem.Host
+}
+
+// child returns a context with a nested scope.
+func (c *execCtx) child() *execCtx {
+	cc := *c
+	cc.env = NewEnv(c.env)
+	return &cc
+}
+
+// errf raises a runtime error at the given node.
+func errf(n ast.Node, format string, args ...any) error {
+	return &RuntimeError{Line: ast.LineOf(n), Msg: fmt.Sprintf(format, args...)}
+}
+
+// callFunction invokes fn with evaluated argument bindings. Array arguments
+// alias the caller's buffers; scalars are copied.
+func (in *Interp) callFunction(fn *ast.FuncDecl, args []*VarInfo, kernel *kernelState, cudaLib bool) (mem.Value, error) {
+	env := NewEnv(nil)
+	for i, p := range fn.Params {
+		if i < len(args) {
+			v := args[i]
+			v.Name = p.Name
+			env.Bind(v)
+		}
+	}
+	ctx := &execCtx{in: in, env: env, kernel: kernel, cudaLib: cudaLib}
+	c, err := ctx.exec(fn.Body)
+	if cerr := env.RunCleanup(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return mem.Value{}, err
+	}
+	if c == ctlReturn {
+		return ctx.retVal, nil
+	}
+	return mem.Int(0), nil
+}
+
+// exec runs one statement.
+func (c *execCtx) exec(st ast.Stmt) (ctl, error) {
+	if st == nil {
+		return ctlNone, nil
+	}
+	c.tick()
+	switch x := st.(type) {
+	case *ast.Block:
+		cc := c
+		if !x.Bare {
+			cc = c.child()
+		}
+		for _, s := range x.Stmts {
+			ct, err := cc.exec(s)
+			if err != nil || ct != ctlNone {
+				c.retVal = cc.retVal
+				return ct, err
+			}
+		}
+		return ctlNone, nil
+	case *ast.DeclStmt:
+		return ctlNone, c.declare(x)
+	case *ast.AssignStmt:
+		return ctlNone, c.assign(x)
+	case *ast.IncDecStmt:
+		delta := mem.Int(1)
+		op := "+="
+		if x.Op == "--" {
+			op = "-="
+		}
+		return ctlNone, c.assignTo(x.X, op, delta, x)
+	case *ast.ExprStmt:
+		_, err := c.eval(x.X)
+		return ctlNone, err
+	case *ast.IfStmt:
+		v, err := c.eval(x.Cond)
+		if err != nil {
+			return ctlNone, err
+		}
+		if v.Truth() {
+			return c.exec(x.Then)
+		}
+		return c.exec(x.Else)
+	case *ast.ForStmt:
+		cc := c.child()
+		if x.Init != nil {
+			if _, err := cc.exec(x.Init); err != nil {
+				return ctlNone, err
+			}
+		}
+		for {
+			if x.Cond != nil {
+				v, err := cc.eval(x.Cond)
+				if err != nil {
+					return ctlNone, err
+				}
+				if !v.Truth() {
+					return ctlNone, nil
+				}
+			}
+			ct, err := cc.exec(x.Body)
+			if err != nil || ct != ctlNone {
+				c.retVal = cc.retVal
+				return ct, err
+			}
+			if x.Post != nil {
+				if _, err := cc.exec(x.Post); err != nil {
+					return ctlNone, err
+				}
+			}
+		}
+	case *ast.DoStmt:
+		from, err := c.eval(x.From)
+		if err != nil {
+			return ctlNone, err
+		}
+		to, err := c.eval(x.To)
+		if err != nil {
+			return ctlNone, err
+		}
+		step := int64(1)
+		if x.Step != nil {
+			sv, err := c.eval(x.Step)
+			if err != nil {
+				return ctlNone, err
+			}
+			step = sv.AsInt()
+		}
+		if step == 0 {
+			return ctlNone, errf(x, "do loop with zero step")
+		}
+		cc := c.child()
+		iv := newScalar(x.Var, mem.KInt, c.space())
+		cc.env.Bind(iv)
+		for i := from.AsInt(); (step > 0 && i <= to.AsInt()) || (step < 0 && i >= to.AsInt()); i += step {
+			if err := iv.Buf.Store(0, mem.Int(i)); err != nil {
+				return ctlNone, err
+			}
+			ct, err := cc.exec(x.Body)
+			if err != nil || ct != ctlNone {
+				c.retVal = cc.retVal
+				return ct, err
+			}
+		}
+		return ctlNone, nil
+	case *ast.WhileStmt:
+		for {
+			v, err := c.eval(x.Cond)
+			if err != nil {
+				return ctlNone, err
+			}
+			if !v.Truth() {
+				return ctlNone, nil
+			}
+			ct, err := c.exec(x.Body)
+			if err != nil || ct != ctlNone {
+				return ct, err
+			}
+		}
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			v, err := c.eval(x.X)
+			if err != nil {
+				return ctlNone, err
+			}
+			c.retVal = v
+		} else {
+			c.retVal = mem.Int(0)
+		}
+		return ctlReturn, nil
+	case *ast.PragmaStmt:
+		return ctlNone, c.execPragma(x)
+	}
+	return ctlNone, errf(st, "unsupported statement %T", st)
+}
+
+// declare evaluates a declaration and binds the variable.
+func (c *execCtx) declare(x *ast.DeclStmt) error {
+	kind := basicKind(x.Type)
+	v := &VarInfo{Name: x.Name, Kind: kind, IsPtr: x.Type.Ptr}
+	total := 1
+	for i, de := range x.Dims {
+		dv, err := c.eval(de)
+		if err != nil {
+			return err
+		}
+		n := int(dv.AsInt())
+		if n < 0 {
+			return errf(x, "negative array dimension %d for %s", n, x.Name)
+		}
+		v.Dims = append(v.Dims, n)
+		lo := 0
+		if c.in.exe.Prog.Lang == ast.LangFortran {
+			lo = 1
+		}
+		if i < len(x.Lower) && x.Lower[i] != nil {
+			lv, err := c.eval(x.Lower[i])
+			if err != nil {
+				return err
+			}
+			lo = int(lv.AsInt())
+			// Fortran a(lo:hi): the parsed dim is hi; extent = hi-lo+1.
+			n = n - lo + 1
+			if n < 0 {
+				n = 0
+			}
+			v.Dims[i] = n
+		}
+		v.Lower = append(v.Lower, lo)
+		total *= n
+	}
+	v.Buf = mem.NewBuffer(kind, total, c.space(), x.Name)
+	if x.Init != nil {
+		iv, err := c.eval(x.Init)
+		if err != nil {
+			return err
+		}
+		if err := v.Buf.Store(0, iv); err != nil {
+			return err
+		}
+	}
+	c.env.Bind(v)
+	return nil
+}
+
+// assign executes an assignment statement.
+func (c *execCtx) assign(x *ast.AssignStmt) error {
+	rhs, err := c.eval(x.RHS)
+	if err != nil {
+		return err
+	}
+	return c.assignTo(x.LHS, x.Op, rhs, x)
+}
+
+// assignTo stores rhs into the lvalue, applying the compound operator.
+func (c *execCtx) assignTo(lhs ast.Expr, op string, rhs mem.Value, at ast.Node) error {
+	buf, idx, err := c.lvalue(lhs)
+	if err != nil {
+		return err
+	}
+	if op != "=" {
+		c.maybeYield()
+		old, err := buf.Load(idx)
+		if err != nil {
+			return errf(at, "%v", err)
+		}
+		rhs, err = binaryOp(op[:1], old, rhs, at)
+		if err != nil {
+			return err
+		}
+	}
+	c.maybeYield()
+	if err := buf.Store(idx, rhs); err != nil {
+		return errf(at, "%v", err)
+	}
+	return nil
+}
+
+// lvalue resolves an assignable expression to a buffer element.
+func (c *execCtx) lvalue(e ast.Expr) (*mem.Buffer, int, error) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := c.env.Lookup(x.Name)
+		if !ok {
+			return nil, 0, errf(x, "undeclared variable %q", x.Name)
+		}
+		if v.IsArray() {
+			return nil, 0, errf(x, "cannot assign to array %q without a subscript", x.Name)
+		}
+		if err := c.checkSpace(v, x); err != nil {
+			return nil, 0, err
+		}
+		return v.Buf, 0, nil
+	case *ast.IndexExpr:
+		return c.indexTarget(x)
+	case *ast.UnaryExpr:
+		if x.Op == "*" {
+			pv, err := c.eval(x.X)
+			if err != nil {
+				return nil, 0, err
+			}
+			if pv.K != mem.KPtr || pv.P.IsNil() {
+				return nil, 0, errf(x, "dereference of non-pointer value")
+			}
+			if err := c.checkDeref(pv.P.Buf, x); err != nil {
+				return nil, 0, err
+			}
+			return pv.P.Buf, pv.P.Off, nil
+		}
+	}
+	return nil, 0, errf(e, "expression is not assignable")
+}
+
+// indexTarget resolves a subscripted reference to a buffer element.
+func (c *execCtx) indexTarget(x *ast.IndexExpr) (*mem.Buffer, int, error) {
+	idx := make([]int64, len(x.Idx))
+	for i, ie := range x.Idx {
+		v, err := c.eval(ie)
+		if err != nil {
+			return nil, 0, err
+		}
+		idx[i] = v.AsInt()
+	}
+	base, ok := x.X.(*ast.Ident)
+	if !ok {
+		// Indexing an arbitrary pointer expression: (p+1)[i] etc.
+		pv, err := c.eval(x.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		if pv.K != mem.KPtr || pv.P.IsNil() {
+			return nil, 0, errf(x, "subscript of non-pointer value")
+		}
+		if len(idx) != 1 {
+			return nil, 0, errf(x, "pointer subscript must be one-dimensional")
+		}
+		if err := c.checkDeref(pv.P.Buf, x); err != nil {
+			return nil, 0, err
+		}
+		return pv.P.Buf, pv.P.Off + int(idx[0]), nil
+	}
+	v, ok := c.env.Lookup(base.Name)
+	if !ok {
+		return nil, 0, errf(x, "undeclared variable %q", base.Name)
+	}
+	if v.IsPtr && !v.IsArray() {
+		pv, err := v.Buf.Load(0)
+		if err != nil {
+			return nil, 0, errf(x, "%v", err)
+		}
+		if pv.K != mem.KPtr || pv.P.IsNil() {
+			return nil, 0, errf(x, "subscript of null pointer %q", base.Name)
+		}
+		if len(idx) != 1 {
+			return nil, 0, errf(x, "pointer subscript must be one-dimensional")
+		}
+		if err := c.checkDeref(pv.P.Buf, x); err != nil {
+			return nil, 0, err
+		}
+		return pv.P.Buf, pv.P.Off + int(idx[0]), nil
+	}
+	if err := c.checkSpace(v, x); err != nil {
+		return nil, 0, err
+	}
+	flat, err := v.FlatIndex(idx)
+	if err != nil {
+		return nil, 0, errf(x, "%v", err)
+	}
+	return v.Buf, flat - v.Bias, nil
+}
+
+// checkDeref enforces the host/device separation for pointer dereferences.
+// Host code may only touch device memory from a simulated device library
+// ("cuda*" procedures); device code may never follow host pointers.
+func (c *execCtx) checkDeref(buf *mem.Buffer, at ast.Node) error {
+	if buf == nil {
+		return errf(at, "dereference of null pointer")
+	}
+	if buf.Space == mem.Device && c.kernel == nil && !c.cudaLib {
+		return errf(at, "segmentation fault: host dereference of device pointer (%s)", buf.Name)
+	}
+	if buf.Space == mem.Host && c.kernel != nil {
+		return errf(at, "device dereference of host pointer (%s)", buf.Name)
+	}
+	return nil
+}
+
+// checkSpace enforces the host/device memory separation for named accesses.
+// Simulated device-library procedures (cuda*) may touch device buffers from
+// host code — that is exactly what host_data use_device is for.
+func (c *execCtx) checkSpace(v *VarInfo, at ast.Node) error {
+	want := c.space()
+	if v.Buf.Space != want {
+		if want == mem.Device {
+			return errf(at, "compute region accesses host variable %q that has no device copy", v.Name)
+		}
+		if c.cudaLib {
+			return nil
+		}
+		return errf(at, "host code accesses device-resident variable %q", v.Name)
+	}
+	return nil
+}
+
+// maybeYield injects scheduler yield points inside kernels so racing gangs
+// interleave; the per-lane xorshift keeps runs with different seeds from
+// interleaving identically.
+func (c *execCtx) maybeYield() {
+	if k := c.kernel; k != nil {
+		k.maybeYield()
+	}
+}
+
+// tick charges one interpreted operation. Kernel lanes batch their charges
+// into the shared budget counter so concurrent gangs do not serialize on
+// one atomic.
+func (c *execCtx) tick() {
+	if k := c.kernel; k != nil {
+		k.ops++
+		k.pend++
+		if k.pend >= 64 {
+			c.in.step(k.pend)
+			k.pend = 0
+		}
+		return
+	}
+	c.in.step(1)
+}

@@ -1,0 +1,208 @@
+// Package interp executes compiled OpenACC programs: it is both the host
+// interpreter and the OpenACC runtime. Host code runs against host buffers;
+// compute constructs launch gang goroutines on the simulated device
+// (internal/device) with the gang-redundant / worker / vector execution
+// model of the specification. The interpreter consults the executable's
+// lowering plans (regions, loop schedules) and its vendor bug hooks, so a
+// miscompiled plan produces exactly the wrong-code behaviours the validation
+// suite is designed to detect.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accv/internal/compiler"
+	"accv/internal/device"
+)
+
+// RunConfig parameterizes one program execution.
+type RunConfig struct {
+	// Platform is the accelerator runtime; a fresh one is created when nil.
+	Platform *device.Platform
+	// MaxOps bounds interpreted operations (guards against hangs); 0 means
+	// the default of 200 million.
+	MaxOps int64
+	// Timeout bounds wall time; 0 means no wall deadline.
+	Timeout time.Duration
+	// Stdout receives printf output; nil discards it.
+	Stdout io.Writer
+	// Seed perturbs the in-kernel scheduler; iterating runs with different
+	// seeds varies racy interleavings, which the cross-test statistics need.
+	Seed int64
+	// Env provides ACC_* environment variables.
+	Env map[string]string
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Exit is the entry procedure's integer return value; the suite's
+	// convention is 1 for pass, 0 for fail.
+	Exit int64
+	// Output is captured printf text.
+	Output string
+	// Ops is the number of interpreted operations.
+	Ops int64
+	// SimCycles is the device's simulated cycle count for this run.
+	SimCycles int64
+	// Kernels is the number of kernels launched.
+	Kernels int64
+	// ElemsIn/ElemsOut count elements moved host→device / device→host —
+	// the data-movement accounting §IV-B's designs worry about.
+	ElemsIn, ElemsOut int64
+	// Err is a runtime error (out-of-bounds, not-present, crash, budget or
+	// deadline exceeded). Exit is meaningless when Err != nil.
+	Err error
+}
+
+// Budget / deadline sentinels.
+var (
+	// ErrBudget reports that the operation budget was exhausted (the
+	// program looped forever, or a hang was injected).
+	ErrBudget = errors.New("operation budget exhausted (possible hang)")
+	// ErrDeadline reports that the wall-clock deadline passed.
+	ErrDeadline = errors.New("wall-clock deadline exceeded (possible hang)")
+)
+
+// RuntimeError is a program-level failure (crash) with a source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+// Run executes the program to completion and reports the result.
+func Run(exe *compiler.Executable, cfg RunConfig) Result {
+	if cfg.MaxOps <= 0 {
+		cfg.MaxOps = 200_000_000
+	}
+	plat := cfg.Platform
+	if plat == nil {
+		plat = device.NewPlatform(device.Config{}, 1)
+	}
+	for k, v := range cfg.Env {
+		plat.SetEnv(k, v)
+	}
+	var out strings.Builder
+	in := &Interp{
+		exe:    exe,
+		plat:   plat,
+		maxOps: cfg.MaxOps,
+		seed:   cfg.Seed,
+		out:    &out,
+		sink:   cfg.Stdout,
+	}
+	if cfg.Timeout > 0 {
+		timer := time.AfterFunc(cfg.Timeout, func() { in.deadline.Store(true) })
+		defer timer.Stop()
+	}
+
+	dev := plat.Current()
+	cyclesBefore := dev.Stats.SimCycles.Load()
+	kernelsBefore := dev.Stats.Kernels.Load()
+	inBefore := dev.Stats.ElemsCopiedIn.Load()
+	outBefore := dev.Stats.ElemsCopiedOut.Load()
+	res := Result{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch e := r.(type) {
+				case stopSignal:
+					res.Err = e.err
+				default:
+					panic(r)
+				}
+			}
+		}()
+		entry := exe.Prog.EntryFunc()
+		if entry == nil {
+			res.Err = &RuntimeError{Msg: "program has no entry procedure"}
+			return
+		}
+		v, err := in.callFunction(entry, nil, nil, false)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		res.Exit = v.AsInt()
+	}()
+	// Drain async queues so deferred async errors surface.
+	if res.Err == nil {
+		if err := plat.Current().WaitAll(); err != nil {
+			res.Err = err
+		}
+	} else {
+		_ = plat.Current().WaitAll()
+	}
+	res.Ops = in.ops.Load()
+	res.Output = out.String()
+	res.SimCycles = dev.Stats.SimCycles.Load() - cyclesBefore
+	res.Kernels = dev.Stats.Kernels.Load() - kernelsBefore
+	res.ElemsIn = dev.Stats.ElemsCopiedIn.Load() - inBefore
+	res.ElemsOut = dev.Stats.ElemsCopiedOut.Load() - outBefore
+	return res
+}
+
+// stopSignal aborts the run from arbitrarily deep recursion (budget or
+// deadline exhaustion, including inside kernel goroutines).
+type stopSignal struct{ err error }
+
+// Interp is the execution state of one run.
+type Interp struct {
+	exe    *compiler.Executable
+	plat   *device.Platform
+	maxOps int64
+	seed   int64
+
+	ops      atomic.Int64
+	deadline atomic.Bool
+
+	outMu sync.Mutex
+	out   *strings.Builder
+	sink  io.Writer
+
+	// regionMu serializes reduction combining and other region bookkeeping.
+	regionMu sync.Mutex
+}
+
+// step charges n interpreted operations and enforces budget and deadline.
+// It is called on every statement and loop iteration; the panic unwinds to
+// Run (host context) or to the gang goroutine wrapper (device context).
+// The checks run whenever the charge crosses a 256-op boundary, which
+// amortizes them regardless of the caller's batch size.
+func (in *Interp) step(n int64) {
+	v := in.ops.Add(n)
+	if (v-n)>>8 != v>>8 {
+		if v > in.maxOps {
+			panic(stopSignal{ErrBudget})
+		}
+		if in.deadline.Load() {
+			panic(stopSignal{ErrDeadline})
+		}
+	}
+}
+
+// printf writes formatted output to the captured stdout.
+func (in *Interp) printf(s string) {
+	in.outMu.Lock()
+	defer in.outMu.Unlock()
+	in.out.WriteString(s)
+	if in.sink != nil {
+		io.WriteString(in.sink, s)
+	}
+}
+
+// hooks returns the executable's vendor hooks.
+func (in *Interp) hooks() compiler.Hooks { return in.exe.Hooks }

@@ -1,0 +1,197 @@
+package interp_test
+
+// Tests of array-section data movement: partial sections keep their
+// original subscripts on the device (the section bias), out-of-section
+// accesses fault, and update directives move subranges.
+
+import (
+	"strings"
+	"testing"
+
+	"accv/internal/compiler"
+	"accv/internal/ffront"
+	"accv/internal/interp"
+)
+
+// runF compiles and runs a Fortran source with the reference compiler.
+func runF(t *testing.T, src string) interp.Result {
+	t.Helper()
+	prog, err := ffront.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	exe, _, err := compiler.Compile(prog, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return interp.Run(exe, interp.RunConfig{Seed: 11})
+}
+
+func TestPartialSectionKeepsSubscripts(t *testing.T) {
+	res := run(t, `
+int acc_test()
+{
+    int n = 40;
+    int i, errors;
+    int a[40];
+    for (i = 0; i < n; i++) a[i] = i;
+    /* Only the middle third moves to the device. */
+    #pragma acc parallel copy(a[10:20]) num_gangs(2)
+    {
+        #pragma acc loop
+        for (i = 10; i < 30; i++)
+            a[i] = a[i] * 2;
+    }
+    errors = 0;
+    for (i = 0; i < 10; i++) {
+        if (a[i] != i) errors++;
+    }
+    for (i = 10; i < 30; i++) {
+        if (a[i] != 2*i) errors++;
+    }
+    for (i = 30; i < n; i++) {
+        if (a[i] != i) errors++;
+    }
+    return (errors == 0);
+}`, interp.RunConfig{})
+	if res.Err != nil || res.Exit != 1 {
+		t.Fatalf("partial section: %v exit=%d", res.Err, res.Exit)
+	}
+}
+
+func TestOutOfSectionAccessFaults(t *testing.T) {
+	res := run(t, `
+int acc_test()
+{
+    int n = 40;
+    int i;
+    int a[40];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel copy(a[10:20]) num_gangs(1)
+    {
+        a[5] = 1; /* outside the mapped section */
+    }
+    return 1;
+}`, interp.RunConfig{})
+	if res.Err == nil {
+		t.Fatal("access outside the mapped section must fault")
+	}
+	if !strings.Contains(res.Err.Error(), "out of range") {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+}
+
+func TestUpdateSubrange(t *testing.T) {
+	res := run(t, `
+int acc_test()
+{
+    int n = 30;
+    int i, errors;
+    int a[30];
+    for (i = 0; i < n; i++) a[i] = i;
+    errors = 0;
+    #pragma acc data copyin(a[0:n])
+    {
+        #pragma acc parallel present(a[0:n]) num_gangs(2)
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) a[i] = a[i] + 100;
+        }
+        /* Only elements [5:10) come back. */
+        #pragma acc update host(a[5:5])
+        for (i = 0; i < n; i++) {
+            int want = i;
+            if (i >= 5 && i < 10) want = i + 100;
+            if (a[i] != want) errors++;
+        }
+    }
+    return (errors == 0);
+}`, interp.RunConfig{})
+	if res.Err != nil || res.Exit != 1 {
+		t.Fatalf("update subrange: %v exit=%d", res.Err, res.Exit)
+	}
+}
+
+func TestTwoDimensionalLeadingSection(t *testing.T) {
+	res := run(t, `
+int acc_test()
+{
+    int rows = 6;
+    int cols = 4;
+    int i, j, errors;
+    int m[6][4];
+    for (i = 0; i < rows; i++)
+        for (j = 0; j < cols; j++)
+            m[i][j] = -1;
+    /* Map rows 2..3 only. */
+    #pragma acc parallel copy(m[2:2][0:cols]) num_gangs(2)
+    {
+        #pragma acc loop gang
+        for (i = 2; i < 4; i++)
+            for (j = 0; j < cols; j++)
+                m[i][j] = i*10 + j;
+    }
+    errors = 0;
+    for (i = 0; i < rows; i++)
+        for (j = 0; j < cols; j++) {
+            int want = -1;
+            if (i == 2 || i == 3) want = i*10 + j;
+            if (m[i][j] != want) errors++;
+        }
+    return (errors == 0);
+}`, interp.RunConfig{})
+	if res.Err != nil || res.Exit != 1 {
+		t.Fatalf("2-D leading section: %v exit=%d", res.Err, res.Exit)
+	}
+}
+
+func TestFortranSectionBias(t *testing.T) {
+	prog := `
+program t
+  implicit none
+  integer :: n, i, errors
+  integer :: a(40)
+  n = 40
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc parallel copy(a(11:30)) num_gangs(2)
+  !$acc loop
+  do i = 11, 30
+    a(i) = a(i) * 2
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, 10
+    if (a(i) /= i) errors = errors + 1
+  end do
+  do i = 11, 30
+    if (a(i) /= 2*i) errors = errors + 1
+  end do
+  do i = 31, n
+    if (a(i) /= i) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+end program t
+`
+	res := runF(t, prog)
+	if res.Err != nil || res.Exit != 1 {
+		t.Fatalf("Fortran section bias: %v exit=%d", res.Err, res.Exit)
+	}
+}
+
+func TestNonContiguousSectionRejected(t *testing.T) {
+	res := run(t, `
+int acc_test()
+{
+    int m[6][4];
+    #pragma acc parallel copy(m[0:6][1:2]) num_gangs(1)
+    {
+        m[0][1] = 1;
+    }
+    return 1;
+}`, interp.RunConfig{})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "contiguous") {
+		t.Fatalf("partial trailing dimension must be rejected, got %v", res.Err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package mem provides the value and buffer model shared by the host
+// interpreter and the simulated accelerator. Host and device memories are
+// disjoint sets of buffers; a pointer value names a buffer, an element
+// offset, and the memory space it lives in, so host/device aliasing is
+// impossible by construction — the property every data-movement test in the
+// suite ultimately observes.
+package mem
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates scalar value kinds.
+type Kind uint8
+
+const (
+	// KInt is a 64-bit signed integer.
+	KInt Kind = iota
+	// KF32 is a 32-bit float (C float, Fortran real).
+	KF32
+	// KF64 is a 64-bit float (C double, Fortran double precision).
+	KF64
+	// KPtr is a pointer into a buffer.
+	KPtr
+	// KStr is a string (printf formats only).
+	KStr
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KF32:
+		return "float"
+	case KF64:
+		return "double"
+	case KPtr:
+		return "pointer"
+	case KStr:
+		return "string"
+	}
+	return "?"
+}
+
+// Space identifies a memory space.
+type Space uint8
+
+const (
+	// Host is host memory.
+	Host Space = iota
+	// Device is accelerator memory.
+	Device
+)
+
+// String names the space.
+func (s Space) String() string {
+	if s == Device {
+		return "device"
+	}
+	return "host"
+}
+
+// Value is a scalar runtime value.
+type Value struct {
+	K Kind
+	I int64   // KInt payload; truth value for logicals
+	F float64 // KF32/KF64 payload (KF32 is kept rounded to float32)
+	S string  // KStr payload
+	P Ptr     // KPtr payload
+}
+
+// Ptr is a typed pointer: buffer, element offset, and space.
+type Ptr struct {
+	Buf *Buffer
+	Off int
+}
+
+// IsNil reports whether the pointer is null.
+func (p Ptr) IsNil() bool { return p.Buf == nil }
+
+// Int constructs an integer value.
+func Int(v int64) Value { return Value{K: KInt, I: v} }
+
+// F32 constructs a float value (rounded to float32 precision).
+func F32(v float64) Value { return Value{K: KF32, F: float64(float32(v))} }
+
+// F64 constructs a double value.
+func F64(v float64) Value { return Value{K: KF64, F: v} }
+
+// Str constructs a string value.
+func Str(s string) Value { return Value{K: KStr, S: s} }
+
+// PtrVal constructs a pointer value.
+func PtrVal(p Ptr) Value { return Value{K: KPtr, P: p} }
+
+// Bool constructs the integer truth value.
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// Truth reports the C truth value.
+func (v Value) Truth() bool {
+	switch v.K {
+	case KInt:
+		return v.I != 0
+	case KF32, KF64:
+		return v.F != 0
+	case KPtr:
+		return !v.P.IsNil()
+	}
+	return v.S != ""
+}
+
+// AsInt converts to int64 (truncating floats, as C does).
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KInt:
+		return v.I
+	case KF32, KF64:
+		return int64(v.F)
+	}
+	return 0
+}
+
+// AsFloat converts to float64.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KInt:
+		return float64(v.I)
+	case KF32, KF64:
+		return v.F
+	}
+	return 0
+}
+
+// Convert coerces the value to the given kind, applying C conversion rules.
+func (v Value) Convert(k Kind) Value {
+	if v.K == k {
+		if k == KF32 {
+			return F32(v.F)
+		}
+		return v
+	}
+	switch k {
+	case KInt:
+		return Int(v.AsInt())
+	case KF32:
+		return F32(v.AsFloat())
+	case KF64:
+		return F64(v.AsFloat())
+	}
+	return v
+}
+
+// String renders the value for diagnostics and printf.
+func (v Value) String() string {
+	switch v.K {
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KF32:
+		return strconv.FormatFloat(v.F, 'g', -1, 32)
+	case KF64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KStr:
+		return v.S
+	case KPtr:
+		if v.P.IsNil() {
+			return "nil"
+		}
+		return fmt.Sprintf("%s+%d", v.P.Buf, v.P.Off)
+	}
+	return "?"
+}
+
+// Equal compares two values numerically (pointers by identity).
+func (v Value) Equal(o Value) bool {
+	if v.K == KPtr || o.K == KPtr {
+		return v.P == o.P
+	}
+	if v.K == KStr || o.K == KStr {
+		return v.S == o.S
+	}
+	if v.K == KInt && o.K == KInt {
+		return v.I == o.I
+	}
+	return v.AsFloat() == o.AsFloat()
+}
+
+// bufSeq allocates buffer IDs.
+var bufSeq atomic.Int64
+
+// lockStripes is the number of lock stripes per buffer; element i is
+// guarded by stripe i % lockStripes, so concurrent gangs touching different
+// elements rarely contend.
+const lockStripes = 8
+
+// Buffer is a fixed-length typed array in one memory space. Loads and
+// stores are individually locked (striped by element index) so concurrent
+// gangs never observe torn values, but read-modify-write sequences are not
+// atomic — racing updates lose increments exactly as they would on real
+// accelerator hardware, which the cross-test methodology relies on.
+type Buffer struct {
+	ID    int64
+	Elem  Kind
+	Space Space
+	Name  string // for diagnostics: declared variable name or "acc_malloc"
+
+	locks [lockStripes]sync.Mutex
+	data  []Value
+}
+
+// NewBuffer allocates a zero-filled buffer.
+func NewBuffer(elem Kind, n int, space Space, name string) *Buffer {
+	b := &Buffer{ID: bufSeq.Add(1), Elem: elem, Space: space, Name: name}
+	b.data = make([]Value, n)
+	zero := Value{K: elem}
+	for i := range b.data {
+		b.data[i] = zero
+	}
+	return b
+}
+
+// NewGarbageBuffer allocates a buffer filled with a deterministic pseudo-
+// random pattern, modelling freshly allocated (uninitialized) device memory.
+// The Fig. 11 copyout test depends on these contents differing from any
+// host-initialized data.
+func NewGarbageBuffer(elem Kind, n int, space Space, name string, seed int64) *Buffer {
+	b := NewBuffer(elem, n, space, name)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range b.data {
+		state = state*6364136223846793005 + 1442695040888963407
+		bits := state >> 11
+		switch elem {
+		case KF32:
+			b.data[i] = F32(float64(bits%1000003) * 0.001784)
+		case KF64:
+			b.data[i] = F64(float64(bits%1000003) * 0.000913)
+		default:
+			b.data[i] = Int(int64(bits % 1000003))
+		}
+	}
+	return b
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// String renders the buffer identity.
+func (b *Buffer) String() string {
+	return fmt.Sprintf("%s:%s#%d", b.Space, b.Name, b.ID)
+}
+
+// lockAll acquires every stripe (whole-buffer operations).
+func (b *Buffer) lockAll() {
+	for i := range b.locks {
+		b.locks[i].Lock()
+	}
+}
+
+// unlockAll releases every stripe.
+func (b *Buffer) unlockAll() {
+	for i := range b.locks {
+		b.locks[i].Unlock()
+	}
+}
+
+// Load returns element i.
+func (b *Buffer) Load(i int) (Value, error) {
+	if i < 0 || i >= len(b.data) {
+		return Value{}, fmt.Errorf("index %d out of range [0,%d) in %s", i, len(b.data), b)
+	}
+	l := &b.locks[i%lockStripes]
+	l.Lock()
+	v := b.data[i]
+	l.Unlock()
+	return v, nil
+}
+
+// Store writes element i, coercing to the buffer's element kind.
+func (b *Buffer) Store(i int, v Value) error {
+	if i < 0 || i >= len(b.data) {
+		return fmt.Errorf("index %d out of range [0,%d) in %s", i, len(b.data), b)
+	}
+	l := &b.locks[i%lockStripes]
+	l.Lock()
+	b.data[i] = v.Convert(b.Elem)
+	l.Unlock()
+	return nil
+}
+
+// CopyTo copies n elements from b[srcOff] into dst[dstOff]. The element
+// kinds must agree; data movement never converts. Source and destination
+// are locked one after the other (never nested), so concurrent copies in
+// opposite directions cannot deadlock.
+func (b *Buffer) CopyTo(srcOff int, dst *Buffer, dstOff, n int) error {
+	if srcOff < 0 || srcOff+n > len(b.data) {
+		return fmt.Errorf("copy source [%d:%d) out of range in %s", srcOff, srcOff+n, b)
+	}
+	src := make([]Value, n)
+	b.lockAll()
+	copy(src, b.data[srcOff:srcOff+n])
+	b.unlockAll()
+	if dstOff < 0 || dstOff+n > len(dst.data) {
+		return fmt.Errorf("copy destination [%d:%d) out of range in %s", dstOff, dstOff+n, dst)
+	}
+	dst.lockAll()
+	copy(dst.data[dstOff:dstOff+n], src)
+	dst.unlockAll()
+	return nil
+}
+
+// Snapshot returns a copy of the contents (for tests and reports).
+func (b *Buffer) Snapshot() []Value {
+	b.lockAll()
+	defer b.unlockAll()
+	out := make([]Value, len(b.data))
+	copy(out, b.data)
+	return out
+}
+
+// Fill sets every element to v.
+func (b *Buffer) Fill(v Value) {
+	b.lockAll()
+	defer b.unlockAll()
+	cv := v.Convert(b.Elem)
+	for i := range b.data {
+		b.data[i] = cv
+	}
+}
+
+// SizeofBasic returns the simulated byte size of an element kind, used by
+// sizeof() and acc_malloc byte arithmetic. acc_malloc sizes its buffer in
+// 4-byte words; see the interpreter's cast handling for element retagging.
+func SizeofBasic(k Kind) int64 {
+	if k == KF64 {
+		return 8
+	}
+	return 4
+}
+
+// NearlyEqual reports |a-b| <= eps, the float comparison the reduction
+// tests use.
+func NearlyEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

@@ -1,0 +1,222 @@
+// Package report renders suite results in the formats the paper's
+// infrastructure produced: plain text, CSV, and HTML, plus the bug report
+// with code snippets that was appended "for vendors' convenience" (§III).
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"accv/internal/core"
+)
+
+// Format selects an output renderer.
+type Format int
+
+// Output formats.
+const (
+	// Text is the human-readable plain-text report.
+	Text Format = iota
+	// CSV is one row per test, machine-readable.
+	CSV
+	// HTML is a standalone page with per-family tables.
+	HTML
+)
+
+// ParseFormat maps a format name to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "txt", "":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "html":
+		return HTML, nil
+	}
+	return Text, fmt.Errorf("unknown report format %q (want text, csv or html)", s)
+}
+
+// Write renders the suite result in the chosen format.
+func Write(w io.Writer, res *core.SuiteResult, f Format) error {
+	switch f {
+	case CSV:
+		return writeCSV(w, res)
+	case HTML:
+		return writeHTML(w, res)
+	default:
+		return writeText(w, res)
+	}
+}
+
+// families lists the result's families in stable order.
+func families(res *core.SuiteResult) []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range res.Results {
+		f := res.Results[i].Family
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeText renders the plain-text report.
+func writeText(w io.Writer, res *core.SuiteResult) error {
+	fmt.Fprintf(w, "OpenACC 1.0 Validation Suite — %s %s\n", res.Compiler, res.Version)
+	fmt.Fprintf(w, "%s\n\n", strings.Repeat("=", 60))
+	for _, fam := range families(res) {
+		fmt.Fprintf(w, "[%s]\n", fam)
+		for i := range res.Results {
+			r := &res.Results[i]
+			if r.Family != fam {
+				continue
+			}
+			status := "PASS"
+			if r.Outcome.Failed() {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "  %-4s %-36s", status, r.ID())
+			if r.Outcome.Failed() {
+				fmt.Fprintf(w, " %s", r.Outcome)
+				if r.Detail != "" {
+					fmt.Fprintf(w, ": %s", firstLine(r.Detail))
+				}
+			} else if r.HasCross {
+				fmt.Fprintf(w, " certainty %.0f%%", 100*r.Cert.PC)
+				if r.Inconclusive {
+					fmt.Fprintf(w, " (cross inconclusive)")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	byOut := res.ByOutcome()
+	fmt.Fprintf(w, "\nSummary: %d/%d passed (%.1f%%)", res.Passed(), res.Total(), res.PassRate())
+	var parts []string
+	for _, o := range []core.Outcome{core.FailCompile, core.FailWrongResult, core.FailCrash, core.FailTimeout} {
+		if n := byOut[o]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, o))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, " — failures: %s", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(w, "\nDuration: %s\n", res.Duration.Round(1e6))
+	if ids := res.FailedBugIDs(); len(ids) > 0 {
+		fmt.Fprintf(w, "Implicated compiler bugs: %s\n", strings.Join(ids, ", "))
+	}
+	return nil
+}
+
+// writeCSV renders one row per test.
+func writeCSV(w io.Writer, res *core.SuiteResult) error {
+	fmt.Fprintln(w, "compiler,version,test,lang,family,outcome,func_runs,func_fails,cross_fails,cross_runs,p,certainty,inconclusive,detail")
+	for i := range res.Results {
+		r := &res.Results[i]
+		fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%d,%d,%d,%d,%.3f,%.3f,%t,%s\n",
+			res.Compiler, res.Version, r.Name, r.Lang, r.Family,
+			csvQuote(r.Outcome.String()), r.FuncRuns, r.FuncFails,
+			r.Cert.CrossFail, r.Cert.M, r.Cert.P, r.Cert.PC,
+			r.Inconclusive, csvQuote(firstLine(r.Detail)))
+	}
+	return nil
+}
+
+// writeHTML renders a standalone page.
+func writeHTML(w io.Writer, res *core.SuiteResult) error {
+	fmt.Fprintf(w, "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(w, "<title>OpenACC validation: %s %s</title>\n", html.EscapeString(res.Compiler), html.EscapeString(res.Version))
+	fmt.Fprint(w, `<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+td, th { border: 1px solid #999; padding: 3px 8px; font-size: 13px; }
+.pass { background: #d7f0d7; }
+.fail { background: #f0d0d0; }
+</style></head><body>
+`)
+	fmt.Fprintf(w, "<h1>OpenACC 1.0 Validation Suite</h1>\n<p>Compiler: <b>%s %s</b> — %d/%d passed (%.1f%%)</p>\n",
+		html.EscapeString(res.Compiler), html.EscapeString(res.Version),
+		res.Passed(), res.Total(), res.PassRate())
+	for _, fam := range families(res) {
+		fmt.Fprintf(w, "<h2>%s</h2>\n<table>\n<tr><th>test</th><th>lang</th><th>outcome</th><th>certainty</th><th>detail</th></tr>\n", html.EscapeString(fam))
+		for i := range res.Results {
+			r := &res.Results[i]
+			if r.Family != fam {
+				continue
+			}
+			cls, out := "pass", "pass"
+			if r.Outcome.Failed() {
+				cls, out = "fail", r.Outcome.String()
+			}
+			cert := "—"
+			if r.HasCross && !r.Outcome.Failed() {
+				cert = fmt.Sprintf("%.0f%%", 100*r.Cert.PC)
+			}
+			fmt.Fprintf(w, "<tr class=%q><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				cls, html.EscapeString(r.Name), r.Lang, html.EscapeString(out),
+				cert, html.EscapeString(firstLine(r.Detail)))
+		}
+		fmt.Fprintln(w, "</table>")
+	}
+	fmt.Fprintln(w, "</body></html>")
+	return nil
+}
+
+// BugReport writes the detailed per-failure report with code snippets that
+// §III describes ("We append the bug reports with code snippets for
+// vendors' convenience").
+func BugReport(w io.Writer, res *core.SuiteResult) error {
+	fmt.Fprintf(w, "Bug report — %s %s\n%s\n", res.Compiler, res.Version, strings.Repeat("=", 60))
+	n := 0
+	for i := range res.Results {
+		r := &res.Results[i]
+		if !r.Outcome.Failed() {
+			continue
+		}
+		n++
+		fmt.Fprintf(w, "\n[%d] %s — %s\n", n, r.ID(), r.Outcome)
+		fmt.Fprintf(w, "    feature: %s\n", r.Description)
+		if r.Detail != "" {
+			fmt.Fprintf(w, "    detail:  %s\n", firstLine(r.Detail))
+		}
+		if len(r.BugIDs) > 0 {
+			fmt.Fprintf(w, "    known bugs: %s\n", strings.Join(r.BugIDs, ", "))
+		}
+		fmt.Fprintf(w, "    --- test program ---\n%s\n", indent(r.Functional, "    | "))
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "\nNo failures.")
+	}
+	return nil
+}
+
+// firstLine truncates a detail string to its first line.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// csvQuote escapes commas for the CSV writer.
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// indent prefixes every line of s.
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

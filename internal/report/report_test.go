@@ -1,0 +1,139 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/core"
+)
+
+func sampleResult() *core.SuiteResult {
+	return &core.SuiteResult{
+		Compiler: "caps",
+		Version:  "3.1.0",
+		Results: []core.TestResult{
+			{Name: "parallel", Lang: ast.LangC, Family: "parallel",
+				Description: "parallel works", Outcome: core.Pass,
+				HasCross: true, Cert: core.NewCertainty(3, 3)},
+			{Name: "declare_copyin", Lang: ast.LangC, Family: "declare",
+				Description: "declare copyin", Outcome: core.FailWrongResult,
+				Detail: "verification returned 0 (want 1)", BugIDs: []string{"caps-c-declare-copyin"},
+				Functional: "int acc_test() { return 0; }"},
+			{Name: "cache", Lang: ast.LangC, Family: "loop",
+				Description: "cache hint", Outcome: core.FailCrash,
+				Detail: "injected crash, with \"quotes\", and, commas"},
+		},
+	}
+}
+
+func TestTextReport(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, sampleResult(), Text); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"caps 3.1.0", "PASS parallel.c", "FAIL declare_copyin.c",
+		"incorrect results", "certainty 100%", "1/3 passed",
+		"Implicated compiler bugs: caps-c-declare-copyin",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVReport(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, sampleResult(), CSV); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "compiler,version,test,") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[3], `"injected crash, with ""quotes"", and, commas"`) {
+		t.Errorf("CSV quoting broken: %s", lines[3])
+	}
+	// Every row has the same number of top-level commas as the header.
+	wantFields := strings.Count(lines[0], ",")
+	if got := countTopLevelCommas(lines[3]); got != wantFields {
+		t.Errorf("row has %d fields, header %d", got, wantFields)
+	}
+}
+
+func countTopLevelCommas(s string) int {
+	n, quoted := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			quoted = !quoted
+		case ',':
+			if !quoted {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestHTMLReport(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, sampleResult(), HTML); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<!DOCTYPE html>", "caps 3.1.0", "declare_copyin", `class="fail"`, `class="pass"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html report missing %q", want)
+		}
+	}
+}
+
+func TestBugReport(t *testing.T) {
+	var sb strings.Builder
+	if err := BugReport(&sb, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Bug report — caps 3.1.0",
+		"[1] declare_copyin.c — incorrect results",
+		"known bugs: caps-c-declare-copyin",
+		"| int acc_test() { return 0; }",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bug report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "parallel.c") {
+		t.Error("passing tests must not appear in the bug report")
+	}
+}
+
+func TestBugReportNoFailures(t *testing.T) {
+	res := &core.SuiteResult{Compiler: "reference", Version: "1.0"}
+	var sb strings.Builder
+	if err := BugReport(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "No failures") {
+		t.Error("clean run must say so")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{"text": Text, "": Text, "csv": CSV, "HTML": HTML} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("pdf"); err == nil {
+		t.Error("unknown format must fail")
+	}
+}

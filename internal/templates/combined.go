@@ -1,0 +1,151 @@
+package templates
+
+// Combined constructs: parallel loop and kernels loop, with representative
+// clause interactions (reduction, if).
+
+func init() {
+	// --- parallel loop ----------------------------------------------------
+	reg("parallel_loop", "combined",
+		"combined parallel loop construct partitions and offloads in one directive",
+		`    int n = 128;
+    int i, errors;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = i;
+    <acctest:directive cross="#pragma acc parallel loop copyin(a[0:n]) num_gangs(6)">#pragma acc parallel loop copy(a[0:n]) num_gangs(6)</acctest:directive>
+    for (i = 0; i < n; i++)
+        a[i] = a[i]*2 + 1;
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 2*i + 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_loop", "combined",
+		"combined parallel loop construct partitions and offloads in one directive",
+		`  integer :: n, i, errors
+  integer :: a(128)
+  n = 128
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  <acctest:directive cross="!$acc parallel loop copyin(a(1:n)) num_gangs(6)">!$acc parallel loop copy(a(1:n)) num_gangs(6)</acctest:directive>
+  do i = 1, n
+    a(i) = a(i)*2 + 1
+  end do
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 2*(i - 1) + 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- kernels loop -------------------------------------------------------
+	reg("kernels_loop", "combined",
+		"combined kernels loop construct partitions and offloads in one directive",
+		`    int n = 128;
+    int i, errors;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = i;
+    <acctest:directive cross="#pragma acc kernels loop copyin(a[0:n])">#pragma acc kernels loop copy(a[0:n])</acctest:directive>
+    for (i = 0; i < n; i++)
+        a[i] = a[i]*3 + 2;
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 3*i + 2) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("kernels_loop", "combined",
+		"combined kernels loop construct partitions and offloads in one directive",
+		`  integer :: n, i, errors
+  integer :: a(128)
+  n = 128
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  <acctest:directive cross="!$acc kernels loop copyin(a(1:n))">!$acc kernels loop copy(a(1:n))</acctest:directive>
+  do i = 1, n
+    a(i) = a(i)*3 + 2
+  end do
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 3*(i - 1) + 2) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- parallel loop reduction ----------------------------------------------
+	reg("parallel_loop_reduction", "combined",
+		"reduction on the combined parallel loop flows back to the host",
+		`    int n = 100;
+    int i;
+    int s = 0;
+    int a[100];
+    for (i = 0; i < n; i++) a[i] = i;
+    <acctest:directive cross="#pragma acc parallel loop copyin(a[0:n]) num_gangs(4)">#pragma acc parallel loop copyin(a[0:n]) num_gangs(4) reduction(+:s)</acctest:directive>
+    for (i = 0; i < n; i++)
+        s += a[i];
+    return (s == n*(n-1)/2);
+`)
+	regF("parallel_loop_reduction", "combined",
+		"reduction on the combined parallel loop flows back to the host",
+		`  integer :: n, i, s
+  integer :: a(100)
+  n = 100
+  s = 0
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  <acctest:directive cross="!$acc parallel loop copyin(a(1:n)) num_gangs(4)">!$acc parallel loop copyin(a(1:n)) num_gangs(4) reduction(+:s)</acctest:directive>
+  do i = 1, n
+    s = s + a(i)
+  end do
+  if (s == n*(n-1)/2) test_result = 1
+`)
+
+	// --- kernels loop if --------------------------------------------------------
+	reg("kernels_loop_if", "combined",
+		"if clause on the combined kernels loop selects device or host execution",
+		`    int n = 64;
+    int i, errors;
+    int run_dev = <acctest:alt cross="0">1</acctest:alt>;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc data copy(a[0:n])
+    {
+        for (i = 0; i < n; i++) a[i] = 50;
+        #pragma acc kernels loop pcopy(a[0:n]) if(run_dev)
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("kernels_loop_if", "combined",
+		"if clause on the combined kernels loop selects device or host execution",
+		`  integer :: n, i, errors, run_dev
+  integer :: a(64)
+  n = 64
+  run_dev = <acctest:alt cross="0">1</acctest:alt>
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc data copy(a(1:n))
+  do i = 1, n
+    a(i) = 50
+  end do
+  !$acc kernels loop pcopy(a(1:n)) if(run_dev)
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+}

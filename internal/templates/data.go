@@ -1,0 +1,286 @@
+package templates
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The data-clause family (§IV-B): every data clause of OpenACC 1.0 tested
+// on the parallel construct, the kernels construct, and the standalone data
+// construct — 27 features per language. The bodies are generated from one
+// pattern per clause, as the paper's template infrastructure did.
+
+// computeConstructs are the constructs that carry data clauses directly.
+var dataConstructs = []string{"parallel", "kernels", "data"}
+
+func init() {
+	for _, constr := range dataConstructs {
+		for _, kind := range []string{
+			"copy", "copyin", "copyout", "create", "present",
+			"pcopy", "pcopyin", "pcopyout", "pcreate",
+		} {
+			name := fmt.Sprintf("%s_%s", constr, kind)
+			desc := fmt.Sprintf("%s clause on the %s construct moves data per §IV-B", kind, constr)
+			reg(name, constr, desc, cDataBody(constr, kind))
+			regF(name, constr, desc, fDataBody(constr, kind))
+		}
+	}
+}
+
+// cOpen/cClose build the construct under test around a device loop body.
+// For compute constructs the tested clause rides on the construct itself;
+// for the data construct an inner `parallel present(...)` consumes the
+// mapping.
+func cOpen(constr, clauses, crossClauses string) string {
+	dir := fmt.Sprintf("#pragma acc %s %s", constr, clauses)
+	crossDir := ""
+	if crossClauses != "-" {
+		crossDir = fmt.Sprintf(` cross="#pragma acc %s %s"`, constr, crossClauses)
+	} else {
+		crossDir = ` cross=""`
+	}
+	return fmt.Sprintf("    <acctest:directive%s>%s</acctest:directive>\n    {\n", crossDir, dir)
+}
+
+// cDataBody renders the C test body for a clause on a construct.
+func cDataBody(constr, kind string) string {
+	inner := func(stmts string) string {
+		if constr == "data" {
+			return "        #pragma acc parallel present(a[0:n], b[0:n])\n        {\n" +
+				indent(stmts, "    ") + "        }\n"
+		}
+		return stmts
+	}
+	sec := "a[0:n], b[0:n]"
+	head := `    int n = 64;
+    int i, errors;
+    int a[64], b[64];
+    for (i = 0; i < n; i++) { a[i] = i; b[i] = -1; }
+`
+	tail := func(checks string) string {
+		return "    }\n    errors = 0;\n" + checks + "    return (errors == 0);\n"
+	}
+	loop := func(body string) string {
+		return "        #pragma acc loop\n        for (i = 0; i < n; i++) {\n" + body + "        }\n"
+	}
+
+	switch kind {
+	case "copy":
+		return head +
+			cOpen(constr, "copy("+sec+")", "copyin("+sec+")") +
+			inner(loop("            a[i] = a[i]*2;\n            b[i] = a[i];\n")) +
+			tail(`    for (i = 0; i < n; i++) {
+        if (a[i] != 2*i) errors++;
+        if (b[i] != 2*i) errors++;
+    }
+`)
+	case "copyin", "pcopyin":
+		cross := strings.Replace(kind, "copyin", "copy", 1) // copy / pcopy
+		return head +
+			cOpen(constr, kind+"(a[0:n]) copyout(b[0:n])", cross+"(a[0:n]) copyout(b[0:n])") +
+			inner(loop("            b[i] = a[i]*2;\n            a[i] = a[i] + 100;\n")) +
+			tail(`    for (i = 0; i < n; i++) {
+        if (b[i] != 2*i) errors++;
+        if (a[i] != i) errors++;
+    }
+`)
+	case "copyout", "pcopyout":
+		cross := strings.Replace(kind, "copyout", "create", 1) // create / pcreate
+		return head +
+			cOpen(constr, kind+"(b[0:n]) copyin(a[0:n])", cross+"(b[0:n]) copyin(a[0:n])") +
+			inner(loop("            b[i] = a[i]*3 + 1;\n")) +
+			tail(`    for (i = 0; i < n; i++) {
+        if (b[i] != 3*i + 1) errors++;
+    }
+`)
+	case "create", "pcreate":
+		cross := strings.Replace(kind, "create", "copy", 1) // copy / pcopy
+		return head +
+			cOpen(constr, kind+"(a[0:n]) copyout(b[0:n])", cross+"(a[0:n]) copyout(b[0:n])") +
+			inner(loop("            a[i] = i*4;\n            b[i] = a[i]/2;\n")) +
+			tail(`    for (i = 0; i < n; i++) {
+        if (b[i] != 2*i) errors++;
+        if (a[i] != i) errors++;
+    }
+`)
+	case "present":
+		// The region must reuse the copies made by the enclosing data
+		// region even though the host copies changed in between.
+		body := `    int n = 64;
+    int i, errors;
+    int a[64], b[64];
+    for (i = 0; i < n; i++) { a[i] = i; b[i] = -1; }
+    <acctest:directive cross="#pragma acc data copyin(a[0:n]) copyout(b[0:n]) if(0)">#pragma acc data copyin(a[0:n]) copyout(b[0:n])</acctest:directive>
+    {
+        for (i = 0; i < n; i++) a[i] = 0;
+`
+		if constr == "data" {
+			body += `        #pragma acc data present(a[0:n], b[0:n])
+        {
+            #pragma acc parallel present(a[0:n], b[0:n])
+            {
+                #pragma acc loop
+                for (i = 0; i < n; i++) b[i] = a[i]*2;
+            }
+        }
+`
+		} else {
+			body += fmt.Sprintf(`        #pragma acc %s present(a[0:n], b[0:n])
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) b[i] = a[i]*2;
+        }
+`, constr)
+		}
+		body += `    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (b[i] != 2*i) errors++;
+    }
+    return (errors == 0);
+`
+		return body
+	case "pcopy":
+		// Not present: behaves as copy. Present: reuses the device copy
+		// and leaves the host value alone until the outer region ends.
+		return `    int n = 64;
+    int i, errors;
+    int a[64], b[64];
+    for (i = 0; i < n; i++) { a[i] = i; b[i] = i; }
+    ` + strings.TrimLeft(cOpen(constr, "pcopy(a[0:n], b[0:n])", "present(a[0:n], b[0:n])"), " ") +
+			inner("        #pragma acc loop\n        for (i = 0; i < n; i++) {\n            a[i] = a[i] + 1;\n            b[i] = a[i]*2;\n        }\n") + `    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != i + 1) errors++;
+        if (b[i] != 2*(i + 1)) errors++;
+    }
+    return (errors == 0);
+`
+	}
+	panic("unknown data clause kind " + kind)
+}
+
+// fDataBody renders the Fortran test body for a clause on a construct.
+func fDataBody(constr, kind string) string {
+	endFor := map[string]string{"parallel": "parallel", "kernels": "kernels", "data": "data"}[constr]
+	open := func(clauses, crossClauses string) string {
+		dir := fmt.Sprintf("!$acc %s %s", constr, clauses)
+		crossAttr := ` cross=""`
+		if crossClauses != "-" {
+			crossAttr = fmt.Sprintf(` cross="!$acc %s %s"`, constr, crossClauses)
+		}
+		return fmt.Sprintf("  <acctest:directive%s>%s</acctest:directive>\n", crossAttr, dir)
+	}
+	innerOpen, innerClose := "", ""
+	if constr == "data" {
+		innerOpen = "  !$acc parallel present(a(1:n), b(1:n))\n"
+		innerClose = "  !$acc end parallel\n"
+	}
+	head := `  integer :: n, i, errors
+  integer :: a(64), b(64)
+  n = 64
+  do i = 1, n
+    a(i) = i - 1
+    b(i) = -1
+  end do
+`
+	endDir := "  !$acc end " + endFor + "\n"
+	check := func(conds string) string {
+		return `  errors = 0
+  do i = 1, n
+` + conds + `  end do
+  if (errors == 0) test_result = 1
+`
+	}
+	loop := func(stmts string) string {
+		return innerOpen + "  !$acc loop\n  do i = 1, n\n" + stmts + "  end do\n" + innerClose
+	}
+
+	switch kind {
+	case "copy":
+		return head +
+			open("copy(a(1:n), b(1:n))", "copyin(a(1:n), b(1:n))") +
+			loop("    a(i) = a(i)*2\n    b(i) = a(i)\n") + endDir +
+			check(`    if (a(i) /= 2*(i - 1)) errors = errors + 1
+    if (b(i) /= 2*(i - 1)) errors = errors + 1
+`)
+	case "copyin", "pcopyin":
+		cross := strings.Replace(kind, "copyin", "copy", 1)
+		return head +
+			open(kind+"(a(1:n)) copyout(b(1:n))", cross+"(a(1:n)) copyout(b(1:n))") +
+			loop("    b(i) = a(i)*2\n    a(i) = a(i) + 100\n") + endDir +
+			check(`    if (b(i) /= 2*(i - 1)) errors = errors + 1
+    if (a(i) /= i - 1) errors = errors + 1
+`)
+	case "copyout", "pcopyout":
+		cross := strings.Replace(kind, "copyout", "create", 1)
+		return head +
+			open(kind+"(b(1:n)) copyin(a(1:n))", cross+"(b(1:n)) copyin(a(1:n))") +
+			loop("    b(i) = a(i)*3 + 1\n") + endDir +
+			check(`    if (b(i) /= 3*(i - 1) + 1) errors = errors + 1
+`)
+	case "create", "pcreate":
+		cross := strings.Replace(kind, "create", "copy", 1)
+		return head +
+			open(kind+"(a(1:n)) copyout(b(1:n))", cross+"(a(1:n)) copyout(b(1:n))") +
+			loop("    a(i) = (i - 1)*4\n    b(i) = a(i)/2\n") + endDir +
+			check(`    if (b(i) /= 2*(i - 1)) errors = errors + 1
+    if (a(i) /= i - 1) errors = errors + 1
+`)
+	case "present":
+		var mid string
+		if constr == "data" {
+			mid = `  !$acc data present(a(1:n), b(1:n))
+  !$acc parallel present(a(1:n), b(1:n))
+  !$acc loop
+  do i = 1, n
+    b(i) = a(i)*2
+  end do
+  !$acc end parallel
+  !$acc end data
+`
+		} else {
+			mid = fmt.Sprintf(`  !$acc %s present(a(1:n), b(1:n))
+  !$acc loop
+  do i = 1, n
+    b(i) = a(i)*2
+  end do
+  !$acc end %s
+`, constr, endFor)
+		}
+		return head +
+			`  <acctest:directive cross="!$acc data copyin(a(1:n)) copyout(b(1:n)) if(0)">!$acc data copyin(a(1:n)) copyout(b(1:n))</acctest:directive>
+  do i = 1, n
+    a(i) = 0
+  end do
+` + mid + `  !$acc end data
+` + check(`    if (b(i) /= 2*(i - 1)) errors = errors + 1
+`)
+	case "pcopy":
+		return `  integer :: n, i, errors
+  integer :: a(64), b(64)
+  n = 64
+  do i = 1, n
+    a(i) = i - 1
+    b(i) = i - 1
+  end do
+` +
+			open("pcopy(a(1:n), b(1:n))", "present(a(1:n), b(1:n))") +
+			loop("    a(i) = a(i) + 1\n    b(i) = a(i)*2\n") + endDir +
+			check(`    if (a(i) /= i) errors = errors + 1
+    if (b(i) /= 2*i) errors = errors + 1
+`)
+	}
+	panic("unknown data clause kind " + kind)
+}
+
+// indent prefixes every line.
+func indent(s, pre string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = pre + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,318 @@
+package templates
+
+import (
+	"accv/internal/ast"
+	"accv/internal/core"
+)
+
+// The declare-directive family: data lifetimes tied to a procedure's
+// implicit data region. CAPS 3.1.x failed this whole family, which is what
+// depresses its pass rate in Fig. 8(a).
+
+func init() {
+	// --- declare copyin ----------------------------------------------------
+	reg("declare_copyin", "declare",
+		"declare copyin maps data for the procedure's implicit data region",
+		`    int n = 32;
+    int i, errors;
+    int a[32], b[32];
+    for (i = 0; i < n; i++) { a[i] = i; b[i] = 0; }
+    <acctest:directive cross="">#pragma acc declare copyin(a[0:n])</acctest:directive>
+    #pragma acc parallel present(a[0:n]) copyout(b[0:n])
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            b[i] = a[i]*2;
+            a[i] = 0;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (b[i] != 2*i) errors++;
+        if (a[i] != i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("declare_copyin", "declare",
+		"declare copyin maps data for the procedure's implicit data region",
+		`  integer :: n, i, errors
+  integer :: a(32), b(32)
+  <acctest:directive cross="">!$acc declare copyin(a)</acctest:directive>
+  n = 32
+  do i = 1, n
+    a(i) = i - 1
+    b(i) = 0
+  end do
+  !$acc update device(a(1:n))
+  !$acc parallel present(a(1:n)) copyout(b(1:n))
+  !$acc loop
+  do i = 1, n
+    b(i) = a(i)*2
+    a(i) = 0
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (b(i) /= 2*(i - 1)) errors = errors + 1
+    if (a(i) /= i - 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- declare create ------------------------------------------------------
+	reg("declare_create", "declare",
+		"declare create allocates device-only data for the procedure",
+		`    int n = 32;
+    int i, errors;
+    int t[32], b[32];
+    for (i = 0; i < n; i++) { t[i] = 9; b[i] = 0; }
+    <acctest:directive cross="">#pragma acc declare create(t[0:n])</acctest:directive>
+    #pragma acc parallel present(t[0:n]) copyout(b[0:n])
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            t[i] = i;
+            b[i] = t[i] + 1;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (b[i] != i + 1) errors++;
+        if (t[i] != 9) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("declare_create", "declare",
+		"declare create allocates device-only data for the procedure",
+		`  integer :: n, i, errors
+  integer :: t(32), b(32)
+  <acctest:directive cross="">!$acc declare create(t)</acctest:directive>
+  n = 32
+  do i = 1, n
+    t(i) = 9
+    b(i) = 0
+  end do
+  !$acc parallel present(t(1:n)) copyout(b(1:n))
+  !$acc loop
+  do i = 1, n
+    t(i) = i - 1
+    b(i) = t(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (b(i) /= i) errors = errors + 1
+    if (t(i) /= 9) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- declare device_resident ----------------------------------------------
+	reg("declare_device_resident", "declare",
+		"declare device_resident keeps data on the device only",
+		`    int n = 32;
+    int i, errors;
+    int t[32], b[32];
+    for (i = 0; i < n; i++) b[i] = -1;
+    <acctest:directive cross="">#pragma acc declare device_resident(t)</acctest:directive>
+    #pragma acc parallel present(t[0:n]) copyout(b[0:n])
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            t[i] = i*4;
+            b[i] = t[i];
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (b[i] != 4*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("declare_device_resident", "declare",
+		"declare device_resident keeps data on the device only",
+		`  integer :: n, i, errors
+  integer :: t(32), b(32)
+  <acctest:directive cross="">!$acc declare device_resident(t)</acctest:directive>
+  n = 32
+  do i = 1, n
+    b(i) = -1
+  end do
+  !$acc parallel present(t(1:n)) copyout(b(1:n))
+  !$acc loop
+  do i = 1, n
+    t(i) = (i - 1)*4
+    b(i) = t(i)
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (b(i) /= 4*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- declare present ----------------------------------------------------
+	regT(&core.Template{
+		Name: "declare_present", Family: "declare", Lang: ast.LangC,
+		Description: "declare present asserts data mapped by the caller's data region",
+		TopLevel: `void bump(int a[], int n)
+{
+    int i;
+    #pragma acc declare present(a[0:n])
+    #pragma acc parallel present(a[0:n])
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = a[i] + 1;
+    }
+}
+`,
+		Source: `    int n = 32;
+    int i, errors;
+    int a[32];
+    for (i = 0; i < n; i++) a[i] = i;
+    <acctest:directive cross="#pragma acc data copy(a[0:n]) if(0)">#pragma acc data copy(a[0:n])</acctest:directive>
+    {
+        bump(a, n);
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != i + 1) errors++;
+    }
+    return (errors == 0);
+`,
+	})
+	regT(&core.Template{
+		Name: "declare_present", Family: "declare", Lang: ast.LangFortran,
+		Description: "declare present asserts data mapped by the caller's data region",
+		TopLevel: `subroutine bump(a, n)
+  integer :: n
+  integer :: a(n)
+  integer :: i
+  !$acc declare present(a(1:n))
+  !$acc parallel present(a(1:n))
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+end subroutine bump
+`,
+		Source: `  integer :: n, i, errors
+  integer :: a(32)
+  n = 32
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  <acctest:directive cross="!$acc data copy(a(1:n)) if(0)">!$acc data copy(a(1:n))</acctest:directive>
+  call bump(a, n)
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (a(i) /= i) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`,
+	})
+
+	// --- declare copy / copyout / pcopy / pcopyin / pcopyout -------------------
+	helperDeclare := func(name, clause, crossClause, op, expect string) {
+		descr := "declare " + clause + " applies at procedure entry and exit"
+		regT(&core.Template{
+			Name: name, Family: "declare", Lang: ast.LangC,
+			Description: descr,
+			TopLevel: `void work(int a[], int n)
+{
+    int i;
+    <acctest:directive cross="#pragma acc declare ` + crossClause + `(a[0:n])">#pragma acc declare ` + clause + `(a[0:n])</acctest:directive>
+    #pragma acc parallel present(a[0:n])
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = ` + op + `;
+    }
+}
+`,
+			Source: `    int n = 32;
+    int i, errors;
+    int a[32];
+    for (i = 0; i < n; i++) a[i] = i;
+    work(a, n);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != ` + expect + `) errors++;
+    }
+    return (errors == 0);
+`,
+		})
+		regT(&core.Template{
+			Name: name, Family: "declare", Lang: ast.LangFortran,
+			Description: descr,
+			TopLevel: `subroutine work(a, n)
+  integer :: n
+  integer :: a(n)
+  integer :: i
+  <acctest:directive cross="!$acc declare ` + crossClause + `(a(1:n))">!$acc declare ` + clause + `(a(1:n))</acctest:directive>
+  !$acc parallel present(a(1:n))
+  !$acc loop
+  do i = 1, n
+    a(i) = ` + fortranOp(op) + `
+  end do
+  !$acc end parallel
+end subroutine work
+`,
+			Source: `  integer :: n, i, errors
+  integer :: a(32)
+  n = 32
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  call work(a, n)
+  errors = 0
+  do i = 1, n
+    if (a(i) /= ` + fortranExpect(expect) + `) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`,
+		})
+	}
+	helperDeclare("declare_copy", "copy", "copyin", "a[i] + 5", "i + 5")
+	helperDeclare("declare_pcopy", "pcopy", "pcopyin", "a[i] + 6", "i + 6")
+	helperDeclare("declare_copyout", "copyout", "create", "i*3", "3*i")
+	helperDeclare("declare_pcopyout", "pcopyout", "pcreate", "i*7", "7*i")
+	helperDeclare("declare_pcopyin", "pcopyin", "pcopy", "a[i] + 9", "i")
+}
+
+// fortranOp translates the C device statements of the declare helpers.
+func fortranOp(op string) string {
+	switch op {
+	case "a[i] + 5":
+		return "a(i) + 5"
+	case "a[i] + 6":
+		return "a(i) + 6"
+	case "a[i] + 9":
+		return "a(i) + 9"
+	case "i*3":
+		return "(i - 1)*3"
+	case "i*7":
+		return "(i - 1)*7"
+	}
+	return op
+}
+
+// fortranExpect translates the C expected-value expressions (C index i maps
+// to Fortran i-1).
+func fortranExpect(e string) string {
+	switch e {
+	case "i + 5":
+		return "(i - 1) + 5"
+	case "i + 6":
+		return "(i - 1) + 6"
+	case "3*i":
+		return "3*(i - 1)"
+	case "7*i":
+		return "7*(i - 1)"
+	case "i":
+		return "i - 1"
+	}
+	return e
+}

@@ -1,0 +1,59 @@
+package templates
+
+import (
+	"accv/internal/ast"
+	"accv/internal/core"
+)
+
+// The environment-variable family: ACC_DEVICE_TYPE and ACC_DEVICE_NUM,
+// honoured by the runtime at acc_init.
+
+func init() {
+	regT(&core.Template{
+		Name: "env_acc_device_type", Family: "env", Lang: ast.LangC,
+		Description: "ACC_DEVICE_TYPE=host selects host execution at acc_init",
+		Env:         map[string]string{"ACC_DEVICE_TYPE": "host"},
+		NoCross:     true,
+		Source: `    int flag = 0;
+    acc_init(acc_device_default);
+    #pragma acc parallel create(flag)
+    {
+        flag = 1;
+    }
+    return (flag == 1);
+`,
+	})
+	regT(&core.Template{
+		Name: "env_acc_device_type", Family: "env", Lang: ast.LangFortran,
+		Description: "ACC_DEVICE_TYPE=host selects host execution at acc_init",
+		Env:         map[string]string{"ACC_DEVICE_TYPE": "host"},
+		NoCross:     true,
+		Source: `  integer :: flag
+  flag = 0
+  call acc_init(acc_device_default)
+  !$acc parallel create(flag)
+  flag = 1
+  !$acc end parallel
+  if (flag == 1) test_result = 1
+`,
+	})
+
+	regT(&core.Template{
+		Name: "env_acc_device_num", Family: "env", Lang: ast.LangC,
+		Description: "ACC_DEVICE_NUM selects the default device at acc_init",
+		Env:         map[string]string{"ACC_DEVICE_NUM": "1"},
+		NoCross:     true,
+		Source: `    acc_init(acc_device_not_host);
+    return (acc_get_device_num(acc_device_not_host) == 1);
+`,
+	})
+	regT(&core.Template{
+		Name: "env_acc_device_num", Family: "env", Lang: ast.LangFortran,
+		Description: "ACC_DEVICE_NUM selects the default device at acc_init",
+		Env:         map[string]string{"ACC_DEVICE_NUM": "1"},
+		NoCross:     true,
+		Source: `  call acc_init(acc_device_not_host)
+  if (acc_get_device_num(acc_device_not_host) == 1) test_result = 1
+`,
+	})
+}

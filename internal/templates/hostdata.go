@@ -1,0 +1,71 @@
+package templates
+
+import (
+	"accv/internal/ast"
+	"accv/internal/core"
+)
+
+// The host_data construct (§IV-E): exposing device addresses to host code
+// so optimized low-level (CUDA-style) procedures can operate on device
+// data. The helper procedure's "cuda" prefix marks it as simulated
+// device-library code.
+
+func init() {
+	regT(&core.Template{
+		Name: "host_data_use_device", Family: "host_data", Lang: ast.LangC,
+		Description: "host_data use_device passes the device address to a low-level procedure (§IV-E)",
+		TopLevel: `void cuda_scale(int *p, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) p[i] = p[i] * 2;
+}
+`,
+		Source: `    int n = 32;
+    int i, errors;
+    int a[32];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc data copy(a[0:n])
+    {
+        <acctest:directive cross="">#pragma acc host_data use_device(a)</acctest:directive>
+        {
+            cuda_scale(a, n);
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 2*i) errors++;
+    }
+    return (errors == 0);
+`,
+	})
+	regT(&core.Template{
+		Name: "host_data_use_device", Family: "host_data", Lang: ast.LangFortran,
+		Description: "host_data use_device passes the device address to a low-level procedure (§IV-E)",
+		TopLevel: `subroutine cuda_scale(p, n)
+  integer :: n
+  integer :: p(n)
+  integer :: i
+  do i = 1, n
+    p(i) = p(i) * 2
+  end do
+end subroutine cuda_scale
+`,
+		Source: `  integer :: n, i, errors
+  integer :: a(32)
+  n = 32
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  !$acc data copy(a(1:n))
+  <acctest:directive cross="">!$acc host_data use_device(a)</acctest:directive>
+  call cuda_scale(a, n)
+  <acctest:directive cross="">!$acc end host_data</acctest:directive>
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 2*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`,
+	})
+}

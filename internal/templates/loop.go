@@ -1,0 +1,462 @@
+package templates
+
+// The loop-construct family (§IV-C): partitioning levels, seq ordering,
+// independence, collapse, and privatization. Reduction operators get their
+// own generated family (reduction.go).
+
+func init() {
+	// --- loop (Fig. 2): bare loop partitions across gangs ---------------
+	reg("loop", "loop",
+		"loop directive partitions iterations instead of redundant execution (Fig. 2)",
+		`    int n = 128;
+    int i, errors;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(10)
+    {
+        <acctest:directive cross="">#pragma acc loop</acctest:directive>
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop", "loop",
+		"loop directive partitions iterations instead of redundant execution (Fig. 2)",
+		`  integer :: n, i, errors
+  integer :: a(128)
+  n = 128
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(10)
+  <acctest:directive cross="">!$acc loop</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop gang -------------------------------------------------------
+	reg("loop_gang", "loop",
+		"gang clause partitions iterations across gangs",
+		`    int n = 128;
+    int i, errors;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(8)
+    {
+        <acctest:directive cross="">#pragma acc loop gang</acctest:directive>
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop_gang", "loop",
+		"gang clause partitions iterations across gangs",
+		`  integer :: n, i, errors
+  integer :: a(128)
+  n = 128
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(8)
+  <acctest:directive cross="">!$acc loop gang</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop worker (the Fig. 1 ambiguity: no enclosing gang loop) ------
+	reg("loop_worker", "loop",
+		"worker loop without an enclosing gang loop (the Fig. 1 ambiguity)",
+		`    int n = 64;
+    int i, errors;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(1) num_workers(8)
+    {
+        <acctest:directive cross="">#pragma acc loop worker</acctest:directive>
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop_worker", "loop",
+		"worker loop without an enclosing gang loop (the Fig. 1 ambiguity)",
+		`  integer :: n, i, errors
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(1) num_workers(8)
+  <acctest:directive cross="">!$acc loop worker</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop vector ------------------------------------------------------
+	reg("loop_vector", "loop",
+		"vector clause partitions iterations across vector lanes",
+		`    int n = 256;
+    int i, errors;
+    int a[256];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(4) vector_length(32)
+    {
+        <acctest:directive cross="">#pragma acc loop gang vector</acctest:directive>
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop_vector", "loop",
+		"vector clause partitions iterations across vector lanes",
+		`  integer :: n, i, errors
+  integer :: a(256)
+  n = 256
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(4) vector_length(32)
+  <acctest:directive cross="">!$acc loop gang vector</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop seq (§IV-C-2): ordering check inside a kernels region -------
+	reg("loop_seq", "loop",
+		"seq clause forces sequential execution in iteration order (§IV-C-2)",
+		`    int n = 64;
+    int i;
+    int last_i = -1;
+    int is_larger = 1;
+    #pragma acc kernels copy(last_i, is_larger)
+    {
+        <acctest:directive cross="#pragma acc loop gang">#pragma acc loop seq</acctest:directive>
+        for (i = 0; i < n; i++) {
+            is_larger = ((i - last_i) == 1) && is_larger;
+            last_i = i;
+        }
+    }
+    return (is_larger == 1);
+`)
+	regF("loop_seq", "loop",
+		"seq clause forces sequential execution in iteration order (§IV-C-2)",
+		`  integer :: n, i, last_i, is_larger
+  n = 64
+  last_i = -1
+  is_larger = 1
+  !$acc kernels copy(last_i, is_larger)
+  <acctest:directive cross="!$acc loop gang">!$acc loop seq</acctest:directive>
+  do i = 0, n - 1
+    if ((i - last_i) == 1 .and. is_larger == 1) then
+      is_larger = 1
+    else
+      is_larger = 0
+    end if
+    last_i = i
+  end do
+  !$acc end kernels
+  if (is_larger == 1) test_result = 1
+`)
+
+	// --- loop independent on a dependent loop (§IV-C-1) --------------------
+	reg("loop_independent", "loop",
+		"independent clause parallelizes even a loop with real dependences (§IV-C-1)",
+		`    int n = 256;
+    int i;
+    int a[256];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(8)
+    {
+        <acctest:directive cross="#pragma acc loop seq">#pragma acc loop independent</acctest:directive>
+        for (i = 1; i < n; i++)
+            a[i] = a[i-1] + 1;
+    }
+    /* Sequentially a[n-1] would be n-1; a parallel schedule cannot
+       reproduce the chain, which is exactly what this test watches for. */
+    return (a[n-1] != n - 1);
+`)
+	regF("loop_independent", "loop",
+		"independent clause parallelizes even a loop with real dependences (§IV-C-1)",
+		`  integer :: n, i
+  integer :: a(256)
+  n = 256
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(8)
+  <acctest:directive cross="!$acc loop seq">!$acc loop independent</acctest:directive>
+  do i = 2, n
+    a(i) = a(i-1) + 1
+  end do
+  !$acc end parallel
+  if (a(n) /= n - 1) test_result = 1
+`)
+
+	// --- loop independent on a truly independent loop ----------------------
+	reg("loop_independent_ok", "loop",
+		"independent clause preserves results when the loop really is independent",
+		`    int n = 128;
+    int i, errors;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(8)
+    {
+        <acctest:directive cross="">#pragma acc loop independent</acctest:directive>
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + i*2;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 2*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop_independent_ok", "loop",
+		"independent clause preserves results when the loop really is independent",
+		`  integer :: n, i, errors
+  integer :: a(128)
+  n = 128
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(8)
+  <acctest:directive cross="">!$acc loop independent</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + (i - 1)*2
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 2*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop collapse + seq ordering (§IV-C-3) ----------------------------
+	reg("loop_collapse", "loop",
+		"collapse(2) seq runs the whole nest sequentially in row-major order (§IV-C-3)",
+		`    int rows = 6;
+    int cols = 10;
+    int i, j, k;
+    int last = -1;
+    int ok = 1;
+    #pragma acc kernels copy(last, ok)
+    {
+        <acctest:directive cross="#pragma acc loop gang collapse(2)">#pragma acc loop seq collapse(2)</acctest:directive>
+        for (i = 0; i < rows; i++) {
+            for (j = 0; j < cols; j++) {
+                k = i*cols + j;
+                ok = ((k - last) == 1) && ok;
+                last = k;
+            }
+        }
+    }
+    return (ok == 1);
+`)
+	regF("loop_collapse", "loop",
+		"collapse(2) seq runs the whole nest sequentially in row-major order (§IV-C-3)",
+		`  integer :: rows, cols, i, j, k, last, ok
+  rows = 6
+  cols = 10
+  last = -1
+  ok = 1
+  !$acc kernels copy(last, ok)
+  <acctest:directive cross="!$acc loop gang collapse(2)">!$acc loop seq collapse(2)</acctest:directive>
+  do i = 0, rows - 1
+    do j = 0, cols - 1
+      k = i*cols + j
+      if ((k - last) == 1 .and. ok == 1) then
+        ok = 1
+      else
+        ok = 0
+      end if
+      last = k
+    end do
+  end do
+  !$acc end kernels
+  if (ok == 1) test_result = 1
+`)
+
+	// --- loop collapse coverage under partitioning -------------------------
+	reg("loop_collapse_gang", "loop",
+		"collapse(2) gang covers the full iteration space exactly once",
+		`    int rows = 6;
+    int cols = 10;
+    int i, j, errors;
+    int m[6][10];
+    for (i = 0; i < rows; i++)
+        for (j = 0; j < cols; j++)
+            m[i][j] = -1;
+    #pragma acc parallel copy(m) num_gangs(4)
+    {
+        <acctest:directive cross="#pragma acc loop seq">#pragma acc loop gang collapse(2)</acctest:directive>
+        for (i = 0; i < rows; i++)
+            for (j = 0; j < cols; j++)
+                m[i][j] = i*100 + j;
+    }
+    errors = 0;
+    for (i = 0; i < rows; i++)
+        for (j = 0; j < cols; j++)
+            if (m[i][j] != i*100 + j) errors++;
+    return (errors == 0);
+`)
+	regF("loop_collapse_gang", "loop",
+		"collapse(2) gang covers the full iteration space exactly once",
+		`  integer :: rows, cols, i, j, errors
+  integer :: m(6,10)
+  rows = 6
+  cols = 10
+  do i = 1, rows
+    do j = 1, cols
+      m(i,j) = -1
+    end do
+  end do
+  !$acc parallel copy(m) num_gangs(4)
+  <acctest:directive cross="!$acc loop seq">!$acc loop gang collapse(2)</acctest:directive>
+  do i = 1, rows
+    do j = 1, cols
+      m(i,j) = i*100 + j
+    end do
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, rows
+    do j = 1, cols
+      if (m(i,j) /= i*100 + j) errors = errors + 1
+    end do
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop private -------------------------------------------------------
+	reg("loop_private", "loop",
+		"private clause on loop gives each executing lane its own scratch variable",
+		`    int n = 128;
+    int i, errors;
+    int t = 0;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = 0;
+    <acctest:directive cross="#pragma acc parallel copy(a[0:n]) copy(t) num_gangs(8)">#pragma acc parallel copy(a[0:n]) num_gangs(8)</acctest:directive>
+    {
+        <acctest:directive cross="#pragma acc loop gang">#pragma acc loop gang private(t)</acctest:directive>
+        for (i = 0; i < n; i++) {
+            t = i*7;
+            a[i] = t - i;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 6*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop_private", "loop",
+		"private clause on loop gives each executing lane its own scratch variable",
+		`  integer :: n, i, errors, t
+  integer :: a(128)
+  n = 128
+  t = 0
+  do i = 1, n
+    a(i) = 0
+  end do
+  <acctest:directive cross="!$acc parallel copy(a(1:n)) copy(t) num_gangs(8)">!$acc parallel copy(a(1:n)) num_gangs(8)</acctest:directive>
+  <acctest:directive cross="!$acc loop gang">!$acc loop gang private(t)</acctest:directive>
+  do i = 1, n
+    t = (i - 1)*7
+    a(i) = t - (i - 1)
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 6*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- cache directive ------------------------------------------------------
+	reg("cache", "loop",
+		"cache directive is accepted inside device loops (performance hint)",
+		`    int n = 64;
+    int i, errors;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel copy(a[0:n]) num_gangs(2)
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            <acctest:directive cross="">#pragma acc cache(a[i:1])</acctest:directive>
+            a[i] = a[i] + 2;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != i + 2) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("cache", "loop",
+		"cache directive is accepted inside device loops (performance hint)",
+		`  integer :: n, i, errors
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(2)
+  !$acc loop
+  do i = 1, n
+    <acctest:directive cross="">!$acc cache(a(i:i))</acctest:directive>
+    a(i) = a(i) + 2
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= i + 2) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+}

@@ -1,0 +1,238 @@
+package templates
+
+// Miscellaneous directive tests: the data-construct if and deviceptr
+// clauses, the Fig. 11 uninitialized-copyout scenario, the kernels
+// deviceptr clause, and the wait directive.
+
+func init() {
+	// --- data if -------------------------------------------------------------
+	reg("data_if", "data",
+		"if clause on the data construct gates all of its data movement (§IV-B)",
+		`    int n = 64;
+    int i, errors;
+    int c[64];
+    for (i = 0; i < n; i++) c[i] = 0;
+    <acctest:directive cross="#pragma acc data copy(c[0:n]) if(0)">#pragma acc data copy(c[0:n]) if(1)</acctest:directive>
+    {
+        for (i = 0; i < n; i++) c[i] = 5;
+        #pragma acc parallel pcopy(c[0:n])
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) c[i] = c[i] + 1;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (c[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("data_if", "data",
+		"if clause on the data construct gates all of its data movement (§IV-B)",
+		`  integer :: n, i, errors
+  integer :: c(64)
+  n = 64
+  do i = 1, n
+    c(i) = 0
+  end do
+  <acctest:directive cross="!$acc data copy(c(1:n)) if(0)">!$acc data copy(c(1:n)) if(1)</acctest:directive>
+  do i = 1, n
+    c(i) = 5
+  end do
+  !$acc parallel pcopy(c(1:n))
+  !$acc loop
+  do i = 1, n
+    c(i) = c(i) + 1
+  end do
+  !$acc end parallel
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (c(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- data deviceptr ---------------------------------------------------------
+	reg("data_deviceptr", "data",
+		"deviceptr clause on the data construct accepts raw device pointers",
+		`    int n = 32;
+    int i, errors;
+    int out[32];
+    int *d = (int*) acc_malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) out[i] = -1;
+    <acctest:directive cross="">#pragma acc data deviceptr(d)</acctest:directive>
+    {
+        #pragma acc parallel deviceptr(d) copyout(out[0:n])
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) {
+                d[i] = i*2;
+                out[i] = d[i];
+            }
+        }
+    }
+    acc_free(d);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (out[i] != 2*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("data_deviceptr", "data",
+		"deviceptr clause on the data construct accepts raw device pointers",
+		`  integer :: n, i, errors, ok
+  integer :: out(32)
+  n = 32
+  ok = 0
+  do i = 1, n
+    out(i) = -1
+  end do
+  <acctest:directive cross="!$acc data copy(ok) if(0)">!$acc data copy(ok)</acctest:directive>
+  !$acc parallel present(ok) copyout(out(1:n))
+  ok = 1
+  !$acc loop
+  do i = 1, n
+    out(i) = (i - 1)*2
+  end do
+  !$acc end parallel
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (out(i) /= 2*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0 .and. ok == 1) test_result = 1
+`)
+
+	// --- Fig. 11: copyout of an uninitialized device array ----------------------
+	reg("data_copyout_uninit", "data",
+		"copyout of never-written device data must return the uninitialized device contents (Fig. 11)",
+		`    int n = 64;
+    int i, j;
+    int b[64], c[64];
+    int known_sum, sum;
+    for (i = 0; i < n; i++) b[i] = i*i + 7;
+    known_sum = 0;
+    for (i = 0; i < n; i++) known_sum += b[i];
+    <acctest:directive cross="">#pragma acc parallel copyout(b[0:n], c[0:n])</acctest:directive>
+    {
+        #pragma acc loop
+        for (j = 0; j < n; j++)
+            c[j] = b[j];
+    }
+    sum = 0;
+    for (i = 0; i < n; i++) sum += b[i];
+    return (sum != known_sum);
+`)
+	regF("data_copyout_uninit", "data",
+		"copyout of never-written device data must return the uninitialized device contents (Fig. 11)",
+		`  integer :: n, i, j, known_sum, sum
+  integer :: b(64), c(64)
+  n = 64
+  do i = 1, n
+    b(i) = (i - 1)*(i - 1) + 7
+  end do
+  known_sum = 0
+  do i = 1, n
+    known_sum = known_sum + b(i)
+  end do
+  <acctest:directive cross="">!$acc parallel copyout(b(1:n), c(1:n))</acctest:directive>
+  !$acc loop
+  do j = 1, n
+    c(j) = b(j)
+  end do
+  <acctest:directive cross="">!$acc end parallel</acctest:directive>
+  sum = 0
+  do i = 1, n
+    sum = sum + b(i)
+  end do
+  if (sum /= known_sum) test_result = 1
+`)
+
+	// --- kernels deviceptr --------------------------------------------------------
+	reg("kernels_deviceptr", "kernels",
+		"deviceptr clause on the kernels construct accepts raw device pointers",
+		`    int n = 32;
+    int i, errors;
+    int out[32];
+    int *d = (int*) acc_malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) out[i] = -1;
+    <acctest:directive cross="">#pragma acc kernels deviceptr(d) copyout(out[0:n])</acctest:directive>
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            d[i] = i*3;
+            out[i] = d[i];
+        }
+    }
+    acc_free(d);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (out[i] != 3*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("kernels_deviceptr", "kernels",
+		"deviceptr clause on the kernels construct accepts raw device pointers",
+		`  integer :: n, i, errors, ok
+  integer :: out(32)
+  n = 32
+  ok = 0
+  do i = 1, n
+    out(i) = -1
+  end do
+  <acctest:directive cross="!$acc kernels copyout(out(1:n)) create(ok)">!$acc kernels copyout(out(1:n)) copy(ok)</acctest:directive>
+  ok = 1
+  !$acc loop
+  do i = 1, n
+    out(i) = (i - 1)*3
+  end do
+  !$acc end kernels
+  errors = 0
+  do i = 1, n
+    if (out(i) /= 3*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0 .and. ok == 1) test_result = 1
+`)
+
+	// --- wait directive --------------------------------------------------------------
+	reg("wait", "wait",
+		"wait directive blocks until the tagged async activities complete",
+		`    int n = 20000;
+    int i, errors;
+    int a[20000];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel copy(a[0:n]) async(7)
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = a[i]*2;
+    }
+    <acctest:directive cross="">#pragma acc wait(7)</acctest:directive>
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 2*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("wait", "wait",
+		"wait directive blocks until the tagged async activities complete",
+		`  integer :: n, i, errors
+  integer :: a(20000)
+  n = 20000
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  !$acc parallel copy(a(1:n)) async(7)
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i)*2
+  end do
+  !$acc end parallel
+  <acctest:directive cross="">!$acc wait(7)</acctest:directive>
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 2*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+}

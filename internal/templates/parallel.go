@@ -1,0 +1,370 @@
+package templates
+
+// The parallel-construct family (§IV-A): execution, launch configuration,
+// privatization, and the if/async clauses. Data clauses on parallel are in
+// the generated data family (data.go).
+
+func init() {
+	// --- parallel: the construct offloads at all -----------------------
+	reg("parallel", "parallel",
+		"parallel construct executes its region on the device",
+		`    int flag = 0;
+    <acctest:directive cross="#pragma acc parallel create(flag)">#pragma acc parallel copy(flag)</acctest:directive>
+    {
+        flag = 1;
+    }
+    return (flag == 1);
+`)
+	regF("parallel", "parallel",
+		"parallel construct executes its region on the device",
+		`  integer :: flag
+  flag = 0
+  <acctest:directive cross="!$acc parallel create(flag)">!$acc parallel copy(flag)</acctest:directive>
+  flag = 1
+  !$acc end parallel
+  if (flag == 1) test_result = 1
+`)
+
+	// --- parallel if (Fig. 5) ------------------------------------------
+	reg("parallel_if", "parallel",
+		"if clause switches execution between device and host (Fig. 5)",
+		`    int n = 200;
+    int i, j, m, sum, errors;
+    int a[200], b[200], c[200];
+    for (i = 0; i < n; i++) { a[i] = i; b[i] = 2*i; c[i] = 0; }
+    #pragma acc data copy(c[0:n]) copyin(a[0:n], b[0:n])
+    {
+        sum = 1;
+        for (m = 0; m < n; m++) {
+            <acctest:directive cross="#pragma acc parallel loop">#pragma acc parallel loop if(sum < n)</acctest:directive>
+            for (j = 0; j < n; j++) {
+                c[j] += a[j] + b[j];
+            }
+            sum += m;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (c[i] != 21*(a[i] + b[i])) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_if", "parallel",
+		"if clause switches execution between device and host (Fig. 5)",
+		`  integer :: n, i, j, m, sum, errors
+  integer :: a(200), b(200), c(200)
+  n = 200
+  do i = 1, n
+    a(i) = i - 1
+    b(i) = 2*(i - 1)
+    c(i) = 0
+  end do
+  !$acc data copy(c(1:n)) copyin(a(1:n), b(1:n))
+  sum = 1
+  do m = 0, n - 1
+    <acctest:directive cross="!$acc parallel loop">!$acc parallel loop if(sum < n)</acctest:directive>
+    do j = 1, n
+      c(j) = c(j) + a(j) + b(j)
+    end do
+    sum = sum + m
+  end do
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (c(i) /= 21*(a(i) + b(i))) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- parallel async (Fig. 10 flavour) -------------------------------
+	reg("parallel_async", "parallel",
+		"async clause launches the region asynchronously",
+		`    int n = 20000;
+    int i, errors, before, after;
+    int a[20000];
+    for (i = 0; i < n; i++) a[i] = i;
+    <acctest:directive cross="#pragma acc parallel copy(a[0:n])">#pragma acc parallel copy(a[0:n]) async(3)</acctest:directive>
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = a[i] + 1;
+    }
+    before = acc_async_test(3);
+    #pragma acc wait(3)
+    after = acc_async_test(3);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != i + 1) errors++;
+    }
+    return (errors == 0) && (before == 0) && (after != 0);
+`)
+	regF("parallel_async", "parallel",
+		"async clause launches the region asynchronously",
+		`  integer :: n, i, errors, before, after
+  integer :: a(20000)
+  n = 20000
+  do i = 1, n
+    a(i) = i
+  end do
+  <acctest:directive cross="!$acc parallel copy(a(1:n))">!$acc parallel copy(a(1:n)) async(3)</acctest:directive>
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  before = acc_async_test(3)
+  !$acc wait(3)
+  after = acc_async_test(3)
+  errors = 0
+  do i = 1, n
+    if (a(i) /= i + 1) errors = errors + 1
+  end do
+  if (errors == 0 .and. before == 0 .and. after /= 0) test_result = 1
+`)
+
+	// --- parallel num_gangs (Fig. 9, the non-constant expression) -------
+	reg("parallel_num_gangs", "parallel",
+		"num_gangs launches the requested gang count (Fig. 9)",
+		`    int gangs = 8;
+    int gang_num = 0;
+    <acctest:directive cross="#pragma acc parallel num_gangs(1) reduction(+:gang_num)">#pragma acc parallel num_gangs(gangs) reduction(+:gang_num)</acctest:directive>
+    {
+        gang_num++;
+    }
+    return (gang_num == 8);
+`)
+	regF("parallel_num_gangs", "parallel",
+		"num_gangs launches the requested gang count (Fig. 9)",
+		`  integer :: gangs, gang_num
+  gangs = 8
+  gang_num = 0
+  <acctest:directive cross="!$acc parallel num_gangs(1) reduction(+:gang_num)">!$acc parallel num_gangs(gangs) reduction(+:gang_num)</acctest:directive>
+  gang_num = gang_num + 1
+  !$acc end parallel
+  if (gang_num == 8) test_result = 1
+`)
+
+	// --- parallel num_workers (Fig. 4) ----------------------------------
+	reg("parallel_num_workers", "parallel",
+		"num_workers schedules the worker-level loop on all workers of a gang (Fig. 4)",
+		`    int gangs = 4;
+    int workers = 4;
+    int workers_load = 64;
+    int i, j, errors;
+    int gangs_red[4];
+    for (i = 0; i < gangs; i++) gangs_red[i] = 0;
+    <acctest:directive cross="#pragma acc parallel copy(gangs_red[0:gangs]) num_gangs(gangs)">#pragma acc parallel copy(gangs_red[0:gangs]) num_gangs(gangs) num_workers(workers)</acctest:directive>
+    {
+        #pragma acc loop gang
+        for (i = 0; i < gangs; i++) {
+            int to_reduct = 0;
+            #pragma acc loop worker reduction(+:to_reduct)
+            for (j = 0; j < workers_load; j++)
+                to_reduct++;
+            gangs_red[i] = to_reduct;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < gangs; i++) {
+        if (gangs_red[i] != workers_load) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_num_workers", "parallel",
+		"num_workers schedules the worker-level loop on all workers of a gang (Fig. 4)",
+		`  integer :: gangs, workers, wload, i, j, errors, to_reduct
+  integer :: gangs_red(4)
+  gangs = 4
+  workers = 4
+  wload = 64
+  do i = 1, gangs
+    gangs_red(i) = 0
+  end do
+  <acctest:directive cross="!$acc parallel copy(gangs_red(1:gangs)) num_gangs(gangs)">!$acc parallel copy(gangs_red(1:gangs)) num_gangs(gangs) num_workers(workers)</acctest:directive>
+  !$acc loop gang
+  do i = 1, gangs
+    to_reduct = 0
+    !$acc loop worker reduction(+:to_reduct)
+    do j = 1, wload
+      to_reduct = to_reduct + 1
+    end do
+    gangs_red(i) = to_reduct
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, gangs
+    if (gangs_red(i) /= wload) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- parallel vector_length -----------------------------------------
+	reg("parallel_vector_length", "parallel",
+		"vector_length configures the vector lanes of each worker",
+		`    int n = 256;
+    int i, errors;
+    int a[256];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(2) vector_length(64)
+    {
+        <acctest:directive cross="">#pragma acc loop gang vector</acctest:directive>
+        for (i = 0; i < n; i++) a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_vector_length", "parallel",
+		"vector_length configures the vector lanes of each worker",
+		`  integer :: n, i, errors
+  integer :: a(256)
+  n = 256
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(2) vector_length(64)
+  <acctest:directive cross="">!$acc loop gang vector</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- parallel private (§IV-A-2) --------------------------------------
+	reg("parallel_private", "parallel",
+		"private gives each gang its own copy of the listed variables",
+		`    int n = 128;
+    int i, errors;
+    int t = 0;
+    int a[128];
+    for (i = 0; i < n; i++) a[i] = 0;
+    <acctest:directive cross="#pragma acc parallel copy(a[0:n]) copy(t) num_gangs(8)">#pragma acc parallel copy(a[0:n]) num_gangs(8) private(t)</acctest:directive>
+    {
+        #pragma acc loop gang
+        for (i = 0; i < n; i++) {
+            t = i*3;
+            a[i] = t + 1;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 3*i + 1) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_private", "parallel",
+		"private gives each gang its own copy of the listed variables",
+		`  integer :: n, i, errors, t
+  integer :: a(128)
+  n = 128
+  t = 0
+  do i = 1, n
+    a(i) = 0
+  end do
+  <acctest:directive cross="!$acc parallel copy(a(1:n)) copy(t) num_gangs(8)">!$acc parallel copy(a(1:n)) num_gangs(8) private(t)</acctest:directive>
+  !$acc loop gang
+  do i = 1, n
+    t = 3*(i - 1)
+    a(i) = t + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 3*(i - 1) + 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- parallel firstprivate (§III cross methodology) -------------------
+	reg("parallel_firstprivate", "parallel",
+		"firstprivate initializes each gang's copy from the host value",
+		`    int n = 64;
+    int i, errors;
+    int base = 10;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = 0;
+    <acctest:directive cross="#pragma acc parallel copyout(a[0:n]) num_gangs(4) private(base)">#pragma acc parallel copyout(a[0:n]) num_gangs(4) firstprivate(base)</acctest:directive>
+    {
+        #pragma acc loop gang
+        for (i = 0; i < n; i++) a[i] = base + i;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 10 + i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_firstprivate", "parallel",
+		"firstprivate initializes each gang's copy from the host value",
+		`  integer :: n, i, errors, base
+  integer :: a(64)
+  n = 64
+  base = 10
+  do i = 1, n
+    a(i) = 0
+  end do
+  <acctest:directive cross="!$acc parallel copyout(a(1:n)) num_gangs(4) private(base)">!$acc parallel copyout(a(1:n)) num_gangs(4) firstprivate(base)</acctest:directive>
+  !$acc loop gang
+  do i = 1, n
+    a(i) = base + i
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 10 + i) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- parallel deviceptr (§IV-B-5) -------------------------------------
+	reg("parallel_deviceptr", "parallel",
+		"deviceptr passes raw device pointers from acc_malloc into the region",
+		`    int n = 64;
+    int i, errors;
+    int out[64];
+    int *d = (int*) acc_malloc(n * sizeof(int));
+    for (i = 0; i < n; i++) out[i] = -1;
+    <acctest:directive cross="">#pragma acc parallel deviceptr(d) copyout(out[0:n]) num_gangs(2)</acctest:directive>
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) {
+            d[i] = i*5;
+            out[i] = d[i];
+        }
+    }
+    acc_free(d);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (out[i] != 5*i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("parallel_deviceptr", "parallel",
+		"deviceptr passes raw device pointers from acc_malloc into the region",
+		`  integer :: n, i, errors, ok
+  integer :: out(64)
+  n = 64
+  ok = 0
+  do i = 1, n
+    out(i) = -1
+  end do
+  <acctest:directive cross="!$acc parallel copyout(out(1:n)) create(ok) num_gangs(2)">!$acc parallel copyout(out(1:n)) copy(ok) num_gangs(2)</acctest:directive>
+  ok = 1
+  !$acc loop
+  do i = 1, n
+    out(i) = 5*(i - 1)
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (out(i) /= 5*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0 .and. ok == 1) test_result = 1
+`)
+}

@@ -1,0 +1,328 @@
+package templates
+
+import "fmt"
+
+// The reduction family (§IV-C-4): every OpenACC 1.0 reduction operator on
+// int data plus the arithmetic operators on float and double, following the
+// Fig. 7 pattern — compute a known value sequentially on the host (or, for
+// float addition, from the closed form the paper uses), reduce on the
+// device with a kernels loop, and compare. Float comparisons allow the
+// paper's rounding error of 1e-9. The cross variant swaps the operator for
+// a different one, which must change the result.
+
+// redCase describes one generated reduction test.
+type redCase struct {
+	op, crossOp string // C spellings
+	fop, fcross string // Fortran spellings
+	// fill is the array element expression (C uses i, Fortran i-1 via iz).
+	fill string
+	init string // accumulator start value
+}
+
+var intRedCases = []redCase{
+	{op: "+", crossOp: "*", fop: "+", fcross: "*", fill: "IZ*3 + 1", init: "0"},
+	{op: "*", crossOp: "+", fop: "*", fcross: "+", fill: "1 + (IZ == 3) + 2*(IZ == 10)", init: "1"},
+	{op: "max", crossOp: "min", fop: "max", fcross: "min", fill: "(IZ*37) % 101", init: "-1000"},
+	{op: "min", crossOp: "max", fop: "min", fcross: "max", fill: "(IZ*53) % 89 + 5", init: "1000"},
+	{op: "&&", crossOp: "||", fop: ".and.", fcross: ".or.", fill: "(IZ != 7)", init: "1"},
+	{op: "||", crossOp: "&&", fop: ".or.", fcross: ".and.", fill: "(IZ == 9)", init: "0"},
+	{op: "&", crossOp: "|", fop: "iand", fcross: "ior", fill: "255 - 8*(IZ == 5)", init: "255"},
+	{op: "|", crossOp: "&", fop: "ior", fcross: "iand", fill: "1 << (IZ % 8)", init: "0"},
+	{op: "^", crossOp: "|", fop: "ieor", fcross: "ior", fill: "IZ*5 + 3", init: "0"},
+}
+
+var floatRedCases = []redCase{
+	{op: "+", crossOp: "*", fop: "+", fcross: "*"},
+	{op: "*", crossOp: "+", fop: "*", fcross: "+"},
+	{op: "max", crossOp: "min", fop: "max", fcross: "min"},
+	{op: "min", crossOp: "max", fop: "min", fcross: "max"},
+}
+
+// opName maps operator spellings to feature-name slugs.
+var redSlug = map[string]string{
+	"+": "add", "*": "mul", "max": "max", "min": "min",
+	"&&": "land", "||": "lor", "&": "band", "|": "bor", "^": "bxor",
+}
+
+func init() {
+	for _, rc := range intRedCases {
+		name := "loop_reduction_int_" + redSlug[rc.op]
+		desc := fmt.Sprintf("loop reduction(%s) on int data matches the sequential result (§IV-C-4)", rc.op)
+		reg(name, "reduction", desc, cIntReduction(rc))
+		regF(name, "reduction", desc, fIntReduction(rc))
+	}
+	for _, typ := range []string{"float", "double"} {
+		for _, rc := range floatRedCases {
+			name := fmt.Sprintf("loop_reduction_%s_%s", typ, redSlug[rc.op])
+			desc := fmt.Sprintf("loop reduction(%s) on %s data matches the sequential result within 1e-9 (Fig. 7)", rc.op, typ)
+			reg(name, "reduction", desc, cFloatReduction(typ, rc))
+			regF(name, "reduction", desc, fFloatReduction(typ, rc))
+		}
+	}
+}
+
+// cIntReduction renders an integer reduction test in C. max/min use the
+// suite's helper macros (the generated headers of the real suite provide
+// them; our interpreter implements them as builtins).
+func cIntReduction(rc redCase) string {
+	fill := replaceIZ(rc.fill, "i")
+	stmt := func(op string) string {
+		if op == "max" || op == "min" {
+			return fmt.Sprintf("s = %s(s, a[i])", op)
+		}
+		return fmt.Sprintf("s = s %s a[i]", op)
+	}
+	return fmt.Sprintf(`    int n = 64;
+    int i;
+    int s, known;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = %s;
+    known = %s;
+    for (i = 0; i < n; i++) %s;
+    s = %s;
+    <acctest:directive cross="#pragma acc kernels loop reduction(%s:s)">#pragma acc kernels loop reduction(%s:s)</acctest:directive>
+    for (i = 0; i < n; i++)
+        %s;
+    return (s == known);
+`, fill, rc.init, replaceS(stmt(rc.op), "known"), rc.init, rc.crossOp, rc.op, stmt(rc.op))
+}
+
+// fIntReduction renders an integer reduction test in Fortran. Logical and
+// bitwise operators use the Fortran spellings (.and., iand, ...).
+func fIntReduction(rc redCase) string {
+	fill := replaceIZ(fortranizeExpr(rc.fill), "(i - 1)")
+	stmt := func(op string) string {
+		switch op {
+		case "max", "min":
+			return fmt.Sprintf("s = %s(s, a(i))", op)
+		case "iand", "ior", "ieor":
+			return fmt.Sprintf("s = %s(s, a(i))", op)
+		case ".and.", ".or.":
+			return fmt.Sprintf("s = merge(1, 0, (s /= 0) %s (a(i) /= 0))", op)
+		default:
+			return fmt.Sprintf("s = s %s a(i)", op)
+		}
+	}
+	return fmt.Sprintf(`  integer :: n, i, s, known
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = %s
+  end do
+  known = %s
+  do i = 1, n
+    %s
+  end do
+  s = %s
+  <acctest:directive cross="!$acc kernels loop reduction(%s:s)">!$acc kernels loop reduction(%s:s)</acctest:directive>
+  do i = 1, n
+    %s
+  end do
+  if (s == known) test_result = 1
+`, fill, rc.init,
+		replaceS(stmt(rc.fop), "known"), rc.init,
+		rc.fcross, rc.fop, stmt(rc.fop))
+}
+
+// cFloatReduction renders a float/double reduction test in C. Addition
+// follows Fig. 7's geometric series against the closed form; the other
+// operators compare against a sequential host loop.
+func cFloatReduction(typ string, rc redCase) string {
+	if rc.op == "+" {
+		powf := "powf"
+		abs := "fabsf"
+		if typ == "double" {
+			powf = "pow"
+			abs = "fabs"
+		}
+		return fmt.Sprintf(`    int n = 20;
+    int i;
+    %[1]s fsum, ft, fpt, fknown_sum;
+    %[1]s frounding_error = 1.E-9;
+    ft = 0.5;
+    fpt = 1;
+    fsum = 0;
+    for (i = 0; i < n; i++) {
+        fpt *= ft;
+    }
+    fknown_sum = (1 - fpt) / (1 - ft);
+    <acctest:directive cross="#pragma acc kernels loop reduction(*:fsum)">#pragma acc kernels loop reduction(+:fsum)</acctest:directive>
+    for (i = 0; i < n; i++)
+        fsum += %[2]s(ft, i);
+    if (%[3]s(fsum - fknown_sum) > frounding_error)
+        return 0;
+    return 1;
+`, typ, powf, abs)
+	}
+	abs := "fabsf"
+	eps := "1.E-4" // float32 products drift under reassociation
+	if typ == "double" {
+		abs = "fabs"
+		eps = "1.E-9"
+	}
+	fill := "0.5 + (i % 7) * 0.25"
+	stmt := func(op string) string {
+		if op == "max" || op == "min" {
+			f := "f" + op + "f"
+			if typ == "double" {
+				f = "f" + op
+			}
+			return fmt.Sprintf("s = %s(s, a[i])", f)
+		}
+		return fmt.Sprintf("s = s %s a[i]", op)
+	}
+	init := "0"
+	if rc.op == "*" {
+		init = "1"
+		fill = "1.0 + (i % 3) * 0.01"
+	}
+	if rc.op == "max" {
+		init = "-1000"
+	}
+	if rc.op == "min" {
+		init = "1000"
+	}
+	return fmt.Sprintf(`    int n = 48;
+    int i;
+    %[1]s s, known;
+    %[1]s a[48];
+    for (i = 0; i < n; i++) a[i] = %[2]s;
+    known = %[3]s;
+    for (i = 0; i < n; i++) %[4]s;
+    s = %[3]s;
+    <acctest:directive cross="#pragma acc kernels loop reduction(%[5]s:s)">#pragma acc kernels loop reduction(%[6]s:s)</acctest:directive>
+    for (i = 0; i < n; i++)
+        %[7]s;
+    if (%[8]s(s - known) > %[9]s)
+        return 0;
+    return 1;
+`, typ, fill, init,
+		replaceS(stmt(rc.op), "known"), rc.crossOp, rc.op, stmt(rc.op), abs, eps)
+}
+
+// fFloatReduction renders a real/double precision reduction test in Fortran.
+func fFloatReduction(typ string, rc redCase) string {
+	ftyp := "real"
+	if typ == "double" {
+		ftyp = "double precision"
+	}
+	if rc.op == "+" {
+		return fmt.Sprintf(`  integer :: n, i
+  %[1]s :: fsum, ft, fpt, fknown
+  n = 20
+  ft = 0.5
+  fpt = 1.0
+  fsum = 0.0
+  do i = 1, n
+    fpt = fpt * ft
+  end do
+  fknown = (1.0 - fpt) / (1.0 - ft)
+  <acctest:directive cross="!$acc kernels loop reduction(*:fsum)">!$acc kernels loop reduction(+:fsum)</acctest:directive>
+  do i = 0, n - 1
+    fsum = fsum + ft**i
+  end do
+  if (abs(fsum - fknown) <= 1.0e-9) test_result = 1
+`, ftyp)
+	}
+	fill := "0.5 + mod(i - 1, 7) * 0.25"
+	init := "0.0"
+	eps := "1.0e-4"
+	if typ == "double" {
+		eps = "1.0e-9"
+	}
+	stmt := func(op string) string {
+		if op == "max" || op == "min" {
+			return fmt.Sprintf("s = %s(s, a(i))", op)
+		}
+		return fmt.Sprintf("s = s %s a(i)", op)
+	}
+	switch rc.op {
+	case "*":
+		init = "1.0"
+		fill = "1.0 + mod(i - 1, 3) * 0.01"
+	case "max":
+		init = "-1000.0"
+	case "min":
+		init = "1000.0"
+	}
+	return fmt.Sprintf(`  integer :: n, i
+  %[1]s :: s, known
+  %[1]s :: a(48)
+  n = 48
+  do i = 1, n
+    a(i) = %[2]s
+  end do
+  known = %[3]s
+  do i = 1, n
+    %[4]s
+  end do
+  s = %[3]s
+  <acctest:directive cross="!$acc kernels loop reduction(%[5]s:s)">!$acc kernels loop reduction(%[6]s:s)</acctest:directive>
+  do i = 1, n
+    %[7]s
+  end do
+  if (abs(s - known) <= %[8]s) test_result = 1
+`, ftyp, fill, init,
+		replaceS(stmt(rc.fop), "known"), rc.fcross, rc.fop, stmt(rc.fop), eps)
+}
+
+// replaceIZ substitutes the iteration placeholder.
+func replaceIZ(expr, with string) string {
+	out := ""
+	for i := 0; i < len(expr); i++ {
+		if i+1 < len(expr) && expr[i] == 'I' && expr[i+1] == 'Z' {
+			out += with
+			i++
+			continue
+		}
+		out += string(expr[i])
+	}
+	return out
+}
+
+// replaceS renames the accumulator in a generated statement.
+func replaceS(stmt, name string) string {
+	out := ""
+	for i := 0; i < len(stmt); i++ {
+		c := stmt[i]
+		if c == 's' && (i == 0 || !identPart(stmt[i-1])) && (i+1 >= len(stmt) || !identPart(stmt[i+1])) {
+			out += name
+			continue
+		}
+		out += string(c)
+	}
+	return out
+}
+
+func identPart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// fortranizeExpr rewrites the C fill expressions into Fortran syntax.
+func fortranizeExpr(e string) string {
+	repl := []struct{ from, to string }{
+		{"%", ""}, // handled below per-case
+	}
+	_ = repl
+	switch e {
+	case "IZ*3 + 1":
+		return "IZ*3 + 1"
+	case "1 + (IZ == 3) + 2*(IZ == 10)":
+		return "1 + merge(1, 0, IZ == 3) + 2*merge(1, 0, IZ == 10)"
+	case "(IZ*37) % 101":
+		return "mod(IZ*37, 101)"
+	case "(IZ*53) % 89 + 5":
+		return "mod(IZ*53, 89) + 5"
+	case "(IZ != 7)":
+		return "merge(1, 0, IZ /= 7)"
+	case "(IZ == 9)":
+		return "merge(1, 0, IZ == 9)"
+	case "255 - 8*(IZ == 5)":
+		return "255 - 8*merge(1, 0, IZ == 5)"
+	case "1 << (IZ % 8)":
+		return "2**mod(IZ, 8)"
+	case "IZ*5 + 3":
+		return "IZ*5 + 3"
+	}
+	return e
+}

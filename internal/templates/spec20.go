@@ -1,0 +1,204 @@
+package templates
+
+import (
+	"accv/internal/ast"
+	"accv/internal/core"
+)
+
+// OpenACC 2.0 test cases — the paper's §IX future work ("We have begun to
+// create test cases for the 2.0 feature set"), covering the §VI resolutions
+// of the 1.0 ambiguities: unstructured data lifetimes (enter/exit data),
+// procedure calls in compute regions (routine), explicit data attributes
+// (default(none)), and the auto loop schedule. These templates require a
+// compiler configured for the 2.0 specification; a 1.0 compiler reports
+// them as unsupported (compile error), which is itself the correct result.
+
+// reg20 registers a 2.0 C template.
+func reg20(name, desc, source string) {
+	core.Register(&core.Template{
+		Name: name, Family: "acc20", Lang: ast.LangC,
+		Description: desc, Source: source, Spec20: true,
+	})
+}
+
+// reg20F registers a 2.0 Fortran template.
+func reg20F(name, desc, source string) {
+	core.Register(&core.Template{
+		Name: name, Family: "acc20", Lang: ast.LangFortran,
+		Description: desc, Source: source, Spec20: true,
+	})
+}
+
+func init() {
+	// --- enter data / exit data: unstructured lifetimes -----------------
+	reg20("enter_exit_data",
+		"enter data and exit data manage unstructured data lifetimes (§VI)",
+		`    int n = 32;
+    int i, errors;
+    int a[32];
+    for (i = 0; i < n; i++) a[i] = i;
+    <acctest:directive cross="">#pragma acc enter data copyin(a[0:n])</acctest:directive>
+    #pragma acc parallel present(a[0:n]) num_gangs(2)
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = a[i]*2;
+    }
+    #pragma acc exit data copyout(a[0:n])
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 2*i) errors++;
+    }
+    return (errors == 0);
+`)
+	reg20F("enter_exit_data",
+		"enter data and exit data manage unstructured data lifetimes (§VI)",
+		`  integer :: n, i, errors
+  integer :: a(32)
+  n = 32
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  <acctest:directive cross="">!$acc enter data copyin(a(1:n))</acctest:directive>
+  !$acc parallel present(a(1:n)) num_gangs(2)
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i)*2
+  end do
+  !$acc end parallel
+  !$acc exit data copyout(a(1:n))
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 2*(i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- routine: procedure calls inside compute regions -----------------
+	regT(&core.Template{
+		Name: "routine", Family: "acc20", Lang: ast.LangC, Spec20: true,
+		Description: "routine directive allows calling procedures from compute regions (§VI)",
+		TopLevel: `#pragma acc routine
+int square_plus(int x)
+{
+    return x*x + 1;
+}
+`,
+		Source: `    int n = 16;
+    int i, errors;
+    int a[16];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel loop copy(a[0:n]) num_gangs(2)
+    for (i = 0; i < n; i++)
+        a[i] = square_plus(a[i]);
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != i*i + 1) errors++;
+    }
+    return (errors == 0);
+`,
+	})
+	regT(&core.Template{
+		Name: "routine", Family: "acc20", Lang: ast.LangFortran, Spec20: true,
+		Description: "routine directive allows calling procedures from compute regions (§VI)",
+		TopLevel: `integer function square_plus(x)
+  !$acc routine
+  integer :: x
+  square_plus = x*x + 1
+end function square_plus
+`,
+		Source: `  integer :: n, i, errors
+  integer :: a(16)
+  n = 16
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  !$acc parallel loop copy(a(1:n)) num_gangs(2)
+  do i = 1, n
+    a(i) = square_plus(a(i))
+  end do
+  errors = 0
+  do i = 1, n
+    if (a(i) /= (i - 1)*(i - 1) + 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`,
+	})
+
+	// --- default(none): explicit data attributes --------------------------
+	reg20("default_none",
+		"default(none) compiles when every variable has an explicit attribute (§VI)",
+		`    int n = 16;
+    int i, errors;
+    int a[16];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel default(none) copy(a[0:16]) firstprivate(n) num_gangs(2)
+    {
+        #pragma acc loop
+        for (i = 0; i < n; i++) a[i] = i + 3;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != i + 3) errors++;
+    }
+    return (errors == 0);
+`)
+	reg20F("default_none",
+		"default(none) compiles when every variable has an explicit attribute (§VI)",
+		`  integer :: n, i, errors
+  integer :: a(16)
+  n = 16
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel default(none) copy(a(1:16)) firstprivate(n) num_gangs(2)
+  !$acc loop
+  do i = 1, n
+    a(i) = (i - 1) + 3
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= (i - 1) + 3) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- loop auto: scheduling left to the compiler ------------------------
+	reg20("loop_auto",
+		"auto clause leaves the schedule to the compiler (§VI loop-nesting resolution)",
+		`    int n = 64;
+    int i, errors;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(4)
+    {
+        <acctest:directive cross="">#pragma acc loop auto</acctest:directive>
+        for (i = 0; i < n; i++) a[i] = a[i] + 1;
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    return (errors == 0);
+`)
+	reg20F("loop_auto",
+		"auto clause leaves the schedule to the compiler (§VI loop-nesting resolution)",
+		`  integer :: n, i, errors
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(4)
+  <acctest:directive cross="">!$acc loop auto</acctest:directive>
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+}

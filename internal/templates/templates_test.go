@@ -1,0 +1,104 @@
+package templates_test
+
+import (
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/core"
+	_ "accv/internal/templates"
+)
+
+// TestReferencePassesAllTemplates is the suite's own self-check: every
+// registered template must pass its functional test on the specification-
+// faithful reference compiler, in both languages. (The paper's suite was
+// developed the same way: a test that fails on every implementation is a
+// test bug, not a compiler bug.) OpenACC 2.0 templates run against the
+// reference compiler configured for the 2.0 specification.
+func TestReferencePassesAllTemplates(t *testing.T) {
+	ref10 := core.Config{Toolchain: compiler.NewReference(), Iterations: 2}
+	ref20 := core.Config{Toolchain: &compiler.Reference{Opts: compiler.Options{
+		Spec: compiler.Spec20, Name: "reference", Version: "2.0"}}, Iterations: 2}
+	for _, tpl := range core.All() {
+		tpl := tpl
+		t.Run(tpl.ID(), func(t *testing.T) {
+			t.Parallel()
+			cfg := ref10
+			if tpl.Spec20 {
+				cfg = ref20
+			}
+			res := core.RunTest(cfg, tpl)
+			if res.Outcome.Failed() {
+				t.Errorf("%s: %s (%s)\n--- functional source ---\n%s",
+					tpl.ID(), res.Outcome, res.Detail, res.Functional)
+			}
+		})
+	}
+}
+
+// TestSpec20TemplatesRejectedBy10Compiler: a 1.0 compiler must report every
+// 2.0 test as a compilation error — the correct "feature unsupported"
+// outcome the paper's harness records.
+func TestSpec20TemplatesRejectedBy10Compiler(t *testing.T) {
+	cfg := core.Config{Toolchain: compiler.NewReference(), Iterations: 1}
+	for _, tpl := range core.ByLang20(ast.LangC) {
+		res := core.RunTest(cfg, tpl)
+		if res.Outcome != core.FailCompile {
+			t.Errorf("%s on a 1.0 compiler: %s, want compilation error", tpl.ID(), res.Outcome)
+		}
+	}
+}
+
+// TestCrossVariantsMostlyConclusive checks that the cross methodology has
+// teeth: the overwhelming majority of cross-bearing tests must detect that
+// their directive has an observable effect (p > 0 in the §III statistics).
+// A small number of inherently unobservable features (worker/vector
+// distribution, cache hints) are allowed to be inconclusive.
+func TestCrossVariantsMostlyConclusive(t *testing.T) {
+	cfg := core.Config{Toolchain: compiler.NewReference(), Iterations: 3}
+	inconclusive := 0
+	withCross := 0
+	for _, tpl := range core.ByLang(ast.LangC) {
+		res := core.RunTest(cfg, tpl)
+		if !res.HasCross || res.Outcome.Failed() {
+			continue
+		}
+		withCross++
+		if res.Inconclusive {
+			inconclusive++
+			t.Logf("inconclusive cross: %s", tpl.ID())
+		}
+	}
+	if withCross == 0 {
+		t.Fatal("no cross-bearing templates registered")
+	}
+	if inconclusive*5 > withCross {
+		t.Errorf("%d of %d cross tests are inconclusive (> 20%%)", inconclusive, withCross)
+	}
+}
+
+func TestRegistryCensus(t *testing.T) {
+	c := len(core.ByLang(ast.LangC))
+	f := len(core.ByLang(ast.LangFortran))
+	t.Logf("registered templates: %d C + %d Fortran = %d", c, f, c+f)
+	if c != f {
+		t.Errorf("language asymmetry: %d C vs %d Fortran templates", c, f)
+	}
+}
+
+// TestLanguageParity: every feature exists in both languages under the same
+// name — the paper's suite mirrors its C and Fortran test bases.
+func TestLanguageParity(t *testing.T) {
+	names := map[string][2]bool{}
+	for _, tpl := range core.All() {
+		e := names[tpl.Name]
+		e[int(tpl.Lang)] = true
+		names[tpl.Name] = e
+	}
+	for name, langs := range names {
+		if !langs[0] || !langs[1] {
+			t.Errorf("feature %q exists in only one language (C=%v, Fortran=%v)",
+				name, langs[0], langs[1])
+		}
+	}
+}

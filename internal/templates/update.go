@@ -1,0 +1,200 @@
+package templates
+
+// The update-construct family (§IV-D): synchronizing host and device copies
+// inside a data region, plus the if and async clauses.
+
+func init() {
+	// --- update host -----------------------------------------------------
+	reg("update_host", "update",
+		"update host copies device data back inside a data region (§IV-D)",
+		`    int n = 64;
+    int i, errors;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i;
+    errors = 0;
+    #pragma acc data copyin(a[0:n])
+    {
+        #pragma acc parallel present(a[0:n]) num_gangs(2)
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) a[i] = a[i]*3;
+        }
+        <acctest:directive cross="">#pragma acc update host(a[0:n])</acctest:directive>
+        for (i = 0; i < n; i++) {
+            if (a[i] != 3*i) errors++;
+        }
+    }
+    return (errors == 0);
+`)
+	regF("update_host", "update",
+		"update host copies device data back inside a data region (§IV-D)",
+		`  integer :: n, i, errors
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  errors = 0
+  !$acc data copyin(a(1:n))
+  !$acc parallel present(a(1:n)) num_gangs(2)
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i)*3
+  end do
+  !$acc end parallel
+  <acctest:directive cross="">!$acc update host(a(1:n))</acctest:directive>
+  do i = 1, n
+    if (a(i) /= 3*(i - 1)) errors = errors + 1
+  end do
+  !$acc end data
+  if (errors == 0) test_result = 1
+`)
+
+	// --- update device ---------------------------------------------------
+	reg("update_device", "update",
+		"update device refreshes the device copy from the host (§IV-D)",
+		`    int n = 64;
+    int i, errors;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc data copy(a[0:n])
+    {
+        for (i = 0; i < n; i++) a[i] = 1000 + i;
+        <acctest:directive cross="">#pragma acc update device(a[0:n])</acctest:directive>
+        #pragma acc parallel present(a[0:n]) num_gangs(2)
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) a[i] = a[i] + 1;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1001 + i) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("update_device", "update",
+		"update device refreshes the device copy from the host (§IV-D)",
+		`  integer :: n, i, errors
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  !$acc data copy(a(1:n))
+  do i = 1, n
+    a(i) = 1000 + (i - 1)
+  end do
+  <acctest:directive cross="">!$acc update device(a(1:n))</acctest:directive>
+  !$acc parallel present(a(1:n)) num_gangs(2)
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  !$acc end data
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 1001 + (i - 1)) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- update if ---------------------------------------------------------
+	reg("update_if", "update",
+		"if clause gates the update transfer",
+		`    int n = 64;
+    int i, errors;
+    int cond = <acctest:alt cross="0">1</acctest:alt>;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i;
+    errors = 0;
+    #pragma acc data copyin(a[0:n])
+    {
+        #pragma acc parallel present(a[0:n]) num_gangs(2)
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) a[i] = a[i] + 7;
+        }
+        #pragma acc update host(a[0:n]) if(cond)
+        for (i = 0; i < n; i++) {
+            if (a[i] != i + 7) errors++;
+        }
+    }
+    return (errors == 0);
+`)
+	regF("update_if", "update",
+		"if clause gates the update transfer",
+		`  integer :: n, i, errors, cond
+  integer :: a(64)
+  n = 64
+  cond = <acctest:alt cross="0">1</acctest:alt>
+  do i = 1, n
+    a(i) = i - 1
+  end do
+  errors = 0
+  !$acc data copyin(a(1:n))
+  !$acc parallel present(a(1:n)) num_gangs(2)
+  !$acc loop
+  do i = 1, n
+    a(i) = a(i) + 7
+  end do
+  !$acc end parallel
+  !$acc update host(a(1:n)) if(cond)
+  do i = 1, n
+    if (a(i) /= (i - 1) + 7) errors = errors + 1
+  end do
+  !$acc end data
+  if (errors == 0) test_result = 1
+`)
+
+	// --- update async --------------------------------------------------------
+	reg("update_async", "update",
+		"async clause queues the update transfer asynchronously",
+		`    int n = 20000;
+    int i, errors, busy;
+    int a[20000];
+    for (i = 0; i < n; i++) a[i] = 0;
+    errors = 0;
+    #pragma acc data copyin(a[0:n])
+    {
+        #pragma acc parallel present(a[0:n]) async(2)
+        {
+            #pragma acc loop
+            for (i = 0; i < n; i++) a[i] = i*2;
+        }
+        #pragma acc update host(a[0:n]) async(2)
+        busy = acc_async_test(2);
+        <acctest:directive cross="">#pragma acc wait(2)</acctest:directive>
+        for (i = 0; i < n; i++) {
+            if (a[i] != 2*i) errors++;
+        }
+    }
+    return (errors == 0) && (busy == 0);
+`)
+	regF("update_async", "update",
+		"async clause queues the update transfer asynchronously",
+		`  integer :: n, i, errors, busy
+  integer :: a(20000)
+  n = 20000
+  do i = 1, n
+    a(i) = 0
+  end do
+  errors = 0
+  !$acc data copyin(a(1:n))
+  !$acc parallel present(a(1:n)) async(2)
+  !$acc loop
+  do i = 1, n
+    a(i) = (i - 1)*2
+  end do
+  !$acc end parallel
+  !$acc update host(a(1:n)) async(2)
+  busy = acc_async_test(2)
+  <acctest:directive cross="">!$acc wait(2)</acctest:directive>
+  do i = 1, n
+    if (a(i) /= 2*(i - 1)) errors = errors + 1
+  end do
+  !$acc end data
+  if (errors == 0 .and. busy == 0) test_result = 1
+`)
+}

@@ -1,0 +1,164 @@
+package vendors
+
+import (
+	"fmt"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/directive"
+)
+
+// Construct selector groups used across the bug databases.
+var (
+	onParallel = []directive.Name{directive.Parallel, directive.ParallelLoop}
+	onKernels  = []directive.Name{directive.Kernels, directive.KernelsLoop}
+	onCompute  = []directive.Name{directive.Parallel, directive.ParallelLoop, directive.Kernels, directive.KernelsLoop}
+	onData     = []directive.Name{directive.Data}
+	onDeclare  = []directive.Name{directive.Declare}
+	onUpdate   = []directive.Name{directive.Update}
+	onHostData = []directive.Name{directive.HostData}
+)
+
+// bug assembles a Bug entry.
+func bug(lang ast.Lang, id, title, intro, fixed string, effects ...Effect) Bug {
+	return Bug{ID: id, Title: title, Lang: lang, Introduced: intro, FixedIn: fixed, Effects: effects}
+}
+
+// Effect constructors.
+
+// skipData suppresses the transfers of explicitly spelled clauses of the
+// given kind. The implicit data-attribute lowering is a separate compiler
+// path and is not affected (breaking it would take down every region that
+// touches a scalar — not the failure mode the paper's bug reports describe).
+func skipData(kind directive.ClauseKind, on []directive.Name) Effect {
+	return Effect{Action: ActSkipData, Clause: kind, Constructs: on, ExplicitOnly: true}
+}
+
+func hookFx(f func(*compiler.Hooks)) Effect { return Effect{Action: ActHook, Hook: f} }
+
+func noCombine(op string) Effect { return Effect{Action: ActNoCombine, ReduceOp: op} }
+
+func forceSync(on []directive.Name) Effect { return Effect{Action: ActForceSync, Constructs: on} }
+
+func dropIf(on []directive.Name) Effect { return Effect{Action: ActDropIf, Constructs: on} }
+
+func dropLaunch(kind directive.ClauseKind, on []directive.Name) Effect {
+	return Effect{Action: ActDropLaunchClause, Clause: kind, Constructs: on}
+}
+
+func sharePrivates(on []directive.Name) Effect {
+	return Effect{Action: ActSharePrivates, Constructs: on}
+}
+
+func loopDrop(sel directive.ClauseKind) Effect {
+	return Effect{Action: ActLoopDropPlan, Clause: sel}
+}
+
+func loopRedundant(sel directive.ClauseKind) Effect {
+	return Effect{Action: ActLoopRedundant, Clause: sel}
+}
+
+func loopPartial(sel directive.ClauseKind) Effect {
+	return Effect{Action: ActLoopPartialLanes, Clause: sel}
+}
+
+func collapseSwap() Effect { return Effect{Action: ActLoopCollapseSwap, Clause: directive.Collapse} }
+
+func seqIgnored() Effect { return Effect{Action: ActLoopSeqIgnored, Clause: directive.Seq} }
+
+func rejectConstruct(on []directive.Name, clause directive.ClauseKind, msg string) Effect {
+	return Effect{Action: ActReject, Constructs: on, Clause: clause, Msg: msg}
+}
+
+func rejectNonConstDim(kind directive.ClauseKind) Effect {
+	return Effect{Action: ActRejectNonConstDims, Clause: kind}
+}
+
+func regionDropReduction(on []directive.Name) Effect {
+	return Effect{Action: ActRegionDropReduction, Constructs: on}
+}
+
+func deadStoreElim() Effect {
+	return Effect{Action: ActDeleteDeadStoreRegion, Constructs: onCompute}
+}
+
+func deleteRegion(on []directive.Name) Effect {
+	return Effect{Action: ActDeleteRegion, Constructs: on}
+}
+
+// dataClauseGroup produces one bug per data-clause kind for the given
+// constructs — early vendor releases typically broke whole clause families
+// at once, which the per-clause accounting of Table I counts individually.
+func dataClauseGroup(lang ast.Lang, prefix, where, intro, fixed string,
+	on []directive.Name, kinds []directive.ClauseKind) []Bug {
+	var out []Bug
+	for _, k := range kinds {
+		out = append(out, bug(lang,
+			fmt.Sprintf("%s-%s-%s", prefix, where, k),
+			fmt.Sprintf("%s clause on %s construct performs no transfer", k, where),
+			intro, fixed, skipData(k, on)))
+	}
+	return out
+}
+
+// declareBugGroup produces one bug per declare data clause. Transfer-
+// bearing kinds fail silently (the transfer is skipped); allocation-only
+// kinds (create, present, pcreate) fail by never making the mapping, so
+// later present lookups abort — both failure modes the paper observed for
+// the CAPS 3.1.x declare family.
+func declareBugGroup(lang ast.Lang, prefix, intro, fixed string, kinds []directive.ClauseKind) []Bug {
+	var out []Bug
+	for _, k := range kinds {
+		fx := skipData(k, onDeclare)
+		switch k {
+		case directive.Create, directive.Present, directive.PresentOrCreate:
+			fx = Effect{Action: ActDeleteRegionWithClause, Clause: k, Constructs: onDeclare}
+		}
+		out = append(out, bug(lang,
+			fmt.Sprintf("%s-declare-%s", prefix, k),
+			fmt.Sprintf("declare %s is not implemented", k),
+			intro, fixed, fx))
+	}
+	return out
+}
+
+// reductionOpGroup produces one bug per miscompiled reduction operator.
+func reductionOpGroup(lang ast.Lang, prefix, intro, fixed string, ops []string) []Bug {
+	var out []Bug
+	for _, op := range ops {
+		out = append(out, bug(lang,
+			fmt.Sprintf("%s-reduction-%s", prefix, opSlug(op)),
+			fmt.Sprintf("loop reduction(%s) partials are never combined", op),
+			intro, fixed, noCombine(op)))
+	}
+	return out
+}
+
+// opSlug names reduction operators for bug IDs.
+func opSlug(op string) string {
+	switch op {
+	case "+":
+		return "add"
+	case "*":
+		return "mul"
+	case "&&":
+		return "land"
+	case "||":
+		return "lor"
+	case "&":
+		return "band"
+	case "|":
+		return "bor"
+	case "^":
+		return "bxor"
+	}
+	return op
+}
+
+// langSuffix distinguishes C and Fortran entries of the same defect.
+func langSuffix(lang ast.Lang) string {
+	if lang == ast.LangFortran {
+		return "f"
+	}
+	return "c"
+}

@@ -1,0 +1,183 @@
+package vendors
+
+import (
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/device"
+	"accv/internal/directive"
+)
+
+// CAPSVersions are the simulated CAPS releases of Table I / Fig. 8(a).
+var CAPSVersions = []string{"3.0.7", "3.0.8", "3.1.0", "3.2.3", "3.2.4", "3.3.0", "3.3.3", "3.3.4"}
+
+// NewCAPS builds the simulated CAPS compiler at the given version.
+// CAPS maps gang to grid.x, worker to block.y and vector to block.x (§II),
+// and its runtime reports acc_device_cuda / acc_device_opencl for the
+// not_host query (Fig. 12).
+func NewCAPS(version string) *Vendor {
+	return &Vendor{
+		name:    "caps",
+		version: version,
+		opts: compiler.Options{
+			Name:    "caps",
+			Version: version,
+			Mapping: device.MapGangGridWorkerY,
+		},
+		devCfg: device.Config{
+			ConcreteType: device.Cuda,
+			Backend:      device.CUDA,
+			Mapping:      device.MapGangGridWorkerY,
+		},
+		bugs: capsBugs(),
+	}
+}
+
+// capsBugs is the CAPS bug database. Per-version per-language active counts
+// reproduce Table I exactly (asserted by TestTableIBugCounts):
+//
+//	C: 3.0.7:36 3.0.8:24 3.1.0:20 3.2.3:1 3.2.4:1 3.3.0:1 3.3.3:0 3.3.4:0
+//	F: 3.0.7:32 3.0.8:70 3.1.0:15 3.2.3:1 3.2.4:1 3.3.0:0 3.3.3:0 3.3.4:0
+func capsBugs() []Bug {
+	var bugs []Bug
+
+	earlyDataKinds := []directive.ClauseKind{
+		directive.Copyin, directive.Copyout, directive.Create,
+		directive.Present, directive.PresentOrCopy, directive.PresentOrCopyin,
+	}
+	declareKinds := []directive.ClauseKind{
+		directive.Copy, directive.Copyin, directive.Copyout, directive.Create,
+		directive.Present, directive.PresentOrCopy, directive.PresentOrCopyin,
+		directive.PresentOrCopyout, directive.PresentOrCreate,
+	}
+
+	// ---- C entries: 12 + 4 + 19 + 1 = 36 ----
+
+	// Fixed in 3.0.8 (12): the kernels/data clause family of the first beta.
+	bugs = append(bugs, dataClauseGroup(ast.LangC, "caps-c", "kernels", "", "3.0.8", onKernels, earlyDataKinds)...)
+	bugs = append(bugs, dataClauseGroup(ast.LangC, "caps-c", "data", "", "3.0.8", onData, earlyDataKinds)...)
+
+	// Fixed in 3.1.0 (4): non-constant launch dimensions (Fig. 9) and a
+	// missing update-device transfer.
+	bugs = append(bugs,
+		bug(ast.LangC, "caps-c-numgangs-const", "non-constant num_gangs expression rejected", "", "3.1.0",
+			rejectNonConstDim(directive.NumGangs)),
+		bug(ast.LangC, "caps-c-numworkers-const", "non-constant num_workers expression rejected", "", "3.1.0",
+			rejectNonConstDim(directive.NumWorkers)),
+		bug(ast.LangC, "caps-c-vlen-const", "non-constant vector_length expression rejected", "", "3.1.0",
+			rejectNonConstDim(directive.VectorLength)),
+		bug(ast.LangC, "caps-c-update-device-noop", "update device performs no transfer", "", "3.1.0",
+			hookFx(func(h *compiler.Hooks) { h.UpdateDeviceNoop = true })),
+	)
+
+	// Fixed in 3.2.3 (19): declare directives (the cause of the depressed
+	// 3.1.x pass rate), most reduction operators, host_data, acc_on_device.
+	bugs = append(bugs, declareBugGroup(ast.LangC, "caps-c", "", "3.2.3", declareKinds)...)
+	bugs = append(bugs, reductionOpGroup(ast.LangC, "caps-c", "", "3.2.3",
+		[]string{"*", "max", "min", "&&", "||", "&", "|", "^"})...)
+	bugs = append(bugs,
+		bug(ast.LangC, "caps-c-hostdata-addr", "use_device yields the host address", "", "3.2.3",
+			hookFx(func(h *compiler.Hooks) { h.UseDeviceWrongAddr = true })),
+		bug(ast.LangC, "caps-c-on-device", "acc_on_device always returns false", "", "3.2.3",
+			hookFx(func(h *compiler.Hooks) { h.OnDeviceWrong = true })),
+	)
+
+	// Fixed in 3.3.3 (1): cache directive lowering crash.
+	bugs = append(bugs,
+		bug(ast.LangC, "caps-c-cache-crash", "cache directive crashes code generation", "", "3.3.3",
+			hookFx(func(h *compiler.Hooks) { h.CrashOnCacheDirective = true })),
+	)
+
+	// ---- Fortran entries: 17 + 14 + 1 + 38 = 70 ----
+
+	// Base, fixed in 3.1.0 (17).
+	bugs = append(bugs, dataClauseGroup(ast.LangFortran, "caps-f", "kernels", "", "3.1.0", onKernels, earlyDataKinds)...)
+	bugs = append(bugs, dataClauseGroup(ast.LangFortran, "caps-f", "data", "", "3.1.0", onData, earlyDataKinds)...)
+	bugs = append(bugs,
+		bug(ast.LangFortran, "caps-f-numgangs-const", "non-constant num_gangs expression rejected", "", "3.1.0",
+			rejectNonConstDim(directive.NumGangs)),
+		bug(ast.LangFortran, "caps-f-numworkers-const", "non-constant num_workers expression rejected", "", "3.1.0",
+			rejectNonConstDim(directive.NumWorkers)),
+		bug(ast.LangFortran, "caps-f-vlen-const", "non-constant vector_length expression rejected", "", "3.1.0",
+			rejectNonConstDim(directive.VectorLength)),
+		bug(ast.LangFortran, "caps-f-update-device-noop", "update device performs no transfer", "", "3.1.0",
+			hookFx(func(h *compiler.Hooks) { h.UpdateDeviceNoop = true })),
+		bug(ast.LangFortran, "caps-f-update-host-noop", "update host performs no transfer", "", "3.1.0",
+			hookFx(func(h *compiler.Hooks) { h.UpdateHostNoop = true })),
+	)
+
+	// Base, fixed in 3.2.3 (14): declare family, four reduction operators,
+	// host_data.
+	bugs = append(bugs, declareBugGroup(ast.LangFortran, "caps-f", "", "3.2.3", declareKinds)...)
+	bugs = append(bugs, reductionOpGroup(ast.LangFortran, "caps-f", "", "3.2.3",
+		[]string{"*", "max", "min", "&"})...)
+	bugs = append(bugs,
+		bug(ast.LangFortran, "caps-f-hostdata-addr", "use_device yields the host address", "", "3.2.3",
+			hookFx(func(h *compiler.Hooks) { h.UseDeviceWrongAddr = true })),
+	)
+
+	// Base, fixed in 3.3.0 (1).
+	bugs = append(bugs,
+		bug(ast.LangFortran, "caps-f-cache-crash", "cache directive crashes code generation", "", "3.3.0",
+			hookFx(func(h *compiler.Hooks) { h.CrashOnCacheDirective = true })),
+	)
+
+	// The 3.0.8 Fortran-frontend regression (38 entries, all fixed in
+	// 3.1.0): the beta rewrite of the Fortran lowering broke nearly every
+	// directive class, which is why the Fortran pass rate craters at 3.0.8
+	// in Fig. 8(a).
+	reg := func(id, title string, fx ...Effect) {
+		bugs = append(bugs, bug(ast.LangFortran, "caps-f-308-"+id, title, "3.0.8", "3.1.0", fx...))
+	}
+	for _, k := range []directive.ClauseKind{
+		directive.Copy, directive.Copyin, directive.Copyout, directive.Create,
+		directive.Present, directive.PresentOrCopy, directive.PresentOrCopyin,
+		directive.PresentOrCopyout, directive.PresentOrCreate,
+	} {
+		fx := skipData(k, onParallel)
+		// The implicit present_or_copy lowering survived the 3.0.8
+		// regression; only the spelled clauses were mis-lowered.
+		fx.ExplicitOnly = true
+		reg("parallel-"+k.String(), k.String()+" clause on parallel performs no transfer", fx)
+	}
+	reg("parallel-deviceptr", "deviceptr clause rejected on parallel",
+		rejectConstruct(onParallel, directive.Deviceptr, "deviceptr is not supported in this release"))
+	reg("loop-gang", "gang loops execute redundantly", loopDrop(directive.Gang))
+	reg("loop-worker", "worker loops execute redundantly on every worker", loopRedundant(directive.Worker))
+	reg("loop-vector", "vector loops execute a partial iteration space", loopPartial(directive.Vector))
+	reg("loop-collapse", "collapsed loop indices transposed", collapseSwap())
+	reg("loop-seq", "seq loops are partitioned anyway", seqIgnored())
+	reg("loop-independent", "independent loops are not parallelized", loopDrop(directive.Independent))
+	reg("loop-private", "loop private clause ignored", loopDrop(directive.Private))
+	reg("loop-reduction-add", "loop reduction(+) partials never combined", noCombine("+"))
+	reg("parallel-if", "if clause on parallel ignored", dropIf(onParallel))
+	reg("parallel-async", "async clause on parallel ignored", forceSync(onParallel))
+	reg("parallel-num-gangs", "num_gangs ignored", dropLaunch(directive.NumGangs, onParallel))
+	reg("parallel-num-workers", "num_workers ignored", dropLaunch(directive.NumWorkers, onParallel))
+	reg("parallel-vlen", "vector_length ignored", dropLaunch(directive.VectorLength, onParallel))
+	reg("parallel-private", "private copies shared across gangs", sharePrivates(onParallel))
+	reg("parallel-firstprivate", "firstprivate copies left uninitialized",
+		hookFx(func(h *compiler.Hooks) { h.FirstprivateAsPrivate = true }))
+	reg("parallel-reduction", "reduction clause on parallel dropped", regionDropReduction(onParallel))
+	reg("kernels-if", "if clause on kernels ignored", dropIf(onKernels))
+	reg("kernels-async", "async clause on kernels ignored", forceSync(onKernels))
+	reg("update-if", "if clause on update ignored", dropIf(onUpdate))
+	reg("update-async", "async clause on update ignored", forceSync(onUpdate))
+	reg("hostdata", "host_data construct rejected",
+		rejectConstruct(onHostData, directive.BadClause, "host_data is not supported in this release"))
+	reg("wait", "wait directive returns immediately",
+		hookFx(func(h *compiler.Hooks) { h.WaitNoop = true }))
+	reg("rt-async-test", "acc_async_test result never written",
+		hookFx(func(h *compiler.Hooks) { h.AsyncTestStale = true }))
+	reg("rt-async-wait", "acc_async_wait* return immediately",
+		hookFx(func(h *compiler.Hooks) { h.WaitNoop = true }))
+	reg("rt-malloc", "acc_malloc returns NULL",
+		hookFx(func(h *compiler.Hooks) { h.MallocReturnsNull = true }))
+	reg("rt-init", "acc_init crashes",
+		hookFx(func(h *compiler.Hooks) { h.InitCrash = true }))
+	reg("rt-set-device-num", "acc_set_device_num ignored",
+		hookFx(func(h *compiler.Hooks) { h.SetDeviceNumNoop = true }))
+	reg("rt-num-devices", "acc_get_num_devices reports zero",
+		hookFx(func(h *compiler.Hooks) { h.NumDevicesZero = true }))
+
+	return bugs
+}

@@ -1,0 +1,96 @@
+package vendors
+
+import (
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/device"
+	"accv/internal/directive"
+)
+
+// CrayVersions are the simulated Cray CCE releases of Table I / Fig. 8(c).
+var CrayVersions = []string{"8.1.2", "8.1.3", "8.1.4", "8.1.5", "8.1.6", "8.1.7", "8.1.8", "8.2.0"}
+
+// NewCray builds the simulated Cray compiler at the given version. Cray
+// maps gang to a thread block, worker to a warp and vector to a SIMT group
+// (§II), rejects worker loops without an enclosing gang loop (one side of
+// the Fig. 1 ambiguity), and performs the aggressive forward substitution
+// and dead-region elimination discussed in §V-B.
+func NewCray(version string) *Vendor {
+	return &Vendor{
+		name:    "cray",
+		version: version,
+		opts: compiler.Options{
+			Name:         "cray",
+			Version:      version,
+			Mapping:      device.MapGangBlockWorkerWarp,
+			WorkerNoGang: compiler.WorkerNoGangReject,
+		},
+		devCfg: device.Config{
+			ConcreteType: device.Nvidia,
+			Backend:      device.CUDA,
+			Mapping:      device.MapGangBlockWorkerWarp,
+		},
+		bugs: crayBugs(),
+	}
+}
+
+// crayBugs is the Cray bug database. The counts are nearly flat across the
+// simulated range, matching the "mostly no variation" bars of Fig. 8(c):
+//
+//	C: 16 in every version
+//	F: 6 until 8.1.6, 5 from 8.1.7
+func crayBugs() []Bug {
+	return []Bug{
+		// ---- C (16, none fixed within the range) ----
+		bug(ast.LangC, "cray-c-scalar-copy",
+			"scalar variables in copy clauses are not copied back (§V-B)", "", "",
+			hookFx(func(h *compiler.Hooks) { h.SkipScalarCopyOut = true })),
+		bug(ast.LangC, "cray-c-dead-region",
+			"compute regions without observable computation deleted, including their data movement (Fig. 11)", "", "",
+			deadStoreElim()),
+		bug(ast.LangC, "cray-c-device-type",
+			"acc_get_device_type reports acc_device_nvidia after selecting not_host (Fig. 12)", "", ""),
+		bug(ast.LangC, "cray-c-worker-no-gang",
+			"worker loop without an enclosing gang loop rejected (Fig. 1 ambiguity)", "", ""),
+		bug(ast.LangC, "cray-c-reduction-land", "loop reduction(&&) partials never combined", "", "",
+			noCombine("&&")),
+		bug(ast.LangC, "cray-c-reduction-lor", "loop reduction(||) partials never combined", "", "",
+			noCombine("||")),
+		bug(ast.LangC, "cray-c-vector-partial", "vector loops execute a partial iteration space", "", "",
+			loopPartial(directive.Vector)),
+		bug(ast.LangC, "cray-c-collapse", "collapsed loop indices transposed", "", "",
+			collapseSwap()),
+		bug(ast.LangC, "cray-c-cache-crash", "cache directive crashes code generation", "", "",
+			hookFx(func(h *compiler.Hooks) { h.CrashOnCacheDirective = true })),
+		bug(ast.LangC, "cray-c-on-device", "acc_on_device always returns false", "", "",
+			hookFx(func(h *compiler.Hooks) { h.OnDeviceWrong = true })),
+		bug(ast.LangC, "cray-c-update-async", "async clause on update ignored", "", "",
+			forceSync(onUpdate)),
+		bug(ast.LangC, "cray-c-declare-pcopyout", "declare pcopyout performs no transfer", "", "",
+			skipData(directive.PresentOrCopyout, onDeclare)),
+		bug(ast.LangC, "cray-c-data-deviceptr", "deviceptr clause rejected on the data construct", "", "",
+			rejectConstruct(onData, directive.Deviceptr, "deviceptr is not supported on data constructs")),
+		bug(ast.LangC, "cray-c-parallel-present", "present clause on parallel allocates a fresh copy", "", "",
+			skipData(directive.Present, onParallel)),
+		bug(ast.LangC, "cray-c-data-pcreate", "pcreate on data constructs ignores present data", "", "",
+			skipData(directive.PresentOrCreate, onData)),
+		bug(ast.LangC, "cray-c-parallel-reduction", "reduction clause on the parallel construct dropped", "", "",
+			regionDropReduction(onParallel)),
+
+		// ---- Fortran (6, one fixed at 8.1.7) ----
+		bug(ast.LangFortran, "cray-f-scalar-copy",
+			"scalar variables in copy clauses are not copied back (§V-B)", "", "",
+			hookFx(func(h *compiler.Hooks) { h.SkipScalarCopyOut = true })),
+		bug(ast.LangFortran, "cray-f-device-type",
+			"acc_get_device_type reports acc_device_nvidia after selecting not_host (Fig. 12)", "", ""),
+		bug(ast.LangFortran, "cray-f-reduction-land", "loop reduction(.and.) partials never combined", "", "",
+			noCombine("&&")),
+		bug(ast.LangFortran, "cray-f-dead-region",
+			"compute regions without observable computation deleted (Fig. 11)", "", "",
+			deadStoreElim()),
+		bug(ast.LangFortran, "cray-f-collapse", "collapsed loop indices transposed", "", "",
+			collapseSwap()),
+		bug(ast.LangFortran, "cray-f-update-device", "update device performs no transfer", "", "8.1.7",
+			hookFx(func(h *compiler.Hooks) { h.UpdateDeviceNoop = true })),
+	}
+}

@@ -1,0 +1,252 @@
+package vendors
+
+import (
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/directive"
+)
+
+// matchConstruct reports whether a region's construct is selected.
+func matchConstruct(r *compiler.Region, sel []directive.Name) bool {
+	if len(sel) == 0 {
+		return true
+	}
+	for _, n := range sel {
+		if r.Construct == n {
+			return true
+		}
+	}
+	return false
+}
+
+// planHasLevelClause reports whether a loop plan carries the selector
+// clause (gang/worker/vector/seq/independent/collapse/private/reduction).
+func planMatches(plan *compiler.LoopPlan, e Effect) bool {
+	switch e.Clause {
+	case directive.Gang:
+		if !plan.Levels.Has(compiler.LevelGang) {
+			return false
+		}
+	case directive.Worker:
+		if !plan.Levels.Has(compiler.LevelWorker) {
+			return false
+		}
+	case directive.Vector:
+		if !plan.Levels.Has(compiler.LevelVector) {
+			return false
+		}
+	case directive.Seq:
+		if !plan.Seq {
+			return false
+		}
+	case directive.Independent:
+		if !plan.Independent {
+			return false
+		}
+	case directive.Collapse:
+		if plan.Collapse < 2 {
+			return false
+		}
+	case directive.Private:
+		if len(plan.Private) == 0 {
+			return false
+		}
+	case directive.Reduction:
+		if len(plan.Reduction) == 0 {
+			return false
+		}
+	}
+	if e.ReduceOp != "" {
+		found := false
+		for _, red := range plan.Reduction {
+			if red.Op == e.ReduceOp {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// applyEffect mutates the executable per the effect and returns any
+// diagnostics it raises (reject actions produce errors tagged with the
+// bug ID).
+func applyEffect(e Effect, exe *compiler.Executable, bugID string) []compiler.Diagnostic {
+	var diags []compiler.Diagnostic
+	reject := func(line int, msg string) {
+		diags = append(diags, compiler.Diagnostic{Sev: compiler.Error, Line: line, Msg: msg, BugID: bugID})
+	}
+	switch e.Action {
+	case ActNone:
+		return nil
+	case ActHook:
+		if e.Hook != nil {
+			e.Hook(&exe.Hooks)
+		}
+		return nil
+	case ActReject:
+		for _, r := range exe.Regions {
+			if !matchConstruct(r, e.Constructs) {
+				continue
+			}
+			if e.Clause != directive.BadClause && !r.Dir.Has(e.Clause) {
+				continue
+			}
+			msg := e.Msg
+			if msg == "" {
+				msg = "internal error: unsupported construct " + r.Construct.String()
+			}
+			reject(r.Dir.Line, msg)
+		}
+		return diags
+	case ActRejectNonConstDims:
+		for _, r := range exe.Regions {
+			if !matchConstruct(r, e.Constructs) {
+				continue
+			}
+			for _, k := range []directive.ClauseKind{directive.NumGangs, directive.NumWorkers, directive.VectorLength} {
+				if e.Clause != directive.BadClause && k != e.Clause {
+					continue
+				}
+				if cl := r.Dir.Get(k); cl != nil && cl.Arg != nil && !compiler.IsConstExpr(cl.Arg) {
+					reject(r.Dir.Line, "only constant expressions are supported in "+k.String())
+				}
+			}
+		}
+		return diags
+	}
+
+	// Region-mutating actions.
+	for p, r := range exe.Regions {
+		if !matchConstruct(r, e.Constructs) {
+			continue
+		}
+		switch e.Action {
+		case ActSkipData:
+			if e.ExplicitOnly {
+				if r.SkipDataExplicit == nil {
+					r.SkipDataExplicit = map[directive.ClauseKind]bool{}
+				}
+				r.SkipDataExplicit[e.Clause] = true
+			} else {
+				if r.SkipDataKind == nil {
+					r.SkipDataKind = map[directive.ClauseKind]bool{}
+				}
+				r.SkipDataKind[e.Clause] = true
+			}
+		case ActForceSync:
+			r.ForceSync = true
+		case ActDropIf:
+			r.DropIf = true
+		case ActSharePrivates:
+			r.SharePrivates = true
+		case ActDropLaunchClause:
+			if r.DropClause == nil {
+				r.DropClause = map[directive.ClauseKind]bool{}
+			}
+			r.DropClause[e.Clause] = true
+		case ActDeleteRegion:
+			r.Deleted = true
+		case ActDeleteRegionWithClause:
+			if e.Clause == directive.BadClause || r.Dir.Has(e.Clause) {
+				r.Deleted = true
+			}
+		case ActDeleteDeadStoreRegion:
+			if isDeadStoreRegion(p, r) {
+				r.Deleted = true
+			}
+		case ActRegionDropReduction:
+			r.Reduction = nil
+		}
+	}
+
+	// Loop-mutating actions.
+	for _, plan := range exe.Loops {
+		if !planMatches(plan, e) {
+			continue
+		}
+		switch e.Action {
+		case ActNoCombine:
+			plan.NoCombine = true
+		case ActLoopDropPlan:
+			plan.DropPlan = true
+		case ActLoopRedundant:
+			plan.Redundant = true
+		case ActLoopPartialLanes:
+			plan.PartialLanes = true
+		case ActLoopCollapseSwap:
+			plan.CollapseSwap = true
+		case ActLoopSeqIgnored:
+			if plan.Seq {
+				plan.Seq = false
+				plan.Levels |= compiler.LevelGang
+			}
+		}
+	}
+	return diags
+}
+
+// isDeadStoreRegion approximates Cray's over-aggressive dead-code
+// elimination (Fig. 11): a compute region whose data clauses are all
+// copyout-family and whose body performs only pure copies (no arithmetic)
+// is considered free of observable computation and deleted wholesale —
+// including its data movement.
+func isDeadStoreRegion(p *ast.PragmaStmt, r *compiler.Region) bool {
+	hasOut := false
+	for _, a := range r.Data {
+		switch a.Kind {
+		case directive.Copyout, directive.PresentOrCopyout:
+			hasOut = true
+		case directive.Create, directive.PresentOrCreate, directive.Deviceptr:
+			// neutral
+		default:
+			if !a.Implicit {
+				return false // real inputs exist; not a dead store
+			}
+		}
+	}
+	if !hasOut || len(r.Reduction) > 0 {
+		return false
+	}
+	// Loop-control statements (for-init assignments and for-post
+	// increments) are not observable computation; collect them so the walk
+	// below can skip them.
+	loopControl := map[ast.Node]bool{}
+	ast.Walk(p.Body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok {
+			if f.Init != nil {
+				loopControl[f.Init] = true
+			}
+			if f.Post != nil {
+				loopControl[f.Post] = true
+			}
+		}
+		return true
+	})
+	assigns := 0
+	pure := true
+	ast.Walk(p.Body, func(n ast.Node) bool {
+		if loopControl[n] {
+			return false
+		}
+		switch as := n.(type) {
+		case *ast.AssignStmt:
+			assigns++
+			if as.Op != "=" {
+				pure = false
+			}
+			switch as.RHS.(type) {
+			case *ast.IndexExpr, *ast.Ident, *ast.BasicLit:
+			default:
+				pure = false
+			}
+		case *ast.IncDecStmt, *ast.CallExpr:
+			// Increments and calls in the body are observable computation.
+			pure = false
+		}
+		return true
+	})
+	return assigns > 0 && pure
+}

@@ -1,0 +1,116 @@
+package vendors
+
+import (
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/device"
+	"accv/internal/directive"
+)
+
+// PGIVersions are the simulated PGI releases of Table I / Fig. 8(b); PGI
+// supports OpenACC from 12.6 onwards.
+var PGIVersions = []string{"12.6", "12.8", "12.9", "12.10", "13.2", "13.4", "13.6", "13.8"}
+
+// NewPGI builds the simulated PGI compiler at the given version. PGI maps
+// gang to a thread block and vector to the threads of a block, ignoring the
+// worker level (§II); its runtime reports acc_device_nvidia for the
+// not_host query (Fig. 12).
+func NewPGI(version string) *Vendor {
+	return &Vendor{
+		name:    "pgi",
+		version: version,
+		opts: compiler.Options{
+			Name:    "pgi",
+			Version: version,
+			Mapping: device.MapGangBlockVectorThread,
+		},
+		devCfg: device.Config{
+			ConcreteType: device.Nvidia,
+			Backend:      device.CUDA,
+			Mapping:      device.MapGangBlockVectorThread,
+		},
+		bugs: pgiBugs(),
+	}
+}
+
+// pgiBugs is the PGI bug database. Per-version counts reproduce Table I:
+//
+//	C: 12.6:8 12.8:8 12.9:7 12.10:6 13.2:6 13.4:5 13.6:5 13.8:5
+//	F: 14 through 13.2, then 13 from 13.4.
+//
+// The persistent tail is the async family of Fig. 10: the async clause used
+// together with data clauses on a compute construct blocks asynchronous
+// execution, and acc_async_test* never write their result. The 13.2 dip of
+// Fig. 8(b) — same bug count, lower pass rate — is the "release reorganized
+// to support multiple targets" regression, modelled as a version-gated
+// widening of the async bug's blast radius onto the implicit
+// present_or_copy lowering.
+func pgiBugs() []Bug {
+	mk := func(lang ast.Lang) []Bug {
+		s := langSuffix(lang)
+		return []Bug{
+			bug(lang, "pgi-"+s+"-async-blocked",
+				"async clause with data clauses executes synchronously", "", "",
+				hookFx(func(h *compiler.Hooks) { h.AsyncDisabledWithData = true }),
+				// 12.6 teething: broad data-clause breakage, gone by 12.8.
+				Effect{Action: ActSkipData, Clause: directive.Copyin, Constructs: onCompute, MaxVersion: "12.6"},
+				Effect{Action: ActSkipData, Clause: directive.Copy, Constructs: onData, MaxVersion: "12.6"},
+				Effect{Action: ActSkipData, Clause: directive.Copyout, Constructs: onCompute, MaxVersion: "12.6"},
+				// 13.2 multi-target reorganization: the present_or_copy
+				// lowering on kernels constructs regresses for one release,
+				// producing the Fig. 8(b) dip at an unchanged bug count.
+				Effect{Action: ActSkipData, Clause: directive.PresentOrCopy, Constructs: onKernels,
+					MinVersion: "13.2", MaxVersion: "13.3", ExplicitOnly: true},
+				Effect{Action: ActSkipData, Clause: directive.Copy, Constructs: onKernels,
+					MinVersion: "13.2", MaxVersion: "13.3", ExplicitOnly: true},
+			),
+			bug(lang, "pgi-"+s+"-async-test-stale",
+				"acc_async_test/acc_async_test_all results never written (Fig. 10)", "", "",
+				hookFx(func(h *compiler.Hooks) { h.AsyncTestStale = true })),
+			bug(lang, "pgi-"+s+"-wait-noop",
+				"wait directive and acc_async_wait* return immediately", "", "",
+				hookFx(func(h *compiler.Hooks) { h.WaitNoop = true })),
+			bug(lang, "pgi-"+s+"-update-async",
+				"async clause on update ignored", "", "",
+				forceSync(onUpdate)),
+			bug(lang, "pgi-"+s+"-device-type",
+				"acc_get_device_type reports acc_device_nvidia after selecting not_host (Fig. 12)", "", ""),
+		}
+	}
+
+	var bugs []Bug
+	// ---- C: 5 persistent + 3 fixed = 8 ----
+	bugs = append(bugs, mk(ast.LangC)...)
+	bugs = append(bugs,
+		bug(ast.LangC, "pgi-c-reduction-land", "loop reduction(&&) partials never combined", "", "12.9",
+			noCombine("&&")),
+		bug(ast.LangC, "pgi-c-collapse", "collapsed loop indices transposed", "", "12.10",
+			collapseSwap()),
+		bug(ast.LangC, "pgi-c-firstprivate", "firstprivate copies left uninitialized", "", "13.4",
+			hookFx(func(h *compiler.Hooks) { h.FirstprivateAsPrivate = true })),
+	)
+
+	// ---- Fortran: 5 persistent + 8 persistent + 1 fixed = 14 ----
+	bugs = append(bugs, mk(ast.LangFortran)...)
+	bugs = append(bugs,
+		bug(ast.LangFortran, "pgi-f-reduction-bxor", "loop reduction(ieor) partials never combined", "", "",
+			noCombine("^")),
+		bug(ast.LangFortran, "pgi-f-reduction-bor", "loop reduction(ior) partials never combined", "", "",
+			noCombine("|")),
+		bug(ast.LangFortran, "pgi-f-reduction-band", "loop reduction(iand) partials never combined", "", "",
+			noCombine("&")),
+		bug(ast.LangFortran, "pgi-f-hostdata-addr", "use_device yields the host address", "", "",
+			hookFx(func(h *compiler.Hooks) { h.UseDeviceWrongAddr = true })),
+		bug(ast.LangFortran, "pgi-f-device-resident", "declare device_resident performs no allocation", "", "",
+			Effect{Action: ActDeleteRegionWithClause, Clause: directive.DeviceResident, Constructs: onDeclare}),
+		bug(ast.LangFortran, "pgi-f-collapse", "collapsed loop indices transposed", "", "",
+			collapseSwap()),
+		bug(ast.LangFortran, "pgi-f-seq", "seq loops are partitioned anyway", "", "",
+			seqIgnored()),
+		bug(ast.LangFortran, "pgi-f-on-device", "acc_on_device always returns false", "", "",
+			hookFx(func(h *compiler.Hooks) { h.OnDeviceWrong = true })),
+		bug(ast.LangFortran, "pgi-f-firstprivate", "firstprivate copies left uninitialized", "", "13.4",
+			hookFx(func(h *compiler.Hooks) { h.FirstprivateAsPrivate = true })),
+	)
+	return bugs
+}

@@ -1,0 +1,33 @@
+/*
+ * Fig. 1 of the paper: a worker loop without an enclosing gang loop.
+ * The OpenACC 1.0 specification does not say whether this is legal, and
+ * compilers diverged:
+ *
+ *   go run ./cmd/accrun testdata/fig1.c                      # reference: passes
+ *   go run ./cmd/accrun -compiler caps testdata/fig1.c       # accepts
+ *   go run ./cmd/accrun -compiler cray testdata/fig1.c       # compile error
+ */
+#include <openacc.h>
+
+int acc_test()
+{
+    int n = 64;
+    int i, errors;
+    int a[64];
+
+    for (i = 0; i < n; i++) a[i] = 0;
+
+    #pragma acc parallel copy(a[0:n]) num_gangs(1) num_workers(8)
+    {
+        #pragma acc loop worker
+        for (i = 0; i < n; i++)
+            a[i] = a[i] + 1;
+    }
+
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 1) errors++;
+    }
+    printf("fig1: %d errors\n", errors);
+    return (errors == 0);
+}

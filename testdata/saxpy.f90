@@ -1,0 +1,29 @@
+! SAXPY in the suite's Fortran subset.
+!
+!   go run ./cmd/accrun testdata/saxpy.f90
+!   go run ./cmd/accrun -compiler caps -version 3.0.8 testdata/saxpy.f90
+program saxpy
+  implicit none
+  integer :: n, i, errors
+  real :: alpha
+  real :: x(512), y(512)
+
+  n = 512
+  alpha = 2.5
+  do i = 1, n
+    x(i) = i
+    y(i) = 10.0 * i
+  end do
+
+  !$acc parallel loop copyin(x(1:n)) copy(y(1:n)) num_gangs(8)
+  do i = 1, n
+    y(i) = alpha * x(i) + y(i)
+  end do
+
+  errors = 0
+  do i = 1, n
+    if (y(i) /= 12.5 * i) errors = errors + 1
+  end do
+  print *, 'saxpy errors:', errors
+  if (errors == 0) test_result = 1
+end program saxpy

@@ -1,0 +1,32 @@
+/*
+ * Vector addition — the OpenACC "hello world".
+ *
+ *   go run ./cmd/accrun testdata/vecadd.c
+ *   go run ./cmd/accrun -compiler pgi -version 12.6 testdata/vecadd.c
+ */
+#include <stdio.h>
+#include <openacc.h>
+
+int acc_test()
+{
+    int n = 1024;
+    int i, errors;
+    float a[1024], b[1024], c[1024];
+
+    for (i = 0; i < n; i++) {
+        a[i] = i;
+        b[i] = 2 * i;
+        c[i] = -1;
+    }
+
+    #pragma acc parallel loop copyin(a[0:n], b[0:n]) copyout(c[0:n]) num_gangs(8)
+    for (i = 0; i < n; i++)
+        c[i] = a[i] + b[i];
+
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (c[i] != 3.0 * i) errors++;
+    }
+    printf("vecadd: %d errors in %d elements\n", errors, n);
+    return (errors == 0);
+}

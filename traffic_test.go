@@ -1,0 +1,121 @@
+package accv
+
+// Data-movement accounting tests: the §IV-B designs hinge on which clauses
+// move data in which direction; the device's transfer counters make that
+// observable through the public API.
+
+import "testing"
+
+func traffic(t *testing.T, src string) RunResult {
+	t.Helper()
+	res, err := CompileAndRun(src, C, Reference())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || res.Exit != 1 {
+		t.Fatalf("run: %v exit=%d", res.Err, res.Exit)
+	}
+	return res
+}
+
+func TestCopyMovesBothWays(t *testing.T) {
+	res := traffic(t, `
+int acc_test()
+{
+    int i;
+    int a[100];
+    for (i = 0; i < 100; i++) a[i] = i;
+    #pragma acc parallel loop copy(a[0:100]) num_gangs(2)
+    for (i = 0; i < 100; i++) a[i] = a[i] + 1;
+    return (a[0] == 1);
+}`)
+	if res.ElemsIn < 100 || res.ElemsOut < 100 {
+		t.Errorf("copy must move 100 elements each way, got in=%d out=%d", res.ElemsIn, res.ElemsOut)
+	}
+	if res.Kernels != 1 {
+		t.Errorf("one kernel expected, got %d", res.Kernels)
+	}
+}
+
+func TestCopyinMovesOneWay(t *testing.T) {
+	res := traffic(t, `
+int acc_test()
+{
+    int i;
+    int s = 0;
+    int a[100];
+    for (i = 0; i < 100; i++) a[i] = 1;
+    #pragma acc parallel loop copyin(a[0:100]) reduction(+:s) num_gangs(2)
+    for (i = 0; i < 100; i++) s += a[i];
+    return (s == 100);
+}`)
+	if res.ElemsIn < 100 {
+		t.Errorf("copyin must move the array in, got %d", res.ElemsIn)
+	}
+	if res.ElemsOut >= 100 {
+		t.Errorf("copyin must not move the array out, got %d", res.ElemsOut)
+	}
+}
+
+func TestDataRegionAmortizesTransfers(t *testing.T) {
+	// Without a data region: 10 round trips. With one: a single round trip
+	// regardless of the kernel count — the §IV-B motivation for present.
+	noRegion := traffic(t, `
+int acc_test()
+{
+    int i, r;
+    int a[200];
+    for (i = 0; i < 200; i++) a[i] = 0;
+    for (r = 0; r < 10; r++) {
+        #pragma acc parallel loop copy(a[0:200]) num_gangs(2)
+        for (i = 0; i < 200; i++) a[i] = a[i] + 1;
+    }
+    return (a[0] == 10);
+}`)
+	withRegion := traffic(t, `
+int acc_test()
+{
+    int i, r;
+    int a[200];
+    for (i = 0; i < 200; i++) a[i] = 0;
+    #pragma acc data copy(a[0:200])
+    {
+        for (r = 0; r < 10; r++) {
+            #pragma acc parallel loop present(a[0:200]) num_gangs(2)
+            for (i = 0; i < 200; i++) a[i] = a[i] + 1;
+        }
+    }
+    return (a[0] == 10);
+}`)
+	if noRegion.ElemsIn < 2000 {
+		t.Errorf("ten copies must move ≥2000 elements in, got %d", noRegion.ElemsIn)
+	}
+	if withRegion.ElemsIn > 300 {
+		t.Errorf("the data region must amortize transfers, got %d elements in", withRegion.ElemsIn)
+	}
+	if noRegion.ElemsIn < 5*withRegion.ElemsIn {
+		t.Errorf("expected ≥5× traffic reduction: %d vs %d", noRegion.ElemsIn, withRegion.ElemsIn)
+	}
+}
+
+func TestCreateMovesNothing(t *testing.T) {
+	res := traffic(t, `
+int acc_test()
+{
+    int i;
+    int t[100];
+    int out[100];
+    #pragma acc parallel loop create(t[0:100]) copyout(out[0:100]) num_gangs(2)
+    for (i = 0; i < 100; i++) {
+        t[i] = i;
+        out[i] = t[i];
+    }
+    return (out[5] == 5);
+}`)
+	if res.ElemsIn != 0 {
+		t.Errorf("create+copyout must move nothing in, got %d", res.ElemsIn)
+	}
+	if res.ElemsOut < 100 {
+		t.Errorf("copyout must move the result out, got %d", res.ElemsOut)
+	}
+}
