@@ -31,6 +31,7 @@ import (
 	"accv/internal/ffront"
 	"accv/internal/harness"
 	"accv/internal/interp"
+	"accv/internal/obs"
 	"accv/internal/report"
 	_ "accv/internal/templates" // register the suite's test templates
 	"accv/internal/vendors"
@@ -233,12 +234,29 @@ func CompileAndRun(src string, lang Language, tc Compiler, opts ...RunOption) (R
 	}, nil
 }
 
+// Observability re-exports. The full telemetry contract — every span
+// name, metric name, label, and unit — is docs/OBSERVABILITY.md.
+type (
+	// Observer bundles a span tracer and a metrics registry; thread one
+	// through Suite.Observe or Harness.Obs to record a run.
+	Observer = obs.Observer
+	// MetricsSnapshot is a point-in-time copy of every metric series
+	// (the JSON export schema).
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewObserver returns an observer with tracing and metrics enabled.
+// Export through its WriteTrace, WriteMetricsJSON, and WriteMetricsText
+// methods.
+func NewObserver() *Observer { return obs.NewObserver() }
+
 // Suite selects and runs validation tests.
 type Suite struct {
 	lang      Language
 	family    string
 	iter      int
 	templates []*Template
+	obs       *Observer
 }
 
 // NewSuite builds a suite over every registered OpenACC 1.0 template for
@@ -270,12 +288,20 @@ func (s *Suite) Iterations(m int) *Suite {
 	return s
 }
 
+// Observe records spans and metrics for subsequent Run calls into o, per
+// the telemetry contract (docs/OBSERVABILITY.md). Nil restores the
+// default: observability off, at zero cost.
+func (s *Suite) Observe(o *Observer) *Suite {
+	s.obs = o
+	return s
+}
+
 // Templates returns the selected test cases.
 func (s *Suite) Templates() []*Template { return append([]*Template(nil), s.templates...) }
 
 // Run validates the compiler against the selected tests.
 func (s *Suite) Run(tc Compiler) *SuiteResult {
-	return core.RunSuite(core.Config{Toolchain: tc, Iterations: s.iter}, s.templates)
+	return core.RunSuite(core.Config{Toolchain: tc, Iterations: s.iter, Obs: s.obs}, s.templates)
 }
 
 // RunTest executes one test case against a compiler.

@@ -46,16 +46,24 @@ func (f faultFlags) Set(s string) error {
 func main() {
 	faults := faultFlags{}
 	var (
-		nodes     = flag.Int("nodes", 8, "number of simulated nodes")
-		screenK   = flag.Int("screen", 3, "nodes screened per epoch")
-		epochs    = flag.Int("epochs", 2, "screening epochs to run")
-		seed      = flag.Int64("seed", 42, "screening schedule seed")
-		threshold = flag.Float64("threshold", 5.0, "degradation threshold (percentage points below fleet median)")
+		nodes      = flag.Int("nodes", 8, "number of simulated nodes")
+		screenK    = flag.Int("screen", 3, "nodes screened per epoch")
+		epochs     = flag.Int("epochs", 2, "screening epochs to run")
+		seed       = flag.Int64("seed", 42, "screening schedule seed")
+		threshold  = flag.Float64("threshold", 5.0, "degradation threshold (percentage points below fleet median)")
+		metricsOut = flag.String("metrics", "", "dump screening metrics after every epoch: a file rewritten per epoch, or - to append snapshots to stdout (docs/OBSERVABILITY.md)")
+		metricsFmt = flag.String("metrics-format", "json", "metrics export format: json or prom")
 	)
 	flag.Var(faults, "fault", "inject a node fault: node=bad-memory|stale-driver (repeatable)")
 	flag.Parse()
+	if *metricsFmt != "json" && *metricsFmt != "prom" {
+		fatal(fmt.Errorf("unknown metrics format %q (want json or prom)", *metricsFmt))
+	}
 
 	h := accv.NewHarness(*nodes, accv.DefaultStacks())
+	if *metricsOut != "" {
+		h.Obs = accv.NewObserver()
+	}
 	for node, f := range faults {
 		if err := h.InjectFault(node, f); err != nil {
 			fatal(err)
@@ -77,6 +85,7 @@ func main() {
 			}
 			fmt.Printf("  node %-3d %-24s %6.1f%%  %s\n", s.Node, s.Stack, s.PassRate, status)
 		}
+		dumpMetrics(h.Obs, *metricsOut, *metricsFmt)
 	}
 
 	if degraded := h.DetectDegraded(*threshold); len(degraded) > 0 {
@@ -84,6 +93,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nAll screened nodes within fleet tolerance.")
+}
+
+// dumpMetrics writes the observer's current snapshot after an epoch: a
+// named file is rewritten in place (latest epoch wins on disk, like a
+// node-exporter textfile); "-" appends one snapshot per epoch to stdout.
+func dumpMetrics(o *accv.Observer, path, format string) {
+	if o == nil || path == "" {
+		return
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if format == "prom" {
+		err = o.WriteMetricsText(w)
+	} else {
+		err = o.WriteMetricsJSON(w)
+	}
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func preview(ids []string) string {

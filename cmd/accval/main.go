@@ -28,8 +28,40 @@ func main() {
 		matrix       = flag.Bool("matrix", false, "print the feature × compiler pass/fail matrix (the table §VI omits)")
 		listFeatures = flag.Bool("list", false, "list registered test features and exit")
 		listBugs     = flag.Bool("bugs", false, "print the compiler's bug database (the ground truth behind Table I)")
+		traceOut     = flag.String("trace", "", "write the span trace (JSON) to a file, or - for stdout (docs/OBSERVABILITY.md)")
+		metricsOut   = flag.String("metrics", "", "write run metrics to a file, or - for stdout (docs/OBSERVABILITY.md)")
+		metricsFmt   = flag.String("metrics-format", "json", "metrics export format: json or prom")
 	)
 	flag.Parse()
+
+	// Observability: one observer spans every suite run of the invocation
+	// (the standard and -sweep paths; -matrix runs through a bare facade
+	// call and is not instrumented).
+	var observer *accv.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		if *metricsFmt != "json" && *metricsFmt != "prom" {
+			fatal(fmt.Errorf("unknown metrics format %q (want json or prom)", *metricsFmt))
+		}
+		observer = accv.NewObserver()
+	}
+	// exportObs writes the trace and metrics files after the runs; it must
+	// run before any os.Exit.
+	exportObs := func() {
+		if observer == nil {
+			return
+		}
+		if *traceOut != "" {
+			writeTo(*traceOut, func(w *os.File) error { return observer.WriteTrace(w) })
+		}
+		if *metricsOut != "" {
+			writeTo(*metricsOut, func(w *os.File) error {
+				if *metricsFmt == "prom" {
+					return observer.WriteMetricsText(w)
+				}
+				return observer.WriteMetricsJSON(w)
+			})
+		}
+	}
 
 	if *listBugs {
 		db := accv.BugDatabase(*compilerName)
@@ -69,7 +101,8 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(*compilerName, langs, *iterations, *family)
+		runSweep(*compilerName, langs, *iterations, *family, observer)
+		exportObs()
 		return
 	}
 	if *matrix {
@@ -102,7 +135,7 @@ func main() {
 	}
 	exit := 0
 	for _, l := range langs {
-		s := accv.NewSuite(l).Iterations(*iterations)
+		s := accv.NewSuite(l).Iterations(*iterations).Observe(observer)
 		if *family != "" {
 			s = s.Family(*family)
 		}
@@ -120,12 +153,29 @@ func main() {
 			exit = 1
 		}
 	}
+	exportObs()
 	os.Exit(exit)
 }
 
+// writeTo opens path ("-" means stdout) and applies f to it.
+func writeTo(path string, f func(*os.File) error) {
+	w := os.Stdout
+	if path != "-" {
+		var err error
+		w, err = os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	if err := f(w); err != nil {
+		fatal(err)
+	}
+}
+
 // runSweep prints the Fig. 8-style pass-rate table across every simulated
-// version of the vendor.
-func runSweep(vendor string, langs []accv.Language, iterations int, family string) {
+// version of the vendor. A non-nil observer records every versioned run.
+func runSweep(vendor string, langs []accv.Language, iterations int, family string, observer *accv.Observer) {
 	versions := accv.Versions(vendor)
 	if len(versions) == 0 {
 		fatal(fmt.Errorf("no simulated versions for compiler %q (use caps, pgi, or cray)", vendor))
@@ -143,7 +193,7 @@ func runSweep(vendor string, langs []accv.Language, iterations int, family strin
 		}
 		fmt.Printf("%-10s", ver)
 		for _, l := range langs {
-			s := accv.NewSuite(l).Iterations(iterations)
+			s := accv.NewSuite(l).Iterations(iterations).Observe(observer)
 			if family != "" {
 				s = s.Family(family)
 			}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"accv/internal/obs"
+
+	"accv/internal/compiler"
+)
+
+// benchRunSuite drives RunSuite over a fixed synthetic suite with the
+// given observer. Comparing ObsOff to a pre-instrumentation baseline
+// (benchstat across commits) bounds the disabled-path overhead — the
+// acceptance criterion is < 2% — and ObsOff vs ObsOn shows the full
+// price of enabling spans + metrics.
+func benchRunSuite(b *testing.B, o *obs.Observer) {
+	tpls := obsTemplates(32)
+	cfg := Config{Toolchain: compiler.NewReference(), Iterations: 2, Workers: 4, Obs: o}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunSuite(cfg, tpls)
+		if res.Failed() > 0 {
+			b.Fatal("fixture suite must pass")
+		}
+	}
+}
+
+// BenchmarkRunSuiteObsOff measures the disabled path (Config.Obs nil):
+// every hook is a nil check, no allocation.
+func BenchmarkRunSuiteObsOff(b *testing.B) { benchRunSuite(b, nil) }
+
+// BenchmarkRunSuiteObsOn measures the fully enabled path (tracer and
+// metrics recording every span and series).
+func BenchmarkRunSuiteObsOn(b *testing.B) { benchRunSuite(b, obs.NewObserver()) }

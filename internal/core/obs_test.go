@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/obs"
+)
+
+// obsTemplates builds n runnable C templates across two families; every
+// odd one carries a cross marker so both run variants are exercised.
+func obsTemplates(n int) []*Template {
+	var tpls []*Template
+	for i := 0; i < n; i++ {
+		fam := "obsfam_a"
+		if i%2 == 1 {
+			fam = "obsfam_b"
+		}
+		src := "    return 1;\n"
+		noCross := true
+		if i%2 == 1 {
+			src = `    return <acctest:alt cross="0">1</acctest:alt>;` + "\n"
+			noCross = false
+		}
+		tpls = append(tpls, &Template{
+			Name: fmt.Sprintf("obs_t%d", i), Lang: ast.LangC, Family: fam,
+			Description: "observability fixture", Source: src, NoCross: noCross,
+		})
+	}
+	return tpls
+}
+
+// fortranTemplate is a minimal passing Fortran test case.
+func fortranTemplate() *Template {
+	return &Template{
+		Name: "obs_f", Lang: ast.LangFortran, Family: "obsfam_a",
+		Description: "observability fixture", Source: "  test_result = 1\n",
+		NoCross: true,
+	}
+}
+
+// TestRunSuiteSetsLang is the regression test for SuiteResult.Lang: the
+// field documents "the language of the templates actually run, or -1 for
+// mixed", but RunSuite historically never set it.
+func TestRunSuiteSetsLang(t *testing.T) {
+	cfg := Config{Toolchain: compiler.NewReference(), Iterations: 1}
+	cTpls := obsTemplates(2)
+	fTpl := fortranTemplate()
+
+	res := RunSuite(cfg, cTpls)
+	if res.Lang != ast.LangC {
+		t.Errorf("C-only suite: Lang = %v, want %v", res.Lang, ast.LangC)
+	}
+	res = RunSuite(cfg, []*Template{fTpl})
+	if res.Lang != ast.LangFortran {
+		t.Errorf("Fortran-only suite: Lang = %v, want %v", res.Lang, ast.LangFortran)
+	}
+	res = RunSuite(cfg, []*Template{cTpls[0], fTpl})
+	if res.Lang != ast.Lang(-1) {
+		t.Errorf("mixed suite: Lang = %v, want -1", res.Lang)
+	}
+	res = RunSuite(cfg, nil)
+	if res.Lang != ast.Lang(-1) {
+		t.Errorf("empty suite: Lang = %v, want -1", res.Lang)
+	}
+}
+
+// TestRunSuiteObservabilityRace hammers one shared observer and a
+// Progress callback from many RunSuite workers; go test -race (CI) checks
+// the instrumentation is race-free, and the counter totals check no
+// updates are lost.
+func TestRunSuiteObservabilityRace(t *testing.T) {
+	tpls := obsTemplates(24)
+	o := obs.NewObserver()
+	var mu sync.Mutex
+	var seen []string
+	cfg := Config{
+		Toolchain:  compiler.NewReference(),
+		Iterations: 2,
+		Workers:    16,
+		Obs:        o,
+		Progress: func(r TestResult) {
+			mu.Lock()
+			seen = append(seen, r.ID())
+			mu.Unlock()
+		},
+	}
+	res := RunSuite(cfg, tpls)
+
+	if len(seen) != len(tpls) {
+		t.Fatalf("Progress saw %d tests, want %d", len(seen), len(tpls))
+	}
+	total := int64(0)
+	for _, outcome := range []string{"pass", "compile_error", "wrong_result", "crash", "timeout"} {
+		for _, fam := range []string{"obsfam_a", "obsfam_b"} {
+			total += o.Metrics.Counter("accv_tests_total",
+				obs.L("lang", "c"), obs.L("family", fam), obs.L("outcome", outcome)).Value()
+		}
+	}
+	if total != int64(len(tpls)) {
+		t.Errorf("accv_tests_total sums to %d, want %d", total, len(tpls))
+	}
+	if got := o.Metrics.Histogram("accv_test_duration_seconds").Count(); got != int64(len(tpls)) {
+		t.Errorf("accv_test_duration_seconds count = %d, want %d", got, len(tpls))
+	}
+	// Every template compiles, so each contributes Iterations functional
+	// runs; the 12 cross-marked ones that pass functionally add cross runs.
+	funcRuns := o.Metrics.Counter("accv_runs_total", obs.L("variant", "functional")).Value()
+	if want := int64(len(tpls)) * 2; funcRuns != want {
+		t.Errorf("functional accv_runs_total = %d, want %d", funcRuns, want)
+	}
+	crossRuns := o.Metrics.Counter("accv_runs_total", obs.L("variant", "cross")).Value()
+	if want := int64(len(tpls)/2) * 2; crossRuns != want {
+		t.Errorf("cross accv_runs_total = %d, want %d", crossRuns, want)
+	}
+	gauge := o.Metrics.Gauge("accv_suite_pass_rate",
+		obs.L("compiler", res.Compiler), obs.L("version", res.Version), obs.L("lang", "c"))
+	if gauge.Value() != res.PassRate() {
+		t.Errorf("pass-rate gauge = %v, want %v", gauge.Value(), res.PassRate())
+	}
+}
+
+// TestRunTestSpanNesting checks the span shapes of one observed run
+// against the contract: a test.run root owning generate/parse/compile and
+// run-phase children, and test.run parented under suite.run when driven
+// by RunSuite.
+func TestRunTestSpanNesting(t *testing.T) {
+	tpls := obsTemplates(2)
+	o := obs.NewObserver()
+	cfg := Config{Toolchain: compiler.NewReference(), Iterations: 1, Obs: o}
+	RunTest(cfg, tpls[1]) // cross-marked: exercises cross_runs too
+	RunSuite(cfg, tpls[:1])
+
+	var buf strings.Builder
+	if err := o.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"suite.run", "test.run", "test.generate", "test.parse",
+		"test.compile", "test.func_runs", "test.cross_runs",
+	} {
+		if !strings.Contains(out, `"name": "`+want+`"`) {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	if strings.Contains(out, `"dur_ns": -1`) {
+		t.Error("trace contains unended spans")
+	}
+}
+
+// TestRunTestObsDisabledIsDefault: a zero Config must keep observability
+// off — the nil-check fast path the contract promises.
+func TestRunTestObsDisabledIsDefault(t *testing.T) {
+	res := RunTest(Config{Toolchain: compiler.NewReference()}, obsTemplates(1)[0])
+	if res.Outcome != Pass {
+		t.Fatalf("fixture should pass, got %s", res.Outcome)
+	}
+}

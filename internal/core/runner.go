@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"accv/internal/device"
 	"accv/internal/ffront"
 	"accv/internal/interp"
+	"accv/internal/obs"
 )
 
 // Outcome classifies a test result, following §V's failure taxonomy:
@@ -54,6 +56,24 @@ func (o Outcome) String() string {
 // Failed reports whether the outcome counts as a failure.
 func (o Outcome) Failed() bool { return o != Pass }
 
+// MetricLabel returns the snake_case outcome value of the
+// accv_tests_total metric series (docs/OBSERVABILITY.md).
+func (o Outcome) MetricLabel() string {
+	switch o {
+	case Pass:
+		return "pass"
+	case FailCompile:
+		return "compile_error"
+	case FailWrongResult:
+		return "wrong_result"
+	case FailCrash:
+		return "crash"
+	case FailTimeout:
+		return "timeout"
+	}
+	return "unknown"
+}
+
 // Config parameterizes a suite run.
 type Config struct {
 	// Toolchain is the compiler + device runtime under validation.
@@ -70,8 +90,14 @@ type Config struct {
 	// Devices is the number of simulated devices per platform. Default 2
 	// (so acc_set_device_num is observable).
 	Devices int
-	// Verbose streams per-test progress through Progress.
+	// Verbose streams per-test progress through Progress. Callbacks run
+	// concurrently from the worker goroutines; the callee synchronizes.
 	Progress func(res TestResult)
+	// Obs receives spans and metrics per the telemetry contract
+	// (docs/OBSERVABILITY.md). Nil — the default — disables every hook at
+	// zero cost: all instrumentation sits behind nil checks and the
+	// disabled path allocates nothing.
+	Obs *obs.Observer
 }
 
 // withDefaults fills zero fields.
@@ -125,7 +151,9 @@ func (r *TestResult) ID() string { return r.Name + "." + r.Lang.String() }
 type SuiteResult struct {
 	Compiler string
 	Version  string
-	Lang     ast.Lang // language filter of the run (or -1 for mixed)
+	// Lang is the language of the templates actually run, or -1 for a
+	// mixed (or empty) set.
+	Lang     ast.Lang
 	Results  []TestResult
 	Duration time.Duration
 }
@@ -188,6 +216,30 @@ func parse(lang ast.Lang, src string) (*ast.Program, error) {
 	return cfront.Parse(src)
 }
 
+// suiteLang derives SuiteResult.Lang from the templates actually run:
+// their common language, or -1 for a mixed (or empty) set.
+func suiteLang(templates []*Template) ast.Lang {
+	if len(templates) == 0 {
+		return -1
+	}
+	l := templates[0].Lang
+	for _, t := range templates[1:] {
+		if t.Lang != l {
+			return -1
+		}
+	}
+	return l
+}
+
+// langLabel renders a suite language for metric labels: "c", "fortran",
+// or "mixed" (docs/OBSERVABILITY.md).
+func langLabel(l ast.Lang) string {
+	if l < 0 {
+		return "mixed"
+	}
+	return l.String()
+}
+
 // RunSuite executes every template against the configured toolchain,
 // fanning tests out over a worker pool. Results come back in template
 // order.
@@ -195,6 +247,16 @@ func RunSuite(cfg Config, templates []*Template) *SuiteResult {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	results := make([]TestResult, len(templates))
+	lang := suiteLang(templates)
+
+	var suiteSpan *obs.Span
+	if cfg.Obs != nil {
+		suiteSpan = cfg.Obs.StartSpan("suite.run",
+			obs.L("compiler", cfg.Toolchain.Name()),
+			obs.L("version", cfg.Toolchain.Version()),
+			obs.L("lang", langLabel(lang)),
+			obs.L("tests", strconv.Itoa(len(templates))))
+	}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
@@ -204,7 +266,7 @@ func RunSuite(cfg Config, templates []*Template) *SuiteResult {
 		go func(i int, tpl *Template) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = RunTest(cfg, tpl)
+			results[i] = runTest(cfg, tpl, suiteSpan)
 			if cfg.Progress != nil {
 				cfg.Progress(results[i])
 			}
@@ -212,27 +274,74 @@ func RunSuite(cfg Config, templates []*Template) *SuiteResult {
 	}
 	wg.Wait()
 
-	return &SuiteResult{
+	res := &SuiteResult{
 		Compiler: cfg.Toolchain.Name(),
 		Version:  cfg.Toolchain.Version(),
+		Lang:     lang,
 		Results:  results,
 		Duration: time.Since(start),
 	}
+	if cfg.Obs != nil {
+		suiteSpan.End()
+		cfg.Obs.SetGauge("accv_suite_pass_rate", res.PassRate(),
+			obs.L("compiler", res.Compiler),
+			obs.L("version", res.Version),
+			obs.L("lang", langLabel(lang)))
+	}
+	return res
 }
 
 // RunTest executes one template: the functional variant M times, then —
 // only if it passed, per the Fig. 3 flow — the cross variant M times for
 // the certainty statistics.
-func RunTest(cfg Config, tpl *Template) (res TestResult) {
+func RunTest(cfg Config, tpl *Template) TestResult {
+	return runTest(cfg, tpl, nil)
+}
+
+// runTest is RunTest with an optional parent span (the suite.run span
+// when called through RunSuite). Every observability hook below sits
+// behind a cfg.Obs nil check so the disabled path does no label
+// construction and no allocation (docs/OBSERVABILITY.md).
+func runTest(cfg Config, tpl *Template, parent *obs.Span) (res TestResult) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	res = TestResult{
 		Name: tpl.Name, Lang: tpl.Lang, Family: tpl.Family,
 		Description: tpl.Description,
 	}
-	defer func() { res.Duration = time.Since(start) }()
+	var testSpan *obs.Span
+	if cfg.Obs != nil {
+		labels := []obs.Label{
+			obs.L("test", tpl.Name),
+			obs.L("lang", tpl.Lang.String()),
+			obs.L("family", tpl.Family),
+		}
+		if parent != nil {
+			testSpan = parent.Child("test.run", labels...)
+		} else {
+			testSpan = cfg.Obs.StartSpan("test.run", labels...)
+		}
+	}
+	defer func() {
+		res.Duration = time.Since(start)
+		if cfg.Obs != nil {
+			testSpan.End()
+			cfg.Obs.Add("accv_tests_total", 1,
+				obs.L("lang", tpl.Lang.String()),
+				obs.L("family", tpl.Family),
+				obs.L("outcome", res.Outcome.MetricLabel()))
+			cfg.Obs.ObserveDuration("accv_test_duration_seconds", res.Duration)
+		}
+	}()
 
+	var genSpan *obs.Span
+	if cfg.Obs != nil {
+		genSpan = testSpan.Child("test.generate", obs.L("test", tpl.Name))
+	}
 	functional, cross, hasCross, err := tpl.Generate()
+	if cfg.Obs != nil {
+		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", genSpan.End(), obs.L("phase", "generate"))
+	}
 	if err != nil {
 		res.Outcome = FailCompile
 		res.Detail = "template expansion: " + err.Error()
@@ -240,13 +349,28 @@ func RunTest(cfg Config, tpl *Template) (res TestResult) {
 	}
 	res.Functional, res.Cross, res.HasCross = functional, cross, hasCross
 
+	var parseSpan *obs.Span
+	if cfg.Obs != nil {
+		parseSpan = testSpan.Child("test.parse", obs.L("test", tpl.Name), obs.L("variant", "functional"))
+	}
 	prog, err := parse(tpl.Lang, functional)
+	if cfg.Obs != nil {
+		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", parseSpan.End(), obs.L("phase", "parse"))
+	}
 	if err != nil {
 		res.Outcome = FailCompile
 		res.Detail = "frontend: " + err.Error()
 		return res
 	}
+
+	var compileSpan *obs.Span
+	if cfg.Obs != nil {
+		compileSpan = testSpan.Child("test.compile", obs.L("test", tpl.Name), obs.L("variant", "functional"))
+	}
 	exe, diags, err := cfg.Toolchain.Compile(prog)
+	if cfg.Obs != nil {
+		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", compileSpan.End(), obs.L("phase", "compile"))
+	}
 	collectBugIDs(&res, diags)
 	if err != nil {
 		res.Outcome = FailCompile
@@ -255,9 +379,14 @@ func RunTest(cfg Config, tpl *Template) (res TestResult) {
 	}
 
 	// Functional runs.
+	var funcSpan *obs.Span
+	if cfg.Obs != nil {
+		funcSpan = testSpan.Child("test.func_runs",
+			obs.L("test", tpl.Name), obs.L("iterations", strconv.Itoa(cfg.Iterations)))
+	}
 	for it := 0; it < cfg.Iterations; it++ {
 		res.FuncRuns++
-		out, run := cfg.runOnce(exe, tpl, int64(it))
+		out, run := cfg.runOnce(exe, tpl, int64(it), "functional")
 		if out != Pass {
 			res.FuncFails++
 			if res.Outcome == Pass || res.Outcome == FailWrongResult {
@@ -266,13 +395,23 @@ func RunTest(cfg Config, tpl *Template) (res TestResult) {
 			}
 		}
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", funcSpan.End(), obs.L("phase", "func_runs"))
+	}
 	if res.Outcome.Failed() {
 		return res
 	}
 
 	// Cross runs (deeper validation of the directive under test).
 	if hasCross {
+		var crossParseSpan *obs.Span
+		if cfg.Obs != nil {
+			crossParseSpan = testSpan.Child("test.parse", obs.L("test", tpl.Name), obs.L("variant", "cross"))
+		}
 		cprog, err := parse(tpl.Lang, cross)
+		if cfg.Obs != nil {
+			cfg.Obs.ObserveDuration("accv_phase_duration_seconds", crossParseSpan.End(), obs.L("phase", "parse"))
+		}
 		if err != nil {
 			// A cross variant that no longer parses (e.g. the directive
 			// removal left an empty construct) counts as a failing cross
@@ -281,17 +420,32 @@ func RunTest(cfg Config, tpl *Template) (res TestResult) {
 			res.Cert = NewCertainty(cfg.Iterations, cfg.Iterations)
 			return res
 		}
+		var crossCompileSpan *obs.Span
+		if cfg.Obs != nil {
+			crossCompileSpan = testSpan.Child("test.compile", obs.L("test", tpl.Name), obs.L("variant", "cross"))
+		}
 		cexe, _, err := cfg.Toolchain.Compile(cprog)
+		if cfg.Obs != nil {
+			cfg.Obs.ObserveDuration("accv_phase_duration_seconds", crossCompileSpan.End(), obs.L("phase", "compile"))
+		}
 		if err != nil {
 			res.Cert = NewCertainty(cfg.Iterations, cfg.Iterations)
 			return res
 		}
+		var crossSpan *obs.Span
+		if cfg.Obs != nil {
+			crossSpan = testSpan.Child("test.cross_runs",
+				obs.L("test", tpl.Name), obs.L("iterations", strconv.Itoa(cfg.Iterations)))
+		}
 		fails := 0
 		for it := 0; it < cfg.Iterations; it++ {
-			out, _ := cfg.runOnce(cexe, tpl, int64(1000+it))
+			out, _ := cfg.runOnce(cexe, tpl, int64(1000+it), "cross")
 			if out != Pass {
 				fails++
 			}
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.ObserveDuration("accv_phase_duration_seconds", crossSpan.End(), obs.L("phase", "cross_runs"))
 		}
 		res.Cert = NewCertainty(fails, cfg.Iterations)
 		res.Inconclusive = !res.Cert.Conclusive()
@@ -299,8 +453,11 @@ func RunTest(cfg Config, tpl *Template) (res TestResult) {
 	return res
 }
 
-// runOnce executes a compiled variant once on a fresh platform.
-func (cfg Config) runOnce(exe *compiler.Executable, tpl *Template, seed int64) (Outcome, string) {
+// runOnce executes a compiled variant once on a fresh platform. variant
+// ("functional" or "cross") labels the accv_runs_total metric; the
+// interpreter's op and transfer counters are surfaced into the registry
+// here, once per run.
+func (cfg Config) runOnce(exe *compiler.Executable, tpl *Template, seed int64, variant string) (Outcome, string) {
 	plat := device.NewPlatform(cfg.Toolchain.DeviceConfig(), cfg.Devices)
 	r := interp.Run(exe, interp.RunConfig{
 		Platform: plat,
@@ -309,6 +466,16 @@ func (cfg Config) runOnce(exe *compiler.Executable, tpl *Template, seed int64) (
 		Seed:     seed,
 		Env:      tpl.Env,
 	})
+	if cfg.Obs != nil {
+		cfg.Obs.Add("accv_runs_total", 1, obs.L("variant", variant))
+		cfg.Obs.Add("accv_interp_ops_total", r.Ops)
+		cfg.Obs.Add("accv_device_kernels_total", r.Kernels)
+		cfg.Obs.Add("accv_device_bytes_total", r.BytesIn, obs.L("direction", "in"))
+		cfg.Obs.Add("accv_device_bytes_total", r.BytesOut, obs.L("direction", "out"))
+		cfg.Obs.Add("accv_present_lookups_total", r.PresentHits, obs.L("result", "hit"))
+		cfg.Obs.Add("accv_present_lookups_total", r.PresentMisses, obs.L("result", "miss"))
+		cfg.Obs.Add("accv_queue_waits_total", r.QueueWaits)
+	}
 	switch {
 	case r.Err == interp.ErrBudget || r.Err == interp.ErrDeadline:
 		return FailTimeout, r.Err.Error()

@@ -165,14 +165,33 @@ func (c Config) Defaults() Config {
 	return c
 }
 
-// Stats aggregates device activity counters.
+// Stats aggregates device activity counters. The transfer, present-table,
+// and queue counters feed the accv_device_*, accv_present_lookups_total,
+// and accv_queue_waits_total metric series (docs/OBSERVABILITY.md).
 type Stats struct {
-	Kernels        atomic.Int64
-	AsyncKernels   atomic.Int64
+	// Kernels counts kernel launches; AsyncKernels the subset enqueued on
+	// async queues.
+	Kernels      atomic.Int64
+	AsyncKernels atomic.Int64
+	// ElemsCopiedIn/ElemsCopiedOut count elements moved host→device /
+	// device→host; BytesCopiedIn/BytesCopiedOut the same traffic in
+	// simulated bytes (elements × mem.SizeofBasic).
 	ElemsCopiedIn  atomic.Int64
 	ElemsCopiedOut atomic.Int64
-	Allocations    atomic.Int64
-	SimCycles      atomic.Int64
+	BytesCopiedIn  atomic.Int64
+	BytesCopiedOut atomic.Int64
+	// Allocations counts acc_malloc allocations.
+	Allocations atomic.Int64
+	// SimCycles is the simulated device clock.
+	SimCycles atomic.Int64
+	// PresentHits/PresentMisses classify present-table acquisitions:
+	// a hit reuses an existing mapping (structured-lifetime sharing,
+	// present_or_* fast path), a miss allocates a fresh device buffer.
+	PresentHits   atomic.Int64
+	PresentMisses atomic.Int64
+	// QueueWaits counts async queue wait operations (wait directives,
+	// acc_async_wait[_all], and the end-of-program drain).
+	QueueWaits atomic.Int64
 }
 
 // Device is one simulated accelerator.
@@ -280,6 +299,7 @@ func (d *Device) Queue(tag int64) *Queue {
 		return q
 	}
 	q := newQueue(tag)
+	q.stats = &d.Stats
 	d.queues[tag] = q
 	return q
 }

@@ -72,6 +72,7 @@ func (d *Device) MapIn(host *mem.Buffer, off, n int, copyin bool) (m *DataMappin
 	if m := d.lookupLocked(host, off, n); m != nil {
 		m.Refs++
 		d.mu.Unlock()
+		d.Stats.PresentHits.Add(1)
 		return m, false, nil
 	}
 	for _, ex := range d.present[host] {
@@ -91,6 +92,7 @@ func (d *Device) MapIn(host *mem.Buffer, off, n int, copyin bool) (m *DataMappin
 			return nil, false, err
 		}
 		d.Stats.ElemsCopiedIn.Add(int64(n))
+		d.Stats.BytesCopiedIn.Add(int64(n) * mem.SizeofBasic(host.Elem))
 		if d.Cfg.CorruptTransfers && n > 0 {
 			// Failing node memory: flip one transferred element.
 			v, _ := dev.Load(n / 2)
@@ -102,20 +104,24 @@ func (d *Device) MapIn(host *mem.Buffer, off, n int, copyin bool) (m *DataMappin
 	if ex := d.lookupLocked(host, off, n); ex != nil {
 		ex.Refs++
 		d.mu.Unlock()
+		d.Stats.PresentHits.Add(1)
 		return ex, false, nil
 	}
 	d.present[host] = append(d.present[host], m)
 	d.mu.Unlock()
+	d.Stats.PresentMisses.Add(1)
 	return m, true, nil
 }
 
 // Retain bumps a mapping's reference count under the device lock (the
 // present-clause reuse path; async regions may race with a structured exit
-// otherwise).
+// otherwise). It counts as a present-table hit, like a MapIn that reuses
+// a mapping.
 func (d *Device) Retain(m *DataMapping) {
 	d.mu.Lock()
 	m.Refs++
 	d.mu.Unlock()
+	d.Stats.PresentHits.Add(1)
 }
 
 // Unmap drops one reference to the mapping. When the count reaches zero the
@@ -143,6 +149,7 @@ func (d *Device) Unmap(m *DataMapping, copyout bool) error {
 			return err
 		}
 		d.Stats.ElemsCopiedOut.Add(int64(m.Len))
+		d.Stats.BytesCopiedOut.Add(int64(m.Len) * mem.SizeofBasic(m.HostBuf.Elem))
 	}
 	return nil
 }
@@ -158,6 +165,7 @@ func (d *Device) UpdateHost(host *mem.Buffer, off, n int) error {
 		return err
 	}
 	d.Stats.ElemsCopiedOut.Add(int64(n))
+	d.Stats.BytesCopiedOut.Add(int64(n) * mem.SizeofBasic(host.Elem))
 	return nil
 }
 
@@ -172,5 +180,6 @@ func (d *Device) UpdateDevice(host *mem.Buffer, off, n int) error {
 		return err
 	}
 	d.Stats.ElemsCopiedIn.Add(int64(n))
+	d.Stats.BytesCopiedIn.Add(int64(n) * mem.SizeofBasic(host.Elem))
 	return nil
 }

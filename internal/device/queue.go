@@ -10,6 +10,10 @@ import "sync"
 type Queue struct {
 	Tag int64
 
+	// stats, when set (Device.Queue does), receives the wait counter
+	// behind the accv_queue_waits_total metric.
+	stats *Stats
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	ops     []func() error
@@ -70,6 +74,9 @@ func (q *Queue) Test() bool {
 // Wait blocks until the queue drains and returns (and clears) the first
 // deferred error.
 func (q *Queue) Wait() error {
+	if q.stats != nil {
+		q.stats.QueueWaits.Add(1)
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.running || len(q.ops) > 0 {

@@ -10,12 +10,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"accv/internal/ast"
 	"accv/internal/compiler"
 	"accv/internal/core"
 	"accv/internal/device"
+	"accv/internal/obs"
 	"accv/internal/vendors"
 )
 
@@ -80,6 +82,12 @@ type Harness struct {
 	// Iterations is the per-test repeat count (kept low in production
 	// screening; the full statistics run in nightly sweeps).
 	Iterations int
+	// Obs receives the harness.screen spans and the per-epoch screening
+	// metrics — accv_harness_pass_rate, accv_harness_screenings_total,
+	// accv_harness_epoch, accv_harness_degradations_total — per the
+	// telemetry contract (docs/OBSERVABILITY.md). It is also threaded
+	// into the inner suite runs. Nil disables all instrumentation.
+	Obs *obs.Observer
 
 	mu      sync.Mutex
 	epoch   int
@@ -176,7 +184,18 @@ func (h *Harness) Screen(node int, stack Stack, lang ast.Lang) (Screening, error
 	if lang == ast.LangFortran {
 		suite = core.ByLang(ast.LangFortran)
 	}
-	res := core.RunSuite(core.Config{Toolchain: tc, Iterations: h.Iterations}, suite)
+	var span *obs.Span
+	if h.Obs != nil {
+		h.mu.Lock()
+		epoch := h.epoch
+		h.mu.Unlock()
+		span = h.Obs.StartSpan("harness.screen",
+			obs.L("epoch", strconv.Itoa(epoch)),
+			obs.L("node", strconv.Itoa(node)),
+			obs.L("stack", stack.Name()),
+			obs.L("lang", lang.String()))
+	}
+	res := core.RunSuite(core.Config{Toolchain: tc, Iterations: h.Iterations, Obs: h.Obs}, suite)
 	var failed []string
 	for i := range res.Results {
 		if res.Results[i].Outcome.Failed() {
@@ -190,6 +209,12 @@ func (h *Harness) Screen(node int, stack Stack, lang ast.Lang) (Screening, error
 	}
 	h.history = append(h.history, s)
 	h.mu.Unlock()
+	if h.Obs != nil {
+		span.End()
+		h.Obs.Add("accv_harness_screenings_total", 1, obs.L("stack", stack.Name()))
+		h.Obs.SetGauge("accv_harness_pass_rate", s.PassRate,
+			obs.L("stack", stack.Name()), obs.L("node", strconv.Itoa(node)))
+	}
 	return s, nil
 }
 
@@ -222,7 +247,11 @@ func (h *Harness) ScreenRandomNodes(k int, seed int64) ([]Screening, error) {
 	}
 	h.mu.Lock()
 	h.epoch++
+	epoch := h.epoch
 	h.mu.Unlock()
+	if h.Obs != nil {
+		h.Obs.SetGauge("accv_harness_epoch", float64(epoch))
+	}
 	return out, nil
 }
 
@@ -269,5 +298,8 @@ func (h *Harness) DetectDegraded(threshold float64) []int {
 		out = append(out, node)
 	}
 	sort.Ints(out)
+	if h.Obs != nil && len(out) > 0 {
+		h.Obs.Add("accv_harness_degradations_total", int64(len(out)))
+	}
 	return out
 }

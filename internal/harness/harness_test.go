@@ -6,6 +6,7 @@ import (
 	"accv/internal/ast"
 	"accv/internal/core"
 	"accv/internal/device"
+	"accv/internal/obs"
 	_ "accv/internal/templates"
 )
 
@@ -99,5 +100,37 @@ func TestFaultStrings(t *testing.T) {
 	s := Stack{Compiler: "cray", Version: "8.2.0", Backend: device.CUDA}
 	if s.Name() != "cray-8.2.0/cuda" {
 		t.Errorf("stack name %q", s.Name())
+	}
+}
+
+// TestScreeningMetrics checks the harness half of the telemetry contract
+// (docs/OBSERVABILITY.md): pass-rate gauge per stack/node, screening
+// counter, epoch gauge, and degradation events.
+func TestScreeningMetrics(t *testing.T) {
+	h := New(4, []Stack{DefaultStacks()[2]})
+	h.Suite = smallSuite()
+	h.Obs = obs.NewObserver()
+	if err := h.InjectFault(1, BadMemory); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ScreenRandomNodes(4, 7); err != nil {
+		t.Fatal(err)
+	}
+	deg := h.DetectDegraded(5)
+
+	stack := h.Stacks[0].Name()
+	if got := h.Obs.Metrics.Counter("accv_harness_screenings_total", obs.L("stack", stack)).Value(); got != 4 {
+		t.Errorf("screenings counter = %d, want 4", got)
+	}
+	if got := h.Obs.Metrics.Gauge("accv_harness_epoch").Value(); got != 1 {
+		t.Errorf("epoch gauge = %v, want 1", got)
+	}
+	bad := h.Obs.Metrics.Gauge("accv_harness_pass_rate", obs.L("stack", stack), obs.L("node", "1")).Value()
+	good := h.Obs.Metrics.Gauge("accv_harness_pass_rate", obs.L("stack", stack), obs.L("node", "0")).Value()
+	if good != 100 || bad >= good {
+		t.Errorf("pass-rate gauges: node0=%v node1=%v, want healthy 100 > faulty", good, bad)
+	}
+	if got := h.Obs.Metrics.Counter("accv_harness_degradations_total").Value(); got != int64(len(deg)) {
+		t.Errorf("degradations counter = %d, want %d", got, len(deg))
 	}
 }

@@ -55,6 +55,16 @@ type Result struct {
 	// ElemsIn/ElemsOut count elements moved host→device / device→host —
 	// the data-movement accounting §IV-B's designs worry about.
 	ElemsIn, ElemsOut int64
+	// BytesIn/BytesOut are the same traffic in simulated bytes — the
+	// accv_device_bytes_total metric series (docs/OBSERVABILITY.md).
+	BytesIn, BytesOut int64
+	// PresentHits/PresentMisses classify present-table acquisitions
+	// during the run (hit: mapping reused; miss: device buffer allocated)
+	// — the accv_present_lookups_total series.
+	PresentHits, PresentMisses int64
+	// QueueWaits counts async queue wait operations — the
+	// accv_queue_waits_total series.
+	QueueWaits int64
 	// Err is a runtime error (out-of-bounds, not-present, crash, budget or
 	// deadline exceeded). Exit is meaningless when Err != nil.
 	Err error
@@ -114,6 +124,11 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 	kernelsBefore := dev.Stats.Kernels.Load()
 	inBefore := dev.Stats.ElemsCopiedIn.Load()
 	outBefore := dev.Stats.ElemsCopiedOut.Load()
+	bytesInBefore := dev.Stats.BytesCopiedIn.Load()
+	bytesOutBefore := dev.Stats.BytesCopiedOut.Load()
+	hitsBefore := dev.Stats.PresentHits.Load()
+	missesBefore := dev.Stats.PresentMisses.Load()
+	waitsBefore := dev.Stats.QueueWaits.Load()
 	res := Result{}
 	func() {
 		defer func() {
@@ -152,6 +167,11 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 	res.Kernels = dev.Stats.Kernels.Load() - kernelsBefore
 	res.ElemsIn = dev.Stats.ElemsCopiedIn.Load() - inBefore
 	res.ElemsOut = dev.Stats.ElemsCopiedOut.Load() - outBefore
+	res.BytesIn = dev.Stats.BytesCopiedIn.Load() - bytesInBefore
+	res.BytesOut = dev.Stats.BytesCopiedOut.Load() - bytesOutBefore
+	res.PresentHits = dev.Stats.PresentHits.Load() - hitsBefore
+	res.PresentMisses = dev.Stats.PresentMisses.Load() - missesBefore
+	res.QueueWaits = dev.Stats.QueueWaits.Load() - waitsBefore
 	return res
 }
 

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one counter or gauge series in a snapshot.
+type Point struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket. LE is rendered as a string
+// so "+Inf" survives JSON.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistPoint is one histogram series in a snapshot.
+type HistPoint struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []Bucket          `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry, sorted
+// by name then label values. Its JSON encoding is the contract's JSON
+// export format.
+type Snapshot struct {
+	Counters   []Point     `json:"counters"`
+	Gauges     []Point     `json:"gauges"`
+	Histograms []HistPoint `json:"histograms"`
+}
+
+// formatLE renders a bucket bound the way Prometheus does.
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot copies out every series. Nil registries yield an empty (but
+// non-null) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: []Point{}, Gauges: []Point{}, Histograms: []HistPoint{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		snap.Counters = append(snap.Counters, Point{
+			Name: c.name, Labels: labelMap(c.labels), Value: float64(c.Value()),
+		})
+	}
+	for _, g := range gauges {
+		snap.Gauges = append(snap.Gauges, Point{
+			Name: g.name, Labels: labelMap(g.labels), Value: g.Value(),
+		})
+	}
+	for _, h := range hists {
+		hp := HistPoint{
+			Name: h.name, Labels: labelMap(h.labels),
+			Count: h.Count(), Sum: h.Sum(),
+		}
+		cum := int64(0)
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := "+Inf"
+			if i < len(DurationBuckets) {
+				le = formatLE(DurationBuckets[i])
+			}
+			hp.Buckets = append(hp.Buckets, Bucket{LE: le, Count: cum})
+		}
+		snap.Histograms = append(snap.Histograms, hp)
+	}
+
+	sort.Slice(snap.Counters, func(i, j int) bool { return pointLess(snap.Counters[i], snap.Counters[j]) })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return pointLess(snap.Gauges[i], snap.Gauges[j]) })
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		a, b := snap.Histograms[i], snap.Histograms[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelString(a.Labels) < labelString(b.Labels)
+	})
+	return snap
+}
+
+// pointLess orders points by name then canonical label string.
+func pointLess(a, b Point) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return labelString(a.Labels) < labelString(b.Labels)
+}
+
+// labelString renders a label map in the Prometheus series form
+// {k1="v1",k2="v2"}, keys sorted; empty maps render as "".
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as indented JSON. Nil registries write an
+// empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format 0.0.4. Nil registries write nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	typed := map[string]bool{}
+	emitType := func(name, kind string) error {
+		if typed[name] {
+			return nil
+		}
+		typed[name] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
+	for _, p := range snap.Counters {
+		if err := emitType(p.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, labelString(p.Labels), formatLE(p.Value)); err != nil {
+			return err
+		}
+	}
+	for _, p := range snap.Gauges {
+		if err := emitType(p.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, labelString(p.Labels), formatLE(p.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if err := emitType(h.Name, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			labels := map[string]string{"le": b.LE}
+			for k, v := range h.Labels {
+				labels[k] = v
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, labelString(labels), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, labelString(h.Labels), formatLE(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, labelString(h.Labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DurationBuckets holds the histogram bucket upper bounds, in seconds —
+// fixed by the telemetry contract (docs/OBSERVABILITY.md). The implicit
+// final +Inf bucket is not listed.
+var DurationBuckets = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+
+// Registry holds metric series keyed by name plus label set. Series are
+// created on first touch; all instruments are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// seriesKey canonicalizes a series identity: name plus sorted labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range sortLabels(labels) {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Counter is a monotonic integral counter series.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Add increments the counter. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns (creating on demand) the counter series for the given
+// name and labels. Nil registries return nil, a valid no-op instrument.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: sortLabels(labels)}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge is a last-value float series.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns (creating on demand) the gauge series for the given name
+// and labels. Nil registries return nil, a valid no-op instrument.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{name: name, labels: sortLabels(labels)}
+	r.gauges[key] = g
+	return g
+}
+
+// Histogram is a fixed-bucket duration histogram series (bounds from
+// DurationBuckets, in seconds). Bucket counts are non-cumulative
+// internally and cumulated at export, per Prometheus le semantics.
+type Histogram struct {
+	name    string
+	labels  []Label
+	buckets []atomic.Int64 // len(DurationBuckets)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample, in seconds. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(DurationBuckets) && v > DurationBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of samples in seconds (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Histogram returns (creating on demand) the histogram series for the
+// given name and labels. Nil registries return nil, a valid no-op
+// instrument.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[key]; ok {
+		return h
+	}
+	h := &Histogram{
+		name: name, labels: sortLabels(labels),
+		buckets: make([]atomic.Int64, len(DurationBuckets)+1),
+	}
+	r.histograms[key] = h
+	return h
+}

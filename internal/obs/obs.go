@@ -1,0 +1,107 @@
+// Package obs is the observability layer of the validation pipeline: a
+// lightweight span tracer and a metrics registry (counters, gauges,
+// duration histograms) with JSON and Prometheus-text export, no external
+// dependencies.
+//
+// The telemetry contract — every span name, metric name, label, and unit
+// the pipeline emits — is specified in docs/OBSERVABILITY.md; this package
+// provides the mechanism, the instrumented packages (core, device, interp,
+// harness) provide the names. A contract test at the module root checks
+// that everything emitted at runtime appears in that document.
+//
+// All entry points are nil-safe: calling any method on a nil *Observer,
+// *Tracer, *Registry, *Span, or instrument is a no-op, so instrumented
+// code guards only the hot path (to skip label construction) and passes
+// handles through unconditionally everywhere else.
+package obs
+
+import (
+	"io"
+	"time"
+)
+
+// Label is one key=value dimension on a span or metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label; the short name keeps call sites readable.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Observer bundles the tracer and the metrics registry into the single
+// handle the pipeline threads through its configuration structs
+// (core.Config.Obs, harness.Harness.Obs). A nil *Observer disables all
+// instrumentation at zero cost.
+type Observer struct {
+	// Trace records spans; nil disables tracing only.
+	Trace *Tracer
+	// Metrics records counters, gauges, and histograms; nil disables
+	// metrics only.
+	Metrics *Registry
+}
+
+// NewObserver returns an observer with both tracing and metrics enabled.
+func NewObserver() *Observer {
+	return &Observer{Trace: NewTracer(), Metrics: NewRegistry()}
+}
+
+// StartSpan opens a root span on the observer's tracer. It returns nil
+// (a valid no-op span) when the observer or its tracer is nil.
+func (o *Observer) StartSpan(name string, labels ...Label) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Start(name, labels...)
+}
+
+// Add increments a counter series. No-op on a nil observer or registry.
+func (o *Observer) Add(name string, delta int64, labels ...Label) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Counter(name, labels...).Add(delta)
+}
+
+// SetGauge sets a gauge series to v. No-op on a nil observer or registry.
+func (o *Observer) SetGauge(name string, v float64, labels ...Label) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Gauge(name, labels...).Set(v)
+}
+
+// ObserveDuration records d into a duration histogram series, in seconds.
+// No-op on a nil observer or registry.
+func (o *Observer) ObserveDuration(name string, d time.Duration, labels ...Label) {
+	if o == nil {
+		return
+	}
+	o.Metrics.Histogram(name, labels...).Observe(d.Seconds())
+}
+
+// WriteTrace writes the span trace as JSON (docs/OBSERVABILITY.md,
+// "Trace export format").
+func (o *Observer) WriteTrace(w io.Writer) error {
+	if o == nil {
+		o = &Observer{}
+	}
+	return o.Trace.WriteJSON(w)
+}
+
+// WriteMetricsJSON writes the metrics snapshot as JSON
+// (docs/OBSERVABILITY.md, "Metrics export formats").
+func (o *Observer) WriteMetricsJSON(w io.Writer) error {
+	if o == nil {
+		o = &Observer{}
+	}
+	return o.Metrics.WriteJSON(w)
+}
+
+// WriteMetricsText writes the metrics snapshot in the Prometheus text
+// exposition format (docs/OBSERVABILITY.md, "Metrics export formats").
+func (o *Observer) WriteMetricsText(w io.Writer) error {
+	if o == nil {
+		o = &Observer{}
+	}
+	return o.Metrics.WritePrometheus(w)
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every call on a nil observer, tracer, registry, span, or instrument
+	// must be a silent no-op: this is the disabled fast path.
+	var o *Observer
+	sp := o.StartSpan("x", L("a", "b"))
+	if sp != nil {
+		t.Fatalf("nil observer StartSpan = %v, want nil", sp)
+	}
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v, want 0", d)
+	}
+	if c := sp.Child("y"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+	o.Add("c", 1)
+	o.SetGauge("g", 2)
+	o.ObserveDuration("h", time.Millisecond)
+
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	snap := r.Snapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatal("nil registry snapshot has null sections")
+	}
+
+	var buf bytes.Buffer
+	var tr *Tracer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"spans"`) {
+		t.Fatalf("nil tracer JSON = %q", buf.String())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("suite.run", L("compiler", "pgi"))
+	child := root.Child("test.run", L("test", "data_copy"))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Spans []struct {
+			ID     int64             `json:"id"`
+			Parent int64             `json:"parent"`
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+			DurNs  int64             `json:"dur_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(out.Spans))
+	}
+	if out.Spans[0].Parent != 0 || out.Spans[1].Parent != out.Spans[0].ID {
+		t.Fatalf("bad parentage: %+v", out.Spans)
+	}
+	if out.Spans[1].Labels["test"] != "data_copy" {
+		t.Fatalf("bad labels: %+v", out.Spans[1].Labels)
+	}
+	for _, s := range out.Spans {
+		if s.DurNs < 0 {
+			t.Fatalf("ended span exported dur_ns %d", s.DurNs)
+		}
+	}
+}
+
+func TestUnendedSpanExportsNegativeDur(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("dangling")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dur_ns": -1`) {
+		t.Fatalf("unended span should export dur_ns -1:\n%s", buf.String())
+	}
+}
+
+func TestSeriesIdentityIgnoresLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("a", "1"), L("b", "2")).Add(1)
+	r.Counter("c", L("b", "2"), L("a", "1")).Add(2)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 {
+		t.Fatalf("label order split the series: %+v", snap.Counters)
+	}
+	if snap.Counters[0].Value != 3 {
+		t.Fatalf("value = %v, want 3", snap.Counters[0].Value)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("accv_test_duration_seconds")
+	for _, v := range []float64{0.00005, 0.005, 0.005, 0.5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hp := snap.Histograms[0]
+	if hp.Count != 5 {
+		t.Fatalf("count = %d, want 5", hp.Count)
+	}
+	// Cumulative counts per contract bucket bounds
+	// 0.0001, 0.001, 0.01, 0.1, 1, 10, +Inf.
+	want := []int64{1, 1, 3, 3, 4, 4, 5}
+	for i, b := range hp.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %s = %d, want %d", b.LE, b.Count, want[i])
+		}
+	}
+	if hp.Buckets[len(hp.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", hp.Buckets[len(hp.Buckets)-1].LE)
+	}
+	if hp.Sum < 100.5 || hp.Sum > 100.6 {
+		t.Fatalf("sum = %v", hp.Sum)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	o := NewObserver()
+	o.Add("accv_runs_total", 36, L("variant", "functional"))
+	o.SetGauge("accv_suite_pass_rate", 83.5, L("compiler", "pgi"), L("lang", "c"), L("version", "13.2"))
+	o.ObserveDuration("accv_test_duration_seconds", 50*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := o.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE accv_runs_total counter",
+		`accv_runs_total{variant="functional"} 36`,
+		"# TYPE accv_suite_pass_rate gauge",
+		`accv_suite_pass_rate{compiler="pgi",lang="c",version="13.2"} 83.5`,
+		"# TYPE accv_test_duration_seconds histogram",
+		`accv_test_duration_seconds_bucket{le="0.1"} 1`,
+		`accv_test_duration_seconds_bucket{le="+Inf"} 1`,
+		"accv_test_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExportShape(t *testing.T) {
+	o := NewObserver()
+	o.Add("accv_interp_ops_total", 1000)
+	var buf bytes.Buffer
+	if err := o.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON does not round-trip: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "accv_interp_ops_total" || snap.Counters[0].Value != 1000 {
+		t.Fatalf("bad snapshot: %+v", snap)
+	}
+	if snap.Gauges == nil || snap.Histograms == nil {
+		t.Fatal("empty sections must be arrays, not null")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	// Hammer one observer from many goroutines; correctness is the summed
+	// counter, race-freedom is checked by go test -race in CI.
+	o := NewObserver()
+	var wg sync.WaitGroup
+	const workers, perWorker = 16, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				o.Add("c", 1, L("k", "v"))
+				o.SetGauge("g", float64(i))
+				o.ObserveDuration("h", time.Microsecond)
+				sp := o.StartSpan("s")
+				sp.Child("t").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Metrics.Counter("c", L("k", "v")).Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := o.Metrics.Histogram("h").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records spans: named, labelled intervals with parent/child
+// nesting. It is safe for concurrent use; span bookkeeping is serialized
+// behind one mutex, which is cheap next to the interpreted programs the
+// spans measure.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID int64
+	spans  []*Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one traced interval. Fields are set at Start and frozen at End;
+// read them only after the run completes (WriteJSON does).
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	labels []Label
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+}
+
+// Start opens a root span. Nil tracers return nil (a valid no-op span).
+func (t *Tracer) Start(name string, labels ...Label) *Span {
+	return t.start(0, name, labels)
+}
+
+// Child opens a span nested under s. A nil or unstarted receiver returns
+// nil, so instrumented code can chain through disabled tracers freely.
+func (s *Span) Child(name string, labels ...Label) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	return s.tr.start(s.id, name, labels)
+}
+
+func (t *Tracer) start(parent int64, name string, labels []Label) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{
+		tr: t, id: t.nextID, parent: parent,
+		name: name, labels: labels, start: time.Now(),
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// End closes the span and returns its duration. Ending a nil or
+// already-ended span is a no-op returning the recorded duration (0 for
+// nil), so deferred and explicit ends compose.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	return s.dur
+}
+
+// jsonSpan is the trace export schema (docs/OBSERVABILITY.md).
+type jsonSpan struct {
+	ID      int64             `json:"id"`
+	Parent  int64             `json:"parent"`
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+}
+
+// WriteJSON writes every recorded span, in start order, as one JSON
+// object. Spans started but never ended export dur_ns = -1. A nil tracer
+// writes an empty trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	out := struct {
+		Spans []jsonSpan `json:"spans"`
+	}{Spans: []jsonSpan{}}
+	if t != nil {
+		t.mu.Lock()
+		for _, s := range t.spans {
+			js := jsonSpan{
+				ID: s.id, Parent: s.parent, Name: s.name,
+				Labels:  labelMap(s.labels),
+				StartNs: s.start.UnixNano(),
+				DurNs:   -1,
+			}
+			if s.ended {
+				js.DurNs = s.dur.Nanoseconds()
+			}
+			out.Spans = append(out.Spans, js)
+		}
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// labelMap renders labels for export; duplicate keys keep the last value.
+func labelMap(labels []Label) map[string]string {
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// sortLabels returns labels sorted by key, for canonical series identity.
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,141 @@
+package accv_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"accv"
+)
+
+// TestTelemetryContract enforces the documentation-first telemetry
+// contract: docs/OBSERVABILITY.md specifies every span and metric name
+// before the code lands, so every name the pipeline emits at runtime must
+// appear there. It drives a real suite run and a real harness screening
+// with one shared observer, then cross-checks the exports against the
+// document.
+func TestTelemetryContract(t *testing.T) {
+	doc, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("telemetry contract missing: %v", err)
+	}
+	contract := string(doc)
+
+	o := accv.NewObserver()
+
+	// A suite run with cross tests and async/data traffic.
+	pgi, err := accv.NewCompiler("pgi", "13.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accv.NewSuite(accv.C).Iterations(2).Observe(o).Run(pgi)
+
+	// A harness screening epoch plus a degradation query.
+	h := accv.NewHarness(2, accv.DefaultStacks()[:1])
+	h.Obs = o
+	if err := h.InjectFault(1, accv.BadMemory); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ScreenRandomNodes(2, 7); err != nil {
+		t.Fatal(err)
+	}
+	h.DetectDegraded(5)
+
+	// Metrics: valid JSON, every name and label key documented.
+	var buf bytes.Buffer
+	if err := o.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap accv.MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics export is not valid JSON: %v", err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Gauges) == 0 || len(snap.Histograms) == 0 {
+		t.Fatalf("export unexpectedly sparse: %d counters, %d gauges, %d histograms",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+	checkPoint := func(name string, labels map[string]string) {
+		if !strings.Contains(contract, "`"+name+"`") {
+			t.Errorf("metric %q emitted but not documented in docs/OBSERVABILITY.md", name)
+		}
+		for k := range labels {
+			if !strings.Contains(contract, "`"+k+"`") {
+				t.Errorf("label %q of metric %q not documented", k, name)
+			}
+		}
+	}
+	for _, p := range snap.Counters {
+		checkPoint(p.Name, p.Labels)
+	}
+	for _, p := range snap.Gauges {
+		checkPoint(p.Name, p.Labels)
+	}
+	for _, hp := range snap.Histograms {
+		checkPoint(hp.Name, hp.Labels)
+	}
+
+	// The key hot-path series must actually have fired.
+	for _, want := range []string{
+		"accv_tests_total", "accv_runs_total", "accv_interp_ops_total",
+		"accv_device_kernels_total", "accv_device_bytes_total",
+		"accv_present_lookups_total", "accv_queue_waits_total",
+		"accv_harness_screenings_total",
+	} {
+		found := false
+		for _, p := range snap.Counters {
+			if p.Name == want && p.Value > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("counter %q never incremented during the contract run", want)
+		}
+	}
+
+	// Trace: valid JSON, every span name documented.
+	buf.Reset()
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		Spans []struct {
+			Name   string            `json:"name"`
+			Labels map[string]string `json:"labels"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(trace.Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	spanNames := map[string]bool{}
+	for _, s := range trace.Spans {
+		spanNames[s.Name] = true
+		if !strings.Contains(contract, "`"+s.Name+"`") {
+			t.Errorf("span %q emitted but not documented in docs/OBSERVABILITY.md", s.Name)
+		}
+		for k := range s.Labels {
+			if !strings.Contains(contract, "`"+k+"`") {
+				t.Errorf("label %q of span %q not documented", k, s.Name)
+			}
+		}
+	}
+	for _, want := range []string{"suite.run", "test.run", "harness.screen"} {
+		if !spanNames[want] {
+			t.Errorf("span %q never emitted during the contract run", want)
+		}
+	}
+
+	// Prometheus text export renders without error and types every family.
+	buf.Reset()
+	if err := o.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE accv_tests_total counter") {
+		t.Error("prometheus export missing TYPE line for accv_tests_total")
+	}
+}
