@@ -19,9 +19,9 @@
 package accv
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"accv/internal/ast"
 	"accv/internal/cfront"
@@ -163,39 +163,6 @@ type RunResult struct {
 	Err error
 }
 
-// RunOption adjusts CompileAndRun.
-type RunOption func(*runCfg)
-
-type runCfg struct {
-	env     map[string]string
-	seed    int64
-	maxOps  int64
-	timeout time.Duration
-	devices int
-}
-
-// WithEnv sets an ACC_* environment variable for the run.
-func WithEnv(key, value string) RunOption {
-	return func(c *runCfg) {
-		if c.env == nil {
-			c.env = map[string]string{}
-		}
-		c.env[key] = value
-	}
-}
-
-// WithSeed perturbs the in-kernel scheduler (races interleave differently).
-func WithSeed(seed int64) RunOption { return func(c *runCfg) { c.seed = seed } }
-
-// WithBudget bounds interpreted operations (hang detection).
-func WithBudget(ops int64) RunOption { return func(c *runCfg) { c.maxOps = ops } }
-
-// WithTimeout bounds wall-clock time.
-func WithTimeout(d time.Duration) RunOption { return func(c *runCfg) { c.timeout = d } }
-
-// WithDevices sets the number of simulated accelerators (default 2).
-func WithDevices(n int) RunOption { return func(c *runCfg) { c.devices = n } }
-
 // Parse parses an OpenACC source file with the selected frontend.
 func Parse(src string, lang Language) (*ast.Program, error) {
 	if lang == Fortran {
@@ -206,10 +173,19 @@ func Parse(src string, lang Language) (*ast.Program, error) {
 
 // CompileAndRun compiles src with the given compiler and executes it on the
 // compiler's simulated device platform.
-func CompileAndRun(src string, lang Language, tc Compiler, opts ...RunOption) (RunResult, error) {
-	cfg := runCfg{devices: 2}
-	for _, o := range opts {
-		o(&cfg)
+func CompileAndRun(src string, lang Language, tc Compiler, opts ...Option) (RunResult, error) {
+	return CompileAndRunContext(context.Background(), src, lang, tc, opts...)
+}
+
+// CompileAndRunContext is CompileAndRun under a caller context: canceling
+// ctx (or passing its deadline) aborts the run cooperatively at the next
+// interpreted operation, and RunResult.Err reports how it ended
+// (docs/API.md). The returned error covers frontend and compile failures
+// only; runtime trouble, including cancellation, lives in RunResult.Err.
+func CompileAndRunContext(ctx context.Context, src string, lang Language, tc Compiler, opts ...Option) (RunResult, error) {
+	cfg := gather(opts)
+	if cfg.devices == 0 {
+		cfg.devices = 2
 	}
 	prog, err := Parse(src, lang)
 	if err != nil {
@@ -222,6 +198,7 @@ func CompileAndRun(src string, lang Language, tc Compiler, opts ...RunOption) (R
 	plat := device.NewPlatform(tc.DeviceConfig(), cfg.devices)
 	r := interp.Run(exe, interp.RunConfig{
 		Platform: plat,
+		Ctx:      ctx,
 		MaxOps:   cfg.maxOps,
 		Timeout:  cfg.timeout,
 		Seed:     cfg.seed,
@@ -250,7 +227,11 @@ type (
 // methods.
 func NewObserver() *Observer { return obs.NewObserver() }
 
-// Suite selects and runs validation tests.
+// Suite selects and runs validation tests with a mutating builder.
+//
+// Deprecated: use NewRunner with functional options; Suite remains as a
+// thin shim over it and will not grow new capabilities (parallelism,
+// retry, fail-fast, contexts are Runner-only).
 type Suite struct {
 	lang      Language
 	family    string
@@ -261,6 +242,8 @@ type Suite struct {
 
 // NewSuite builds a suite over every registered OpenACC 1.0 template for
 // one language.
+//
+// Deprecated: use NewRunner.
 func NewSuite(lang Language) *Suite {
 	return &Suite{lang: lang, iter: 3, templates: core.ByLang(lang)}
 }
@@ -269,6 +252,8 @@ func NewSuite(lang Language) *Suite {
 // §IX future work). Run it against Reference20; a 1.0 compiler reports
 // every test as a compilation error, which is the correct "unsupported"
 // answer.
+//
+// Deprecated: use NewRunner20.
 func NewSuite20(lang Language) *Suite {
 	return &Suite{lang: lang, iter: 3, templates: core.ByLang20(lang)}
 }
@@ -276,6 +261,8 @@ func NewSuite20(lang Language) *Suite {
 // Family restricts the suite to one feature family ("parallel", "data",
 // "loop", "reduction", "update", "declare", "runtime", ...), implementing
 // the paper's "feature selection" capability.
+//
+// Deprecated: use NewRunner with WithFamily.
 func (s *Suite) Family(name string) *Suite {
 	s.family = name
 	s.templates = core.ByFamily(name, s.lang)
@@ -283,6 +270,8 @@ func (s *Suite) Family(name string) *Suite {
 }
 
 // Iterations sets M, the §III repeat count.
+//
+// Deprecated: use NewRunner with WithIterations.
 func (s *Suite) Iterations(m int) *Suite {
 	s.iter = m
 	return s
@@ -291,6 +280,8 @@ func (s *Suite) Iterations(m int) *Suite {
 // Observe records spans and metrics for subsequent Run calls into o, per
 // the telemetry contract (docs/OBSERVABILITY.md). Nil restores the
 // default: observability off, at zero cost.
+//
+// Deprecated: use NewRunner with WithObs.
 func (s *Suite) Observe(o *Observer) *Suite {
 	s.obs = o
 	return s
@@ -299,9 +290,21 @@ func (s *Suite) Observe(o *Observer) *Suite {
 // Templates returns the selected test cases.
 func (s *Suite) Templates() []*Template { return append([]*Template(nil), s.templates...) }
 
-// Run validates the compiler against the selected tests.
+// Run validates the compiler against the selected tests. It delegates to
+// Runner with WithParallelism(1), preserving the historical sequential
+// execution order; invalid Iterations values panic.
+//
+// Deprecated: use Runner.Run or Runner.RunContext.
 func (s *Suite) Run(tc Compiler) *SuiteResult {
-	return core.RunSuite(core.Config{Toolchain: tc, Iterations: s.iter, Obs: s.obs}, s.templates)
+	r, err := NewRunner(s.lang,
+		WithTemplates(s.templates...),
+		WithIterations(s.iter),
+		WithObs(s.obs),
+		WithParallelism(1))
+	if err != nil {
+		panic("accv: invalid suite configuration: " + err.Error())
+	}
+	return r.Run(tc)
 }
 
 // RunTest executes one test case against a compiler.

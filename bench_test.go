@@ -13,6 +13,7 @@ package accv
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -177,6 +178,29 @@ func BenchmarkSuiteReferenceC(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(tpls)), "tests")
 }
+
+// benchSuiteWorkers runs the full C suite on the reference compiler with
+// a fixed scheduler width — the sequential/parallel speedup pair recorded
+// in BENCH_parallel.json.
+func benchSuiteWorkers(b *testing.B, workers int) {
+	tc, _ := vendors.New("reference", "")
+	tpls := core.ByLang(ast.LangC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunSuite(core.Config{Toolchain: tc, Iterations: 1, Workers: workers}, tpls)
+		if res.Failed() != 0 {
+			b.Fatalf("reference compiler failed %d tests", res.Failed())
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkRunSuiteSequential is the single-worker baseline.
+func BenchmarkRunSuiteSequential(b *testing.B) { benchSuiteWorkers(b, 1) }
+
+// BenchmarkRunSuiteParallel fans the suite over GOMAXPROCS workers; the
+// ratio to the sequential bench is the scheduler's speedup.
+func BenchmarkRunSuiteParallel(b *testing.B) { benchSuiteWorkers(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkVendorMappingAblation compares the simulated kernel cost of a
 // worker-level loop under the three vendor gang/worker/vector mappings

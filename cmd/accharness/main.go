@@ -53,6 +53,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 5.0, "degradation threshold (percentage points below fleet median)")
 		metricsOut = flag.String("metrics", "", "dump screening metrics after every epoch: a file rewritten per epoch, or - to append snapshots to stdout (docs/OBSERVABILITY.md)")
 		metricsFmt = flag.String("metrics-format", "json", "metrics export format: json or prom")
+		jobs       = flag.Int("j", 0, "screenings run in parallel per epoch (0: GOMAXPROCS, 1: sequential)")
 	)
 	flag.Var(faults, "fault", "inject a node fault: node=bad-memory|stale-driver (repeatable)")
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 	}
 
 	h := accv.NewHarness(*nodes, accv.DefaultStacks())
+	h.Parallelism = *jobs
 	if *metricsOut != "" {
 		h.Obs = accv.NewObserver()
 	}

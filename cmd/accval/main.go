@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"accv"
 )
@@ -31,6 +32,10 @@ func main() {
 		traceOut     = flag.String("trace", "", "write the span trace (JSON) to a file, or - for stdout (docs/OBSERVABILITY.md)")
 		metricsOut   = flag.String("metrics", "", "write run metrics to a file, or - for stdout (docs/OBSERVABILITY.md)")
 		metricsFmt   = flag.String("metrics-format", "json", "metrics export format: json or prom")
+		jobs         = flag.Int("j", 0, "worker-pool width for parallel test execution (0: GOMAXPROCS, 1: sequential)")
+		timeout      = flag.Duration("timeout", 0, "per-iteration wall-clock timeout, e.g. 2s (0: engine default; each test also gets a context deadline covering all its iterations)")
+		failFast     = flag.Bool("fail-fast", false, "cancel the remaining suite after the first failure")
+		retries      = flag.Int("retry", 0, "re-run transiently-flaky failures up to N extra times (requires -timeout)")
 	)
 	flag.Parse()
 
@@ -100,8 +105,25 @@ func main() {
 		fatal(err)
 	}
 
+	// The execution options shared by the standard and -sweep paths.
+	runOpts := []accv.Option{
+		accv.WithIterations(*iterations),
+		accv.WithObs(observer),
+		accv.WithParallelism(*jobs),
+		accv.WithTimeout(*timeout),
+	}
+	if *family != "" {
+		runOpts = append(runOpts, accv.WithFamily(*family))
+	}
+	if *failFast {
+		runOpts = append(runOpts, accv.WithFailFast())
+	}
+	if *retries > 0 {
+		runOpts = append(runOpts, accv.WithRetry(*retries, 50*time.Millisecond))
+	}
+
 	if *sweep {
-		runSweep(*compilerName, langs, *iterations, *family, observer)
+		runSweep(*compilerName, langs, runOpts)
 		exportObs()
 		return
 	}
@@ -135,11 +157,11 @@ func main() {
 	}
 	exit := 0
 	for _, l := range langs {
-		s := accv.NewSuite(l).Iterations(*iterations).Observe(observer)
-		if *family != "" {
-			s = s.Family(*family)
+		r, err := accv.NewRunner(l, runOpts...)
+		if err != nil {
+			fatal(err)
 		}
-		res := s.Run(tc)
+		res := r.Run(tc)
 		if err := accv.WriteReport(w, res, fm); err != nil {
 			fatal(err)
 		}
@@ -174,11 +196,19 @@ func writeTo(path string, f func(*os.File) error) {
 }
 
 // runSweep prints the Fig. 8-style pass-rate table across every simulated
-// version of the vendor. A non-nil observer records every versioned run.
-func runSweep(vendor string, langs []accv.Language, iterations int, family string, observer *accv.Observer) {
+// version of the vendor under the shared execution options.
+func runSweep(vendor string, langs []accv.Language, opts []accv.Option) {
 	versions := accv.Versions(vendor)
 	if len(versions) == 0 {
 		fatal(fmt.Errorf("no simulated versions for compiler %q (use caps, pgi, or cray)", vendor))
+	}
+	runners := make([]*accv.Runner, len(langs))
+	for i, l := range langs {
+		r, err := accv.NewRunner(l, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		runners[i] = r
 	}
 	fmt.Printf("Pass rate (%%) by %s version — Fig. 8 reproduction\n\n", vendor)
 	fmt.Printf("%-10s", "version")
@@ -192,12 +222,8 @@ func runSweep(vendor string, langs []accv.Language, iterations int, family strin
 			fatal(err)
 		}
 		fmt.Printf("%-10s", ver)
-		for _, l := range langs {
-			s := accv.NewSuite(l).Iterations(iterations).Observe(observer)
-			if family != "" {
-				s = s.Family(family)
-			}
-			res := s.Run(tc)
+		for _, r := range runners {
+			res := r.Run(tc)
 			fmt.Printf("  %9.1f%%", res.PassRate())
 		}
 		fmt.Println()

@@ -1,6 +1,7 @@
 package accv_test
 
 import (
+	"context"
 	"fmt"
 
 	"accv"
@@ -46,10 +47,37 @@ func ExampleNewCompiler() {
 		fmt.Println(err)
 		return
 	}
-	res := accv.NewSuite(accv.C).Family("wait").Iterations(2).Run(caps)
+	runner, err := accv.NewRunner(accv.C,
+		accv.WithFamily("wait"),
+		accv.WithIterations(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := runner.Run(caps)
 	fmt.Printf("%s %s: %d/%d passed\n", res.Compiler, res.Version, res.Passed(), res.Total())
 	// Output:
 	// caps 3.1.0: 1/1 passed
+}
+
+// ExampleNewRunner validates a compiler with the full suite fanned out
+// over a worker pool, under a cancellable context.
+func ExampleNewRunner() {
+	runner, err := accv.NewRunner(accv.C,
+		accv.WithParallelism(4),
+		accv.WithIterations(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := runner.RunContext(context.Background(), accv.Reference())
+	if err != nil {
+		fmt.Println("interrupted:", err)
+		return
+	}
+	fmt.Printf("pass rate: %.0f%%\n", res.PassRate())
+	// Output:
+	// pass rate: 100%
 }
 
 // ExampleRunTest shows the §III cross-test statistics for one feature.

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
-	"sync"
 	"time"
 
 	"accv/internal/ast"
@@ -18,7 +18,10 @@ import (
 )
 
 // Outcome classifies a test result, following §V's failure taxonomy:
-// compilation errors, incorrect results, crashes, and timeouts.
+// compilation errors, incorrect results, crashes, and timeouts. Canceled
+// extends the taxonomy for the parallel engine: the test was aborted by
+// suite cancellation (context cancel or fail-fast), so the verdict says
+// nothing about the compiler.
 type Outcome int
 
 // Outcomes.
@@ -34,6 +37,9 @@ const (
 	FailCrash
 	// FailTimeout: the program exceeded its budget (hang).
 	FailTimeout
+	// Canceled: the suite run was canceled before or while this test ran
+	// (context cancellation or fail-fast abort); no verdict was reached.
+	Canceled
 )
 
 // String names the outcome.
@@ -49,12 +55,18 @@ func (o Outcome) String() string {
 		return "crash"
 	case FailTimeout:
 		return "time out"
+	case Canceled:
+		return "canceled"
 	}
 	return "unknown"
 }
 
 // Failed reports whether the outcome counts as a failure.
 func (o Outcome) Failed() bool { return o != Pass }
+
+// Verdict reports whether the outcome is an actual compiler verdict —
+// canceled tests never reached one.
+func (o Outcome) Verdict() bool { return o != Canceled }
 
 // MetricLabel returns the snake_case outcome value of the
 // accv_tests_total metric series (docs/OBSERVABILITY.md).
@@ -70,8 +82,36 @@ func (o Outcome) MetricLabel() string {
 		return "crash"
 	case FailTimeout:
 		return "timeout"
+	case Canceled:
+		return "canceled"
 	}
 	return "unknown"
+}
+
+// RetryPolicy re-runs tests the §III cross-test statistics classify as
+// transiently flaky, with exponential backoff between attempts. The
+// zero value disables retries.
+type RetryPolicy struct {
+	// Attempts is the maximum number of re-runs after the first failed
+	// attempt (0 = never retry).
+	Attempts int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	// Zero retries immediately.
+	Backoff time.Duration
+	// Classify decides whether a failed result is worth retrying. Nil
+	// uses TransientlyFlaky (intermittent functional failures, the §III
+	// signature of a racy or environment-dependent defect rather than a
+	// deterministic miscompilation). Canceled results are never retried.
+	Classify func(*TestResult) bool
+}
+
+// TransientlyFlaky is the default RetryPolicy classifier: the functional
+// variant failed on some but not all of its M iterations. A deterministic
+// miscompilation fails every iteration; an intermittent failure is the
+// §III statistical signature of scheduling- or environment-dependent
+// behaviour, which a retry can legitimately re-sample.
+func TransientlyFlaky(r *TestResult) bool {
+	return r.FuncRuns > 0 && r.FuncFails > 0 && r.FuncFails < r.FuncRuns
 }
 
 // Config parameterizes a suite run.
@@ -83,13 +123,22 @@ type Config struct {
 	// MaxOps bounds interpreted operations per run (hang detection).
 	// Default 16 million.
 	MaxOps int64
-	// Timeout is the per-run wall deadline. Default 5 s.
+	// Timeout is the per-run wall deadline. Each test additionally gets a
+	// context deadline of Timeout × (2·Iterations + 1) covering all of its
+	// phases, so one hung run can never stall a worker forever. Default 5 s.
 	Timeout time.Duration
-	// Workers bounds concurrent test execution. Default NumCPU.
+	// Workers is the scheduler's parallelism: the number of pool
+	// goroutines tests fan out over. Default GOMAXPROCS.
 	Workers int
 	// Devices is the number of simulated devices per platform. Default 2
 	// (so acc_set_device_num is observable).
 	Devices int
+	// FailFast cancels the remaining suite at the first failed verdict;
+	// in-flight tests abort cooperatively and unstarted ones report
+	// Canceled. The failing test's own result is always kept.
+	FailFast bool
+	// Retry re-runs transiently flaky tests; see RetryPolicy.
+	Retry RetryPolicy
 	// Verbose streams per-test progress through Progress. Callbacks run
 	// concurrently from the worker goroutines; the callee synchronizes.
 	Progress func(res TestResult)
@@ -102,22 +151,69 @@ type Config struct {
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
-	if c.Iterations <= 0 {
+	if c.Iterations == 0 {
 		c.Iterations = 3
 	}
-	if c.MaxOps <= 0 {
+	if c.MaxOps == 0 {
 		c.MaxOps = 16_000_000
 	}
-	if c.Timeout <= 0 {
+	if c.Timeout == 0 {
 		c.Timeout = 5 * time.Second
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.NumCPU()
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.Devices <= 0 {
+	if c.Devices == 0 {
 		c.Devices = 2
 	}
 	return c
+}
+
+// Validate rejects nonsensical settings. Historically withDefaults
+// silently coerced them to defaults; the engine now refuses to run them.
+// Zero fields are not errors — they select the documented defaults —
+// with one exception: enabling retries without an explicit Timeout is
+// rejected, because retrying hung tests without a stated deadline turns
+// one flaky hang into an unbounded retry storm.
+func (c Config) Validate() error {
+	if c.Toolchain == nil {
+		return fmt.Errorf("config: Toolchain must be set")
+	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("config: negative Iterations (%d)", c.Iterations)
+	}
+	if c.MaxOps < 0 {
+		return fmt.Errorf("config: negative MaxOps (%d)", c.MaxOps)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("config: negative Timeout (%s)", c.Timeout)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("config: negative Workers (parallelism) (%d)", c.Workers)
+	}
+	if c.Devices < 0 {
+		return fmt.Errorf("config: negative Devices (%d)", c.Devices)
+	}
+	if c.Retry.Attempts < 0 {
+		return fmt.Errorf("config: negative Retry.Attempts (%d)", c.Retry.Attempts)
+	}
+	if c.Retry.Backoff < 0 {
+		return fmt.Errorf("config: negative Retry.Backoff (%s)", c.Retry.Backoff)
+	}
+	if c.Retry.Attempts > 0 && c.Timeout == 0 {
+		return fmt.Errorf("config: retries enabled (Attempts=%d) without a per-test Timeout; set one so retried hangs stay bounded", c.Retry.Attempts)
+	}
+	return nil
+}
+
+// validated normalizes and validates a config for the legacy entry points
+// (RunSuite, RunTest), which cannot return errors: invalid settings are a
+// programmer error and panic. Use RunSuiteContext for an error return.
+func (c Config) validated() Config {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c.withDefaults()
 }
 
 // TestResult is the outcome of one test case.
@@ -132,8 +228,11 @@ type TestResult struct {
 
 	FuncRuns  int
 	FuncFails int
-	Cert      Certainty // §III statistics from the cross runs
-	HasCross  bool
+	// Attempts counts executions of this test including retries (≥1; 1
+	// when the retry policy never fired).
+	Attempts int
+	Cert     Certainty // §III statistics from the cross runs
+	HasCross bool
 	// Inconclusive: the cross variant never failed, i.e. the directive
 	// under test showed no observable effect; the paper flags these for
 	// test redesign.
@@ -240,81 +339,99 @@ func langLabel(l ast.Lang) string {
 	return l.String()
 }
 
-// RunSuite executes every template against the configured toolchain,
-// fanning tests out over a worker pool. Results come back in template
-// order.
-func RunSuite(cfg Config, templates []*Template) *SuiteResult {
-	cfg = cfg.withDefaults()
-	start := time.Now()
-	results := make([]TestResult, len(templates))
-	lang := suiteLang(templates)
+// RunTest executes one template: the functional variant M times, then —
+// only if it passed, per the Fig. 3 flow — the cross variant M times for
+// the certainty statistics. It honors the config's retry policy. Invalid
+// configs panic; use RunTestContext for an error return.
+func RunTest(cfg Config, tpl *Template) TestResult {
+	return runTestAttempts(context.Background(), cfg.validated(), tpl, nil, -1)
+}
 
-	var suiteSpan *obs.Span
-	if cfg.Obs != nil {
-		suiteSpan = cfg.Obs.StartSpan("suite.run",
-			obs.L("compiler", cfg.Toolchain.Name()),
-			obs.L("version", cfg.Toolchain.Version()),
-			obs.L("lang", langLabel(lang)),
-			obs.L("tests", strconv.Itoa(len(templates))))
+// RunTestContext is RunTest under a caller context: cancellation aborts
+// the test cooperatively (outcome Canceled), a context deadline reports
+// FailTimeout. It returns an error only for invalid configs.
+func RunTestContext(ctx context.Context, cfg Config, tpl *Template) (TestResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return TestResult{}, err
 	}
+	return runTestAttempts(ctx, cfg.withDefaults(), tpl, nil, -1), nil
+}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, tpl := range templates {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, tpl *Template) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = runTest(cfg, tpl, suiteSpan)
-			if cfg.Progress != nil {
-				cfg.Progress(results[i])
+// runTestAttempts runs one test through the retry policy: the first
+// attempt always runs; failed attempts the policy classifies as
+// transiently flaky re-run with exponential backoff, up to
+// Retry.Attempts re-runs. The last attempt's result is returned with
+// Attempts recording the execution count. Canceled results and canceled
+// contexts stop retrying immediately.
+func runTestAttempts(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, worker int) TestResult {
+	res := runTest(ctx, cfg, tpl, parent, worker)
+	res.Attempts = 1
+	classify := cfg.Retry.Classify
+	if classify == nil {
+		classify = TransientlyFlaky
+	}
+	backoff := cfg.Retry.Backoff
+	for retry := 0; retry < cfg.Retry.Attempts; retry++ {
+		if !res.Outcome.Failed() || res.Outcome == Canceled || !classify(&res) {
+			break
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return res
+			case <-t.C:
 			}
-		}(i, tpl)
-	}
-	wg.Wait()
-
-	res := &SuiteResult{
-		Compiler: cfg.Toolchain.Name(),
-		Version:  cfg.Toolchain.Version(),
-		Lang:     lang,
-		Results:  results,
-		Duration: time.Since(start),
-	}
-	if cfg.Obs != nil {
-		suiteSpan.End()
-		cfg.Obs.SetGauge("accv_suite_pass_rate", res.PassRate(),
-			obs.L("compiler", res.Compiler),
-			obs.L("version", res.Version),
-			obs.L("lang", langLabel(lang)))
+			backoff *= 2
+		} else if ctx.Err() != nil {
+			return res
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Add("accv_suite_retries_total", 1, obs.L("family", tpl.Family))
+		}
+		next := runTest(ctx, cfg, tpl, parent, worker)
+		next.Attempts = res.Attempts + 1
+		res = next
 	}
 	return res
 }
 
-// RunTest executes one template: the functional variant M times, then —
-// only if it passed, per the Fig. 3 flow — the cross variant M times for
-// the certainty statistics.
-func RunTest(cfg Config, tpl *Template) TestResult {
-	return runTest(cfg, tpl, nil)
+// testBudget is the per-test context deadline: every phase of one attempt
+// (generate, parse, compile, M functional + M cross runs) must fit in it,
+// so a hung phase can stall its worker for at most this long.
+func testBudget(cfg Config) time.Duration {
+	return cfg.Timeout * time.Duration(2*cfg.Iterations+1)
 }
 
-// runTest is RunTest with an optional parent span (the suite.run span
-// when called through RunSuite). Every observability hook below sits
-// behind a cfg.Obs nil check so the disabled path does no label
-// construction and no allocation (docs/OBSERVABILITY.md).
-func runTest(cfg Config, tpl *Template, parent *obs.Span) (res TestResult) {
-	cfg = cfg.withDefaults()
+// runTest executes one test attempt. parent is the suite.run span when
+// called through RunSuite; worker is the pool worker id for span
+// attribution, -1 outside the pool. The config must already be validated
+// and defaulted. Every observability hook below sits behind a cfg.Obs nil
+// check so the disabled path does no label construction and no
+// allocation (docs/OBSERVABILITY.md).
+func runTest(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, worker int) (res TestResult) {
 	start := time.Now()
 	res = TestResult{
 		Name: tpl.Name, Lang: tpl.Lang, Family: tpl.Family,
 		Description: tpl.Description,
 	}
+	if ctx.Err() != nil {
+		res.Outcome = Canceled
+		res.Detail = "suite canceled before the test started"
+		return res
+	}
+	ctx, cancel := context.WithTimeout(ctx, testBudget(cfg))
+	defer cancel()
 	var testSpan *obs.Span
 	if cfg.Obs != nil {
 		labels := []obs.Label{
 			obs.L("test", tpl.Name),
 			obs.L("lang", tpl.Lang.String()),
 			obs.L("family", tpl.Family),
+		}
+		if worker >= 0 {
+			labels = append(labels, obs.L("worker", strconv.Itoa(worker)))
 		}
 		if parent != nil {
 			testSpan = parent.Child("test.run", labels...)
@@ -386,7 +503,14 @@ func runTest(cfg Config, tpl *Template, parent *obs.Span) (res TestResult) {
 	}
 	for it := 0; it < cfg.Iterations; it++ {
 		res.FuncRuns++
-		out, run := cfg.runOnce(exe, tpl, int64(it), "functional")
+		out, run := cfg.runOnce(ctx, exe, tpl, int64(it), "functional")
+		if out == Canceled {
+			res.Outcome, res.Detail = Canceled, run
+			if cfg.Obs != nil {
+				cfg.Obs.ObserveDuration("accv_phase_duration_seconds", funcSpan.End(), obs.L("phase", "func_runs"))
+			}
+			return res
+		}
 		if out != Pass {
 			res.FuncFails++
 			if res.Outcome == Pass || res.Outcome == FailWrongResult {
@@ -439,7 +563,14 @@ func runTest(cfg Config, tpl *Template, parent *obs.Span) (res TestResult) {
 		}
 		fails := 0
 		for it := 0; it < cfg.Iterations; it++ {
-			out, _ := cfg.runOnce(cexe, tpl, int64(1000+it), "cross")
+			out, run := cfg.runOnce(ctx, cexe, tpl, int64(1000+it), "cross")
+			if out == Canceled {
+				res.Outcome, res.Detail = Canceled, run
+				if cfg.Obs != nil {
+					cfg.Obs.ObserveDuration("accv_phase_duration_seconds", crossSpan.End(), obs.L("phase", "cross_runs"))
+				}
+				return res
+			}
 			if out != Pass {
 				fails++
 			}
@@ -453,14 +584,16 @@ func runTest(cfg Config, tpl *Template, parent *obs.Span) (res TestResult) {
 	return res
 }
 
-// runOnce executes a compiled variant once on a fresh platform. variant
-// ("functional" or "cross") labels the accv_runs_total metric; the
-// interpreter's op and transfer counters are surfaced into the registry
-// here, once per run.
-func (cfg Config) runOnce(exe *compiler.Executable, tpl *Template, seed int64, variant string) (Outcome, string) {
+// runOnce executes a compiled variant once on a fresh platform — each run
+// gets its own device/interpreter instance, so pool workers never share
+// mutable runtime state. variant ("functional" or "cross") labels the
+// accv_runs_total metric; the interpreter's op and transfer counters are
+// surfaced into the registry here, once per run.
+func (cfg Config) runOnce(ctx context.Context, exe *compiler.Executable, tpl *Template, seed int64, variant string) (Outcome, string) {
 	plat := device.NewPlatform(cfg.Toolchain.DeviceConfig(), cfg.Devices)
 	r := interp.Run(exe, interp.RunConfig{
 		Platform: plat,
+		Ctx:      ctx,
 		MaxOps:   cfg.MaxOps,
 		Timeout:  cfg.Timeout,
 		Seed:     seed,
@@ -477,6 +610,8 @@ func (cfg Config) runOnce(exe *compiler.Executable, tpl *Template, seed int64, v
 		cfg.Obs.Add("accv_queue_waits_total", r.QueueWaits)
 	}
 	switch {
+	case r.Err == interp.ErrCanceled:
+		return Canceled, r.Err.Error()
 	case r.Err == interp.ErrBudget || r.Err == interp.ErrDeadline:
 		return FailTimeout, r.Err.Error()
 	case r.Err != nil:

@@ -7,8 +7,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -82,6 +84,11 @@ type Harness struct {
 	// Iterations is the per-test repeat count (kept low in production
 	// screening; the full statistics run in nightly sweeps).
 	Iterations int
+	// Parallelism bounds concurrency: a single Screen call spreads its
+	// suite over this many core workers, while ScreenRandomNodes spreads
+	// whole screenings over it (each inner suite then runs sequentially,
+	// so the machine is never oversubscribed). 0 means GOMAXPROCS.
+	Parallelism int
 	// Obs receives the harness.screen spans and the per-epoch screening
 	// metrics — accv_harness_pass_rate, accv_harness_screenings_total,
 	// accv_harness_epoch, accv_harness_degradations_total — per the
@@ -170,8 +177,39 @@ func (t faultyAsync) Compile(prog *ast.Program) (*compiler.Executable, []compile
 	return exe, diags, err
 }
 
+// parallelism resolves the configured concurrency bound.
+func (h *Harness) parallelism() int {
+	if h.Parallelism > 0 {
+		return h.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Screen runs the suite on node with the given stack and records the result.
 func (h *Harness) Screen(node int, stack Stack, lang ast.Lang) (Screening, error) {
+	return h.ScreenContext(context.Background(), node, stack, lang)
+}
+
+// ScreenContext is Screen under a caller context: canceling ctx aborts the
+// suite run, and the partial screening (interrupted tests counted as
+// canceled, not failed) is still recorded so the epoch's history stays
+// complete. The suite itself runs on h.Parallelism core workers.
+func (h *Harness) ScreenContext(ctx context.Context, node int, stack Stack, lang ast.Lang) (Screening, error) {
+	s, err := h.screen(ctx, node, stack, lang, h.parallelism())
+	if err != nil {
+		return Screening{}, err
+	}
+	h.mu.Lock()
+	h.history = append(h.history, s)
+	h.mu.Unlock()
+	return s, ctx.Err()
+}
+
+// screen performs one screening without touching history, so callers decide
+// the recording order (sequential screening records as it goes; parallel
+// screening records the whole schedule deterministically afterwards).
+// workers bounds the inner suite's core worker pool.
+func (h *Harness) screen(ctx context.Context, node int, stack Stack, lang ast.Lang, workers int) (Screening, error) {
 	if node < 0 || node >= len(h.Nodes) {
 		return Screening{}, fmt.Errorf("no node %d", node)
 	}
@@ -184,31 +222,33 @@ func (h *Harness) Screen(node int, stack Stack, lang ast.Lang) (Screening, error
 	if lang == ast.LangFortran {
 		suite = core.ByLang(ast.LangFortran)
 	}
+	h.mu.Lock()
+	epoch := h.epoch
+	h.mu.Unlock()
 	var span *obs.Span
 	if h.Obs != nil {
-		h.mu.Lock()
-		epoch := h.epoch
-		h.mu.Unlock()
 		span = h.Obs.StartSpan("harness.screen",
 			obs.L("epoch", strconv.Itoa(epoch)),
 			obs.L("node", strconv.Itoa(node)),
 			obs.L("stack", stack.Name()),
 			obs.L("lang", lang.String()))
 	}
-	res := core.RunSuite(core.Config{Toolchain: tc, Iterations: h.Iterations, Obs: h.Obs}, suite)
+	res, err := core.RunSuiteContext(ctx, core.Config{
+		Toolchain: tc, Iterations: h.Iterations, Workers: workers, Obs: h.Obs,
+	}, suite)
+	if err != nil && res == nil {
+		return Screening{}, err
+	}
 	var failed []string
 	for i := range res.Results {
-		if res.Results[i].Outcome.Failed() {
+		if res.Results[i].Outcome.Failed() && res.Results[i].Outcome.Verdict() {
 			failed = append(failed, res.Results[i].ID())
 		}
 	}
-	h.mu.Lock()
 	s := Screening{
-		Epoch: h.epoch, Node: node, Stack: stack.Name(), Lang: lang,
+		Epoch: epoch, Node: node, Stack: stack.Name(), Lang: lang,
 		PassRate: res.PassRate(), Failed: failed,
 	}
-	h.history = append(h.history, s)
-	h.mu.Unlock()
 	if h.Obs != nil {
 		span.End()
 		h.Obs.Add("accv_harness_screenings_total", 1, obs.L("stack", stack.Name()))
@@ -222,6 +262,18 @@ func (h *Harness) Screen(node int, stack Stack, lang ast.Lang) (Screening, error
 // every stack and advances the epoch. The seed makes screening schedules
 // reproducible.
 func (h *Harness) ScreenRandomNodes(k int, seed int64) ([]Screening, error) {
+	return h.ScreenRandomNodesContext(context.Background(), k, seed)
+}
+
+// ScreenRandomNodesContext screens k pseudo-randomly chosen nodes with
+// every stack, fanning whole screenings out over h.Parallelism workers —
+// the node-level parallelism of a real cluster, where every node screens
+// itself concurrently. Each inner suite runs sequentially so the pool,
+// not the product pool×suite, bounds concurrency. Results and recorded
+// history follow the deterministic schedule order (node order by seed,
+// then stack order), identical to a sequential run. Canceling ctx stops
+// unstarted screenings; finished ones are still returned and recorded.
+func (h *Harness) ScreenRandomNodesContext(ctx context.Context, k int, seed int64) ([]Screening, error) {
 	if k > len(h.Nodes) {
 		k = len(h.Nodes)
 	}
@@ -235,24 +287,69 @@ func (h *Harness) ScreenRandomNodes(k int, seed int64) ([]Screening, error) {
 		j := int((state >> 33) % uint64(i+1))
 		order[i], order[j] = order[j], order[i]
 	}
-	var out []Screening
+
+	// The schedule is the deterministic cross product; jobs fan out over
+	// the worker pool and land back in their schedule slots.
+	type job struct {
+		node  int
+		stack Stack
+	}
+	var schedule []job
 	for _, node := range order[:k] {
 		for _, stack := range h.Stacks {
-			s, err := h.Screen(node, stack, ast.LangC)
-			if err != nil {
-				return out, err
-			}
-			out = append(out, s)
+			schedule = append(schedule, job{node, stack})
 		}
 	}
+	screenings := make([]Screening, len(schedule))
+	errs := make([]error, len(schedule))
+	jobs := make(chan int, len(schedule))
+	for i := range schedule {
+		jobs <- i
+	}
+	close(jobs)
+	workers := h.parallelism()
+	if workers > len(schedule) {
+		workers = len(schedule)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				screenings[i], errs[i] = h.screen(ctx, schedule[i].node, schedule[i].stack, ast.LangC, 1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var out []Screening
+	var firstErr error
 	h.mu.Lock()
+	for i := range schedule {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		out = append(out, screenings[i])
+		h.history = append(h.history, screenings[i])
+	}
 	h.epoch++
 	epoch := h.epoch
 	h.mu.Unlock()
 	if h.Obs != nil {
 		h.Obs.SetGauge("accv_harness_epoch", float64(epoch))
 	}
-	return out, nil
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return out, firstErr
 }
 
 // History returns all recorded screenings.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"accv/internal/ast"
@@ -132,5 +133,51 @@ func TestScreeningMetrics(t *testing.T) {
 	}
 	if got := h.Obs.Metrics.Counter("accv_harness_degradations_total").Value(); got != int64(len(deg)) {
 		t.Errorf("degradations counter = %d, want %d", got, len(deg))
+	}
+}
+
+// TestParallelScreeningDeterministicOrder: fanning screenings over the
+// worker pool must not change the schedule order of results or history.
+func TestParallelScreeningDeterministicOrder(t *testing.T) {
+	mk := func(par int) ([]Screening, []Screening) {
+		h := New(6, DefaultStacks()[:2])
+		h.Suite = smallSuite()[:2]
+		h.Parallelism = par
+		out, err := h.ScreenRandomNodesContext(context.Background(), 3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, h.History()
+	}
+	seqOut, seqHist := mk(1)
+	parOut, parHist := mk(4)
+	if len(seqOut) != len(parOut) {
+		t.Fatalf("screening counts diverge: %d vs %d", len(seqOut), len(parOut))
+	}
+	for i := range seqOut {
+		if seqOut[i].Node != parOut[i].Node || seqOut[i].Stack != parOut[i].Stack ||
+			seqOut[i].PassRate != parOut[i].PassRate {
+			t.Errorf("screening %d diverged: %+v vs %+v", i, seqOut[i], parOut[i])
+		}
+		if seqHist[i].Node != parHist[i].Node || seqHist[i].Stack != parHist[i].Stack {
+			t.Errorf("history %d order diverged", i)
+		}
+	}
+}
+
+// TestScreeningContextCancel: a dead context stops the epoch; already-
+// finished screenings are kept, the epoch still advances.
+func TestScreeningContextCancel(t *testing.T) {
+	h := New(4, DefaultStacks()[:1])
+	h.Suite = smallSuite()[:1]
+	h.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := h.ScreenRandomNodesContext(ctx, 2, 1)
+	if err == nil {
+		t.Fatal("canceled epoch must surface the context error")
+	}
+	if len(out) != 0 {
+		t.Errorf("%d screenings completed under a dead context", len(out))
 	}
 }

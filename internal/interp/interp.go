@@ -9,6 +9,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,12 @@ import (
 type RunConfig struct {
 	// Platform is the accelerator runtime; a fresh one is created when nil.
 	Platform *device.Platform
+	// Ctx bounds the run: cancellation aborts with ErrCanceled, a context
+	// deadline aborts with ErrDeadline. Nil means no context control. The
+	// abort is cooperative — it fires at the next interpreted-operation
+	// check, including inside kernel goroutines — so a run never outlives
+	// its context by more than one op-batch (docs/API.md).
+	Ctx context.Context
 	// MaxOps bounds interpreted operations (guards against hangs); 0 means
 	// the default of 200 million.
 	MaxOps int64
@@ -77,6 +84,9 @@ var (
 	ErrBudget = errors.New("operation budget exhausted (possible hang)")
 	// ErrDeadline reports that the wall-clock deadline passed.
 	ErrDeadline = errors.New("wall-clock deadline exceeded (possible hang)")
+	// ErrCanceled reports that the run's context was canceled (suite
+	// cancellation or fail-fast abort, not a defect of the program).
+	ErrCanceled = errors.New("run canceled")
 )
 
 // RuntimeError is a program-level failure (crash) with a source line.
@@ -115,8 +125,22 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 		sink:   cfg.Stdout,
 	}
 	if cfg.Timeout > 0 {
-		timer := time.AfterFunc(cfg.Timeout, func() { in.deadline.Store(true) })
+		timer := time.AfterFunc(cfg.Timeout, func() { in.requestStop(ErrDeadline) })
 		defer timer.Stop()
+	}
+	if cfg.Ctx != nil {
+		if err := ctxErr(cfg.Ctx); err != nil {
+			return Result{Err: err} // context already dead: never start
+		}
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				in.requestStop(ctxErr(cfg.Ctx))
+			case <-watchDone:
+			}
+		}()
 	}
 
 	dev := plat.Current()
@@ -179,6 +203,20 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 // deadline exhaustion, including inside kernel goroutines).
 type stopSignal struct{ err error }
 
+// ctxErr maps a context's termination to the run sentinels: deadline
+// expiry to ErrDeadline, any other cancellation to ErrCanceled, nil while
+// the context is live.
+func ctxErr(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
 // Interp is the execution state of one run.
 type Interp struct {
 	exe    *compiler.Executable
@@ -186,8 +224,10 @@ type Interp struct {
 	maxOps int64
 	seed   int64
 
-	ops      atomic.Int64
-	deadline atomic.Bool
+	ops atomic.Int64
+	// stopErr, once non-nil, aborts the run at the next step check with
+	// the stored sentinel (ErrDeadline or ErrCanceled). First writer wins.
+	stopErr atomic.Pointer[error]
 
 	outMu sync.Mutex
 	out   *strings.Builder
@@ -208,10 +248,16 @@ func (in *Interp) step(n int64) {
 		if v > in.maxOps {
 			panic(stopSignal{ErrBudget})
 		}
-		if in.deadline.Load() {
-			panic(stopSignal{ErrDeadline})
+		if p := in.stopErr.Load(); p != nil {
+			panic(stopSignal{*p})
 		}
 	}
+}
+
+// requestStop asks the run to abort with the given sentinel at the next
+// step check. The first request wins; later ones are ignored.
+func (in *Interp) requestStop(err error) {
+	in.stopErr.CompareAndSwap(nil, &err)
 }
 
 // printf writes formatted output to the captured stdout.

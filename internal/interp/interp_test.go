@@ -1,6 +1,7 @@
 package interp_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -137,6 +138,52 @@ int acc_test() {
 }`, interp.RunConfig{MaxOps: 1 << 40, Timeout: 30 * time.Millisecond})
 	if res.Err != interp.ErrDeadline && res.Err != interp.ErrBudget {
 		t.Fatalf("want deadline abort, got %v", res.Err)
+	}
+}
+
+func TestContextCancelStopsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res := run(t, `
+int acc_test() {
+    int i = 0;
+    while (1) { i = i + 1; }
+    return 1;
+}`, interp.RunConfig{MaxOps: 1 << 40, Ctx: ctx})
+	if res.Err != interp.ErrCanceled {
+		t.Fatalf("want ErrCanceled, got %v", res.Err)
+	}
+}
+
+func TestContextDeadlineMapsToErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res := run(t, `
+int acc_test() {
+    int i = 0;
+    while (1) { i = i + 1; }
+    return 1;
+}`, interp.RunConfig{MaxOps: 1 << 40, Ctx: ctx})
+	if res.Err != interp.ErrDeadline {
+		t.Fatalf("want ErrDeadline, got %v", res.Err)
+	}
+}
+
+func TestDeadContextNeverStarts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := run(t, `
+int acc_test() {
+    return 1;
+}`, interp.RunConfig{Ctx: ctx})
+	if res.Err != interp.ErrCanceled {
+		t.Fatalf("want ErrCanceled for a pre-canceled context, got %v", res.Err)
+	}
+	if res.Ops != 0 {
+		t.Errorf("ran %d ops under a dead context, want 0", res.Ops)
 	}
 }
 

@@ -99,7 +99,7 @@ func writeText(w io.Writer, res *core.SuiteResult) error {
 	byOut := res.ByOutcome()
 	fmt.Fprintf(w, "\nSummary: %d/%d passed (%.1f%%)", res.Passed(), res.Total(), res.PassRate())
 	var parts []string
-	for _, o := range []core.Outcome{core.FailCompile, core.FailWrongResult, core.FailCrash, core.FailTimeout} {
+	for _, o := range []core.Outcome{core.FailCompile, core.FailWrongResult, core.FailCrash, core.FailTimeout, core.Canceled} {
 		if n := byOut[o]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%d %s", n, o))
 		}

@@ -1,0 +1,198 @@
+// The context-first, option-based execution facade. Runner supersedes the
+// Suite builder: construction takes functional options, validates them
+// eagerly, and the Run/RunContext methods drive the parallel core engine.
+package accv
+
+import (
+	"context"
+	"time"
+
+	"accv/internal/compiler"
+	"accv/internal/core"
+)
+
+// Option configures a Runner or a single CompileAndRun call. The two share
+// one vocabulary; each consumer reads the options that apply to it (a
+// suite has no use for WithEnv, a single run none for WithParallelism)
+// and ignores the rest.
+type Option func(*options)
+
+// RunOption is the former name of Option.
+//
+// Deprecated: use Option.
+type RunOption = Option
+
+// options is the gathered option record. Zero values mean "use the
+// engine's default"; validation happens in NewRunner (suites) or is
+// inherited from the engine (single runs).
+type options struct {
+	// Single-run knobs (CompileAndRun).
+	env     map[string]string
+	seed    int64
+	maxOps  int64
+	devices int
+
+	// Shared.
+	timeout time.Duration
+	obs     *Observer
+
+	// Suite knobs (Runner).
+	iterations  int
+	parallelism int
+	failFast    bool
+	retry       core.RetryPolicy
+	family      string
+	templates   []*Template
+}
+
+func gather(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// WithEnv sets an ACC_* environment variable for the run.
+func WithEnv(key, value string) Option {
+	return func(o *options) {
+		if o.env == nil {
+			o.env = map[string]string{}
+		}
+		o.env[key] = value
+	}
+}
+
+// WithSeed perturbs the in-kernel scheduler (races interleave differently).
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithBudget bounds interpreted operations per run (hang detection).
+func WithBudget(ops int64) Option { return func(o *options) { o.maxOps = ops } }
+
+// WithTimeout bounds wall-clock time: directly for a single run, per
+// functional/cross iteration for a suite (each test additionally gets a
+// context deadline covering all of its iterations — docs/API.md).
+func WithTimeout(d time.Duration) Option { return func(o *options) { o.timeout = d } }
+
+// WithDevices sets the number of simulated accelerators (default 2).
+func WithDevices(n int) Option { return func(o *options) { o.devices = n } }
+
+// WithObs records spans and metrics into obs, per the telemetry contract
+// (docs/OBSERVABILITY.md). Nil leaves observability off, at zero cost.
+func WithObs(o *Observer) Option { return func(c *options) { c.obs = o } }
+
+// WithIterations sets M, the §III per-test repeat count (default 3).
+func WithIterations(m int) Option { return func(o *options) { o.iterations = m } }
+
+// WithParallelism sets the worker-pool width for suite execution: how
+// many tests run concurrently, each on its own isolated simulated
+// platform. Default GOMAXPROCS; 1 reproduces the historical sequential
+// engine exactly.
+func WithParallelism(workers int) Option { return func(o *options) { o.parallelism = workers } }
+
+// WithFailFast cancels the remaining suite after the first defect
+// verdict. In-flight tests abort cooperatively and unstarted ones are
+// reported as canceled, not failed.
+func WithFailFast() Option { return func(o *options) { o.failFast = true } }
+
+// WithRetry re-runs a failed test up to attempts extra times, doubling
+// backoff between tries, when the §III statistics classify the failure as
+// transiently flaky (some functional iterations passed and some failed).
+// Deterministic verdicts — compile errors, every-iteration failures —
+// are never retried. Requires an explicit WithTimeout.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(o *options) {
+		o.retry = core.RetryPolicy{Attempts: attempts, Backoff: backoff, Classify: core.TransientlyFlaky}
+	}
+}
+
+// WithFamily restricts a Runner to one feature family ("parallel",
+// "data", "loop", ...) — the paper's feature-selection capability.
+func WithFamily(name string) Option { return func(o *options) { o.family = name } }
+
+// WithTemplates runs exactly the given test cases, overriding language
+// and family selection.
+func WithTemplates(tpls ...*Template) Option {
+	return func(o *options) { o.templates = append([]*Template(nil), tpls...) }
+}
+
+// Runner validates compilers against a selected test set. Build one with
+// NewRunner; a Runner is immutable and safe for concurrent use.
+type Runner struct {
+	lang      Language
+	opts      options
+	templates []*Template
+}
+
+// NewRunner builds a runner over the registered OpenACC 1.0 templates for
+// lang, narrowed and tuned by the options. Nonsensical settings —
+// negative parallelism, retries without an explicit timeout — are
+// rejected here, not at run time.
+func NewRunner(lang Language, opts ...Option) (*Runner, error) {
+	return newRunner(lang, core.ByLang(lang), opts)
+}
+
+// NewRunner20 is NewRunner over the OpenACC 2.0 templates (§IX future
+// work). Run it against Reference20.
+func NewRunner20(lang Language, opts ...Option) (*Runner, error) {
+	return newRunner(lang, core.ByLang20(lang), opts)
+}
+
+func newRunner(lang Language, all []*Template, opts []Option) (*Runner, error) {
+	o := gather(opts)
+	tpls := o.templates
+	if tpls == nil {
+		if o.family != "" {
+			tpls = core.ByFamily(o.family, lang)
+		} else {
+			tpls = all
+		}
+	}
+	r := &Runner{lang: lang, opts: o, templates: tpls}
+	// Validate the numeric surface now; the stand-in toolchain only
+	// satisfies the non-nil check, the caller's compiler arrives at Run.
+	if err := r.config(compiler.NewReference()).Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// config maps the gathered options onto the engine config.
+func (r *Runner) config(tc Compiler) core.Config {
+	return core.Config{
+		Toolchain:  tc,
+		Iterations: r.opts.iterations,
+		MaxOps:     r.opts.maxOps,
+		Timeout:    r.opts.timeout,
+		Workers:    r.opts.parallelism,
+		Devices:    r.opts.devices,
+		FailFast:   r.opts.failFast,
+		Retry:      r.opts.retry,
+		Obs:        r.opts.obs,
+	}
+}
+
+// Templates returns the selected test cases.
+func (r *Runner) Templates() []*Template { return append([]*Template(nil), r.templates...) }
+
+// Run validates the compiler against the selected tests. Results come
+// back in template order regardless of parallelism.
+func (r *Runner) Run(tc Compiler) *SuiteResult {
+	res, _ := r.RunContext(context.Background(), tc)
+	return res
+}
+
+// RunContext is Run under a caller context. Canceling ctx aborts
+// in-flight tests cooperatively and marks unstarted ones canceled; the
+// partial result is returned together with ctx's error, so callers can
+// tell an interrupted run from a completed one.
+func (r *Runner) RunContext(ctx context.Context, tc Compiler) (*SuiteResult, error) {
+	return core.RunSuiteContext(ctx, r.config(tc), r.templates)
+}
+
+// RunTestContext executes one test case under ctx.
+func (r *Runner) RunTestContext(ctx context.Context, tc Compiler, tpl *Template) (TestResult, error) {
+	return core.RunTestContext(ctx, r.config(tc), tpl)
+}
