@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 
+	"accv/internal/analysis"
 	"accv/internal/ast"
 	"accv/internal/cfront"
 	"accv/internal/compiler"
@@ -64,7 +65,29 @@ type (
 	Outcome = core.Outcome
 	// Certainty carries the §III cross-test statistics.
 	Certainty = core.Certainty
+	// VetPolicy selects what a run does with accvet findings.
+	VetPolicy = core.VetPolicy
+	// Finding is one accvet static-analysis result.
+	Finding = analysis.Finding
 )
+
+// Vet policies (see WithVet and docs/ANALYSIS.md).
+const (
+	// VetEnforce fails tests whose functional source carries an
+	// error-severity hazard (outcome VetFail). The default.
+	VetEnforce = core.VetEnforce
+	// VetWarnOnly records findings without failing tests.
+	VetWarnOnly = core.VetWarnOnly
+	// VetOff disables the analysis phase entirely.
+	VetOff = core.VetOff
+)
+
+// AnalyzeProgram runs the accvet static analyzers over a parsed program
+// and returns the unsuppressed findings, sorted by position. It is the
+// library form of the accvet command.
+func AnalyzeProgram(prog *ast.Program) []Finding {
+	return analysis.Analyze(prog, analysis.Options{}).Findings
+}
 
 // ReportFormat selects a report renderer.
 type ReportFormat = report.Format

@@ -36,6 +36,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "per-iteration wall-clock timeout, e.g. 2s (0: engine default; each test also gets a context deadline covering all its iterations)")
 		failFast     = flag.Bool("fail-fast", false, "cancel the remaining suite after the first failure")
 		retries      = flag.Int("retry", 0, "re-run transiently-flaky failures up to N extra times (requires -timeout)")
+		vet          = flag.String("vet", "on", "accvet static-analysis policy: on (error findings fail the test), warn, or off")
 	)
 	flag.Parse()
 
@@ -121,6 +122,11 @@ func main() {
 	if *retries > 0 {
 		runOpts = append(runOpts, accv.WithRetry(*retries, 50*time.Millisecond))
 	}
+	vetPolicy, err := parseVet(*vet)
+	if err != nil {
+		fatal(err)
+	}
+	runOpts = append(runOpts, accv.WithVet(vetPolicy))
 
 	if *sweep {
 		runSweep(*compilerName, langs, runOpts)
@@ -283,8 +289,23 @@ func shortOutcome(s string) string {
 		return "wrong"
 	case "time out":
 		return "hang"
+	case "vet findings":
+		return "vet"
 	}
 	return s
+}
+
+// parseVet maps the -vet flag onto the facade's vet policies.
+func parseVet(s string) (accv.VetPolicy, error) {
+	switch s {
+	case "on", "", "true", "enforce":
+		return accv.VetEnforce, nil
+	case "warn":
+		return accv.VetWarnOnly, nil
+	case "off", "false":
+		return accv.VetOff, nil
+	}
+	return accv.VetEnforce, fmt.Errorf("unknown -vet policy %q (want on, warn, or off)", s)
 }
 
 func parseLangs(s string) ([]accv.Language, error) {

@@ -1,0 +1,173 @@
+// Command accvet lints standalone OpenACC sources for data-movement and
+// loop hazards with the accv static analyzers (docs/ANALYSIS.md): stale
+// host reads, uninitialized device reads, dead data clauses, dependent
+// loops marked independent, reduction misuse, and async/wait mismatches.
+//
+//	accvet file.c kernel.f90
+//	accvet ./testdata/...
+//	accvet -format json -analyzers ACV001,ACV004 src/
+//
+// The language is chosen by file extension (.c → C; .f, .f90, .f95 →
+// Fortran). Directory arguments are walked recursively; a trailing /...
+// is accepted and means the same thing. Exit status: 0 when no
+// error-severity findings were reported (warnings alone stay 0), 1 when
+// at least one error finding was, 2 on usage or input failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"accv/internal/analysis"
+	"accv/internal/ast"
+	"accv/internal/cfront"
+	"accv/internal/ffront"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit status.
+func run(argv []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("accvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: accvet [flags] files-or-dirs...\n")
+		flags.PrintDefaults()
+	}
+	var (
+		format     = flags.String("format", "text", "output format: text or json")
+		analyzers  = flags.String("analyzers", "", "comma-separated analyzer IDs or names to run (default: all)")
+		noSuppress = flags.Bool("no-suppress", false, "report findings hidden by accvet:ignore annotations too")
+		list       = flags.Bool("list", false, "list the registered analyzers and exit")
+	)
+	if err := flags.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%s  %-24s %-7s %s\n", a.ID, a.Name, a.Sev, a.Doc)
+		}
+		return 0
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "accvet: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+	opts := analysis.Options{NoSuppress: *noSuppress}
+	if *analyzers != "" {
+		for _, id := range strings.Split(*analyzers, ",") {
+			id = strings.TrimSpace(id)
+			a, ok := analysis.LookupAnalyzer(id)
+			if !ok {
+				fmt.Fprintf(stderr, "accvet: unknown analyzer %q (try -list)\n", id)
+				return 2
+			}
+			opts.Analyzers = append(opts.Analyzers, a.ID)
+		}
+	}
+	files, err := expandArgs(flags.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "accvet:", err)
+		return 2
+	}
+	if len(files) == 0 {
+		flags.Usage()
+		return 2
+	}
+
+	status := 0
+	var results []analysis.FileFindings
+	for _, path := range files {
+		lang, ok := langOf(path)
+		if !ok {
+			fmt.Fprintf(stderr, "accvet: %s: unknown source extension (want .c, .f, .f90, or .f95)\n", path)
+			return 2
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "accvet:", err)
+			return 2
+		}
+		var prog *ast.Program
+		if lang == ast.LangFortran {
+			prog, err = ffront.Parse(string(src))
+		} else {
+			prog, err = cfront.Parse(string(src))
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "accvet: %s: %v\n", path, err)
+			return 2
+		}
+		rep := analysis.Analyze(prog, opts)
+		results = append(results, analysis.FileFindings{Name: path, Findings: rep.Findings})
+		if rep.Errors() > 0 {
+			status = 1
+		}
+	}
+
+	if *format == "json" {
+		if err := analysis.WriteJSONFiles(stdout, results); err != nil {
+			fmt.Fprintln(stderr, "accvet:", err)
+			return 2
+		}
+		return status
+	}
+	for _, r := range results {
+		if err := analysis.WriteText(stdout, r.Name, r.Findings); err != nil {
+			fmt.Fprintln(stderr, "accvet:", err)
+			return 2
+		}
+	}
+	return status
+}
+
+// sourceExts maps recognized extensions to languages.
+func langOf(path string) (ast.Lang, bool) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".c":
+		return ast.LangC, true
+	case ".f", ".f90", ".f95":
+		return ast.LangFortran, true
+	}
+	return ast.LangC, false
+}
+
+// expandArgs resolves the command-line operands to a sorted list of
+// source files: plain files pass through, directories (with or without a
+// go-style /... suffix) are walked recursively for recognized extensions.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		arg = filepath.Clean(strings.TrimSuffix(arg, "..."))
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if _, ok := langOf(path); ok && !d.IsDir() {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

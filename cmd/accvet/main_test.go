@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const corpus = "../../testdata/analysis"
+
+func TestBadCorpusFails(t *testing.T) {
+	var out, errb strings.Builder
+	status := run([]string{corpus + "/bad/..."}, &out, &errb)
+	if status != 1 {
+		t.Fatalf("exit = %d, want 1 (error findings)\nstderr: %s", status, errb.String())
+	}
+	for _, want := range []string{"ACV001", "ACV002", "ACV003", "ACV004", "ACV005", "ACV006"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFixedCorpusClean(t *testing.T) {
+	var out, errb strings.Builder
+	status := run([]string{corpus + "/fixed"}, &out, &errb)
+	if status != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", status, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean corpus produced output:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	status := run([]string{"-format", "json", corpus + "/bad/acv004.c"}, &out, &errb)
+	if status != 1 {
+		t.Fatalf("exit = %d, want 1", status)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0]["id"] != "ACV004" {
+		t.Errorf("findings = %v, want one ACV004", findings)
+	}
+}
+
+func TestAnalyzerFilter(t *testing.T) {
+	var out, errb strings.Builder
+	// Only ACV001 enabled: the ACV004 file must come back clean.
+	status := run([]string{"-analyzers", "ACV001", corpus + "/bad/acv004.c"}, &out, &errb)
+	if status != 0 || out.String() != "" {
+		t.Errorf("exit = %d, output %q; want a clean run", status, out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                              // no operands
+		{"-format", "xml", "x.c"},       // unknown format
+		{"-analyzers", "ACV999", "x.c"}, // unknown analyzer
+		{corpus + "/missing.c"},         // missing file
+	}
+	for _, argv := range cases {
+		var out, errb strings.Builder
+		if status := run(argv, &out, &errb); status != 2 {
+			t.Errorf("run(%v) = %d, want 2", argv, status)
+		}
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if status := run([]string{"-list"}, &out, &errb); status != 0 {
+		t.Fatalf("exit = %d, want 0", status)
+	}
+	for _, id := range []string{"ACV001", "ACV006"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package analysis is the accvet static analyzer: a multi-pass dataflow
+// analysis over the shared AST + directive representation that detects
+// data-movement and loop hazards before a single test is run. It goes
+// beyond the per-pragma legality checks of the compiler's sema pass: a
+// per-function control-flow graph, reaching-definitions/def-use chains,
+// and a host/device copy-state lattice tracked through data regions let it
+// see hazards that only exist across statements — a host read of an array
+// a kernel wrote without an intervening update host, a device read of
+// memory no clause ever initialized, an un-waited async region whose data
+// the host touches.
+//
+// Findings carry stable analyzer IDs (docs/ANALYSIS.md catalogs them) and
+// are suppressible per line with `// accvet:ignore` (C) / `!$acc$ignore`
+// (Fortran) comments. Every analyzer is tuned for zero false positives on
+// the suite's own template corpus: when control-flow joins disagree about
+// a variable's state the lattice degrades to unknown and no finding is
+// emitted.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"accv/internal/ast"
+)
+
+// Severity grades findings. Errors indicate programs that are wrong on any
+// conforming implementation; warnings indicate constructs that are
+// suspicious or implementation-dependent.
+type Severity int
+
+const (
+	// Warning findings flag suspicious but possibly intentional code.
+	Warning Severity = iota
+	// Error findings flag definite hazards.
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// ID is the stable analyzer identifier ("ACV001" ... "ACV006").
+	ID string
+	// Sev is the finding's severity.
+	Sev Severity
+	// Pos is the source position the finding points at.
+	Pos ast.Pos
+	// Func is the enclosing procedure.
+	Func string
+	// Var is the variable the hazard involves ("" when not applicable).
+	Var string
+	// Message is the human-readable explanation.
+	Message string
+}
+
+// String renders the finding in one line.
+func (f Finding) String() string {
+	return fmt.Sprintf("line %s: %s %s: %s", f.Pos, f.ID, f.Sev, f.Message)
+}
+
+// Analyzer is the registry entry of one hazard class.
+type Analyzer struct {
+	// ID is the stable identifier used in findings and ignore comments.
+	ID string
+	// Name is the short kebab-case name.
+	Name string
+	// Sev is the severity of this analyzer's findings.
+	Sev Severity
+	// Doc is a one-line description.
+	Doc string
+}
+
+// The analyzer registry. IDs are stable: tools, ignore comments, and the
+// documentation reference them.
+var registry = []Analyzer{
+	{ID: "ACV001", Name: "stale-host-read", Sev: Warning,
+		Doc: "host reads data a kernel wrote without update host/copyout"},
+	{ID: "ACV002", Name: "device-read-uninit", Sev: Error,
+		Doc: "kernel reads device memory no clause ever initialized (missing copyin)"},
+	{ID: "ACV003", Name: "unused-data-clause", Sev: Warning,
+		Doc: "data clause names a variable the construct never references"},
+	{ID: "ACV004", Name: "loop-carried-dependence", Sev: Error,
+		Doc: "loop independent annotation on a loop with a carried dependence"},
+	{ID: "ACV005", Name: "reduction-misuse", Sev: Error,
+		Doc: "reduction variable read or written outside the reduction operation"},
+	{ID: "ACV006", Name: "async-wait-mismatch", Sev: Error,
+		Doc: "host touches data of an async region or update before waiting"},
+}
+
+// Analyzers returns the registry, in ID order.
+func Analyzers() []Analyzer { return append([]Analyzer(nil), registry...) }
+
+// LookupAnalyzer finds a registry entry by ID or name.
+func LookupAnalyzer(idOrName string) (Analyzer, bool) {
+	for _, a := range registry {
+		if strings.EqualFold(a.ID, idOrName) || strings.EqualFold(a.Name, idOrName) {
+			return a, true
+		}
+	}
+	return Analyzer{}, false
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Analyzers selects analyzer IDs (or names) to run; nil runs all.
+	Analyzers []string
+	// NoSuppress disables accvet:ignore comments (every finding reported).
+	NoSuppress bool
+}
+
+// Report is the result of analyzing one program.
+type Report struct {
+	// Findings are the surviving diagnostics, in position order.
+	Findings []Finding
+	// Suppressed counts findings silenced by ignore comments.
+	Suppressed int
+}
+
+// Errors reports how many findings are Error severity.
+func (r *Report) Errors() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Sev == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Analyze runs every enabled analyzer over the program and returns the
+// surviving findings sorted by position. The program must have passed the
+// frontend; analysis is best-effort on programs sema would reject.
+func Analyze(prog *ast.Program, opts Options) Report {
+	enabled := enabledSet(opts.Analyzers)
+	var all []Finding
+	for _, fn := range prog.Funcs {
+		p := newPass(prog, fn)
+		p.run()
+		all = append(all, p.findings...)
+	}
+	all = dedupe(all)
+	var rep Report
+	for _, f := range all {
+		if !enabled[f.ID] {
+			continue
+		}
+		if !opts.NoSuppress && prog.Suppressed(f.ID, f.Pos.Line) {
+			rep.Suppressed++
+			continue
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.ID < b.ID
+	})
+	return rep
+}
+
+// enabledSet resolves the Analyzers option to a set of IDs.
+func enabledSet(sel []string) map[string]bool {
+	m := make(map[string]bool, len(registry))
+	if len(sel) == 0 {
+		for _, a := range registry {
+			m[a.ID] = true
+		}
+		return m
+	}
+	for _, s := range sel {
+		if a, ok := LookupAnalyzer(s); ok {
+			m[a.ID] = true
+		}
+	}
+	return m
+}
+
+// dedupe removes findings that repeat (analyzer, position, variable) —
+// the fixpoint emit pass can visit a block through several paths.
+func dedupe(fs []Finding) []Finding {
+	seen := map[string]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		key := fmt.Sprintf("%s@%d:%d/%s", f.ID, f.Pos.Line, f.Pos.Col, f.Var)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// severityOf returns the registered severity for an analyzer ID.
+func severityOf(id string) Severity {
+	for _, a := range registry {
+		if a.ID == id {
+			return a.Sev
+		}
+	}
+	return Warning
+}

@@ -1,0 +1,101 @@
+package analysis_test
+
+// Analyzer performance: BenchmarkAnalyzeSuite runs the full multi-pass
+// analysis per built-in template (one sub-benchmark each, plus a whole-
+// corpus aggregate), and the BenchmarkCompileVet pair measures what the
+// analysis phase adds to compilation — and that turning it off removes
+// the cost entirely. Headline numbers are recorded in BENCH_analysis.json.
+
+import (
+	"testing"
+
+	"accv/internal/analysis"
+	"accv/internal/ast"
+	"accv/internal/cfront"
+	"accv/internal/compiler"
+	"accv/internal/core"
+	"accv/internal/ffront"
+	_ "accv/internal/templates"
+)
+
+// benchProg is one parsed template plus the spec level it compiles under.
+type benchProg struct {
+	id     string
+	prog   *ast.Program
+	spec20 bool
+}
+
+// parsedCorpus parses every built-in template's functional variant once.
+func parsedCorpus(b *testing.B) []benchProg {
+	b.Helper()
+	var progs []benchProg
+	for _, tpl := range core.All() {
+		functional, _, _, err := tpl.Generate()
+		if err != nil {
+			b.Fatalf("%s: generate: %v", tpl.ID(), err)
+		}
+		var prog *ast.Program
+		if tpl.Lang == ast.LangFortran {
+			prog, err = ffront.Parse(functional)
+		} else {
+			prog, err = cfront.Parse(functional)
+		}
+		if err != nil {
+			b.Fatalf("%s: parse: %v", tpl.ID(), err)
+		}
+		progs = append(progs, benchProg{id: tpl.ID(), prog: prog, spec20: tpl.Spec20})
+	}
+	return progs
+}
+
+// BenchmarkAnalyzeSuite runs all six analyzers over each template.
+func BenchmarkAnalyzeSuite(b *testing.B) {
+	progs := parsedCorpus(b)
+	b.Run("corpus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range progs {
+				analysis.Analyze(p.prog, analysis.Options{})
+			}
+		}
+		b.ReportMetric(float64(len(progs)), "templates")
+	})
+	for _, p := range progs {
+		p := p
+		b.Run(p.id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analysis.Analyze(p.prog, analysis.Options{})
+			}
+		})
+	}
+}
+
+// compileCorpus compiles every parsed template with the given vet mode.
+func compileCorpus(b *testing.B, progs []benchProg, mode compiler.VetMode) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			opts := compiler.Options{Name: "bench", Version: "1.0", Vet: mode}
+			if p.spec20 {
+				opts.Spec = compiler.Spec20
+			}
+			if _, _, err := compiler.Compile(p.prog, opts); err != nil {
+				b.Fatalf("%s: compile: %v", p.id, err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompileVetOn measures compilation with the analysis phase.
+func BenchmarkCompileVetOn(b *testing.B) {
+	progs := parsedCorpus(b)
+	b.ResetTimer()
+	compileCorpus(b, progs, compiler.VetOn)
+}
+
+// BenchmarkCompileVetOff is the baseline: with the phase disabled,
+// compilation must pay nothing for the analyzers.
+func BenchmarkCompileVetOff(b *testing.B) {
+	progs := parsedCorpus(b)
+	b.ResetTimer()
+	compileCorpus(b, progs, compiler.VetOff)
+}

@@ -1,0 +1,106 @@
+package analysis
+
+// ACV003 — a data clause naming a variable the construct never references
+// is dead weight at best and a sign of a misspelled or stale clause at
+// worst (the variable the kernel actually uses gets an implicit mapping
+// with different semantics).
+
+import (
+	"fmt"
+
+	"accv/internal/ast"
+	"accv/internal/directive"
+)
+
+// clauseHazards checks every construct that owns a body: compute regions
+// and structured data regions. Standalone directives (declare, update,
+// enter/exit data) map variables for later use and are exempt.
+func (p *pass) clauseHazards() {
+	if p.fn.Body == nil {
+		return
+	}
+	ast.Walk(p.fn.Body, func(n ast.Node) bool {
+		ps, ok := n.(*ast.PragmaStmt)
+		if !ok {
+			return true
+		}
+		d := directiveOf(ps)
+		if d == nil || ps.Body == nil {
+			return true
+		}
+		if !d.Name.IsCompute() && d.Name != directive.Data {
+			return true
+		}
+		uses := p.bodyUses(ps.Body)
+		// Section bounds on the construct's own clauses count as uses.
+		for i := range d.Clauses {
+			cl := &d.Clauses[i]
+			for _, v := range cl.Vars {
+				for _, sec := range v.Sections {
+					for _, name := range exprIdents(sec.Lo, p.syms) {
+						uses[name] = true
+					}
+					for _, name := range exprIdents(sec.Hi, p.syms) {
+						uses[name] = true
+					}
+				}
+			}
+			if cl.Arg != nil {
+				for _, name := range exprIdents(cl.Arg, p.syms) {
+					uses[name] = true
+				}
+			}
+		}
+		for _, cl := range d.DataClauses() {
+			for _, v := range cl.Vars {
+				if uses[v.Name] {
+					continue
+				}
+				p.report("ACV003", d.ClausePos(cl), v.Name, fmt.Sprintf(
+					"%s(%s) has no effect: %q is never referenced inside the %s construct",
+					cl.Kind, v.Name, v.Name, d.Name))
+			}
+		}
+		return true
+	})
+}
+
+// bodyUses collects every name a construct body references, including
+// names inside nested directives' clauses and wait arguments.
+func (p *pass) bodyUses(body ast.Stmt) map[string]bool {
+	uses := map[string]bool{}
+	addExpr := func(e ast.Expr) {
+		for _, name := range exprIdents(e, p.syms) {
+			uses[name] = true
+		}
+	}
+	ast.Walk(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			uses[x.Name] = true
+		case *ast.CallExpr:
+			if p.isArray(x.Fun) {
+				uses[x.Fun] = true
+			}
+		case *ast.PragmaStmt:
+			if dd := directiveOf(x); dd != nil {
+				for i := range dd.Clauses {
+					cl := &dd.Clauses[i]
+					addExpr(cl.Arg)
+					for _, v := range cl.Vars {
+						uses[v.Name] = true
+						for _, sec := range v.Sections {
+							addExpr(sec.Lo)
+							addExpr(sec.Hi)
+						}
+					}
+				}
+				for _, a := range dd.WaitArgs {
+					addExpr(a)
+				}
+			}
+		}
+		return true
+	})
+	return uses
+}

@@ -1,0 +1,132 @@
+package analysis_test
+
+// The golden-file corpus: testdata/analysis holds one bad and one fixed
+// variant per analyzer, in C and Fortran. The bad variants must produce
+// exactly the findings pinned below (ID and line); the fixed variants
+// must be clean. This is the end-to-end spec of each analyzer's
+// triggering condition, independent of the template suite.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"accv/internal/analysis"
+	"accv/internal/ast"
+	"accv/internal/cfront"
+	"accv/internal/ffront"
+)
+
+// goldenDir is the corpus root, relative to this package.
+const goldenDir = "../../testdata/analysis"
+
+// goldenFindings pins each corpus file's expected findings as "ID:line".
+// A nil entry means the file must analyze clean.
+var goldenFindings = map[string][]string{
+	"bad/acv001.c":     {"ACV001:25"},
+	"bad/acv001.f90":   {"ACV001:20"},
+	"bad/acv002.c":     {"ACV002:19"},
+	"bad/acv002.f90":   {"ACV002:15"},
+	"bad/acv003.c":     {"ACV003:12"},
+	"bad/acv003.f90":   {"ACV003:10"},
+	"bad/acv004.c":     {"ACV004:17"},
+	"bad/acv004.f90":   {"ACV004:13"},
+	"bad/acv005.c":     {"ACV005:18"},
+	"bad/acv005.f90":   {"ACV005:14"},
+	"bad/acv006.c":     {"ACV006:22"},
+	"bad/acv006.f90":   {"ACV006:18"},
+	"fixed/acv001.c":   nil,
+	"fixed/acv001.f90": nil,
+	"fixed/acv002.c":   nil,
+	"fixed/acv002.f90": nil,
+	"fixed/acv003.c":   nil,
+	"fixed/acv003.f90": nil,
+	"fixed/acv004.c":   nil,
+	"fixed/acv004.f90": nil,
+	"fixed/acv005.c":   nil,
+	"fixed/acv005.f90": nil,
+	"fixed/acv006.c":   nil,
+	"fixed/acv006.f90": nil,
+}
+
+// parseGolden loads and parses one corpus file.
+func parseGolden(t *testing.T, rel string) *ast.Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(goldenDir, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog *ast.Program
+	if filepath.Ext(rel) == ".f90" {
+		prog, err = ffront.Parse(string(src))
+	} else {
+		prog, err = cfront.Parse(string(src))
+	}
+	if err != nil {
+		t.Fatalf("%s: parse: %v", rel, err)
+	}
+	return prog
+}
+
+// TestGoldenCorpus checks every pinned file's exact finding set.
+func TestGoldenCorpus(t *testing.T) {
+	for rel, want := range goldenFindings {
+		rel, want := rel, want
+		t.Run(rel, func(t *testing.T) {
+			rep := analysis.Analyze(parseGolden(t, rel), analysis.Options{})
+			var got []string
+			for _, f := range rep.Findings {
+				got = append(got, fmt.Sprintf("%s:%d", f.ID, f.Pos.Line))
+			}
+			sort.Strings(got)
+			sorted := append([]string(nil), want...)
+			sort.Strings(sorted)
+			if len(got) != len(sorted) {
+				t.Fatalf("findings = %v, want %v", got, sorted)
+			}
+			for i := range got {
+				if got[i] != sorted[i] {
+					t.Fatalf("findings = %v, want %v", got, sorted)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusComplete asserts the on-disk corpus and the pinned
+// expectations cover each other exactly: no stray files, no stale pins,
+// and a bad + fixed variant per analyzer in both languages.
+func TestGoldenCorpusComplete(t *testing.T) {
+	onDisk := map[string]bool{}
+	for _, sub := range []string{"bad", "fixed"} {
+		entries, err := os.ReadDir(filepath.Join(goldenDir, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			onDisk[sub+"/"+e.Name()] = true
+		}
+	}
+	for rel := range goldenFindings {
+		if !onDisk[rel] {
+			t.Errorf("pinned file %s missing on disk", rel)
+		}
+	}
+	for rel := range onDisk {
+		if _, ok := goldenFindings[rel]; !ok {
+			t.Errorf("corpus file %s has no pinned expectation", rel)
+		}
+	}
+	for _, a := range analysis.Analyzers() {
+		base := "acv" + a.ID[len(a.ID)-3:]
+		for _, variant := range []string{"bad", "fixed"} {
+			for _, ext := range []string{".c", ".f90"} {
+				if !onDisk[variant+"/"+base+ext] {
+					t.Errorf("analyzer %s: missing corpus file %s/%s%s", a.ID, variant, base, ext)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package analysis
+
+// Loop hazard analyzers:
+//
+// ACV004 — a loop annotated `independent` whose body carries a
+// cross-iteration dependence (a[i] written, a[i-1] read) is wrong on any
+// implementation that actually parallelizes it.
+//
+// ACV005 — a reduction variable read or overwritten inside its construct,
+// outside the reduction operation, observes partial values that are
+// undefined until the region completes.
+
+import (
+	"fmt"
+
+	"accv/internal/ast"
+	"accv/internal/directive"
+)
+
+// loopHazards drives ACV004 and ACV005 over every directive in the
+// function.
+func (p *pass) loopHazards() {
+	if p.fn.Body == nil {
+		return
+	}
+	ast.Walk(p.fn.Body, func(n ast.Node) bool {
+		ps, ok := n.(*ast.PragmaStmt)
+		if !ok {
+			return true
+		}
+		d := directiveOf(ps)
+		if d == nil {
+			return true
+		}
+		isLoop := d.Name == directive.Loop || d.Name.IsCombined()
+		if isLoop && d.Has(directive.Independent) {
+			p.checkIndependent(ps, d)
+		}
+		for _, cl := range d.All(directive.Reduction) {
+			p.checkReduction(ps, d, cl, isLoop)
+		}
+		return true
+	})
+}
+
+// --- ACV004: loop-carried dependence under `independent` ---
+
+// arrayRef is one subscripted access inside the loop nest.
+type arrayRef struct {
+	name string
+	idx  []ast.Expr
+	line int
+}
+
+func (p *pass) checkIndependent(ps *ast.PragmaStmt, d *directive.Directive) {
+	body := ps.Body
+	if body == nil {
+		return
+	}
+	collapse := 1
+	if cl := d.Get(directive.Collapse); cl != nil {
+		if v, ok := evalConst(cl.Arg); ok && v > 1 {
+			collapse = int(v)
+		}
+	}
+	// Induction variables of the collapsed nest: the dependence must be
+	// carried by one of these to be this loop's problem.
+	ivars := map[string]bool{}
+	s := body
+	for level := 0; level < collapse; level++ {
+		switch l := s.(type) {
+		case *ast.ForStmt:
+			if v := forInductionVar(l); v != "" {
+				ivars[v] = true
+			}
+			s = l.Body
+		case *ast.DoStmt:
+			ivars[l.Var] = true
+			s = ast.Stmt(l.Body)
+		case *ast.Block:
+			if len(l.Stmts) == 1 {
+				s = l.Stmts[0]
+				level--
+				continue
+			}
+			level = collapse
+		default:
+			level = collapse
+		}
+	}
+	if len(ivars) == 0 {
+		return
+	}
+	excluded := map[string]bool{}
+	for _, cl := range d.All(directive.Private) {
+		for _, v := range cl.Vars {
+			excluded[v.Name] = true
+		}
+	}
+	for _, cl := range d.All(directive.Reduction) {
+		for _, v := range cl.Vars {
+			excluded[v.Name] = true
+		}
+	}
+
+	var writes, reads []arrayRef
+	addRef := func(into *[]arrayRef, e ast.Expr, line int) {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			if n := baseName(x.X, p.syms); n != "" && !excluded[n] {
+				*into = append(*into, arrayRef{name: n, idx: x.Idx, line: line})
+			}
+		case *ast.CallExpr:
+			if p.isArray(x.Fun) && !excluded[x.Fun] {
+				*into = append(*into, arrayRef{name: x.Fun, idx: x.Args, line: line})
+			}
+		}
+	}
+	var collectReads func(e ast.Expr, line int)
+	collectReads = func(e ast.Expr, line int) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.IndexExpr:
+			addRef(&reads, x, line)
+			for _, i := range x.Idx {
+				collectReads(i, line)
+			}
+		case *ast.CallExpr:
+			if p.isArray(x.Fun) {
+				addRef(&reads, x, line)
+			}
+			for _, a := range x.Args {
+				collectReads(a, line)
+			}
+		case *ast.BinaryExpr:
+			collectReads(x.X, line)
+			collectReads(x.Y, line)
+		case *ast.UnaryExpr:
+			collectReads(x.X, line)
+		case *ast.CastExpr:
+			collectReads(x.X, line)
+		}
+	}
+	ast.Walk(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			addRef(&writes, x.LHS, x.Line)
+			collectReads(x.RHS, x.Line)
+			switch lhs := x.LHS.(type) {
+			case *ast.IndexExpr:
+				for _, i := range lhs.Idx {
+					collectReads(i, x.Line)
+				}
+			case *ast.CallExpr:
+				for _, a := range lhs.Args {
+					collectReads(a, x.Line)
+				}
+			}
+			if x.Op != "=" {
+				addRef(&reads, x.LHS, x.Line)
+			}
+			return false
+		case *ast.IncDecStmt:
+			addRef(&writes, x.X, x.Line)
+			addRef(&reads, x.X, x.Line)
+			return false
+		case *ast.IfStmt:
+			collectReads(x.Cond, x.Line)
+		case *ast.WhileStmt:
+			collectReads(x.Cond, x.Line)
+		case *ast.ExprStmt:
+			collectReads(x.X, x.Line)
+			return false
+		}
+		return true
+	})
+
+	flagged := map[string]bool{}
+	for _, w := range writes {
+		if flagged[w.name] {
+			continue
+		}
+		for _, r := range reads {
+			if r.name != w.name || len(r.idx) != len(w.idx) {
+				continue
+			}
+			if dist, ok := carriedDistance(w.idx, r.idx, ivars); ok && dist != 0 {
+				flagged[w.name] = true
+				p.report("ACV004", ast.Pos{Line: w.line}, w.name, fmt.Sprintf(
+					"loop is marked independent but iterations are not: %q written at one index and read at distance %d (line %d); remove independent or restructure the loop",
+					w.name, dist, r.line))
+				break
+			}
+		}
+	}
+}
+
+// carriedDistance compares subscript tuples of a write and a read. It
+// reports a non-zero dependence distance only when every dimension is
+// analyzable: affine (var ± const) in the same induction variable, equal
+// constants, or syntactically identical. Constant dimensions that differ
+// prove the accesses never alias.
+func carriedDistance(w, r []ast.Expr, ivars map[string]bool) (int64, bool) {
+	var dist int64
+	for i := range w {
+		wv, wc, wok := affine(w[i], ivars)
+		rv, rc, rok := affine(r[i], ivars)
+		if wok && rok {
+			if wv != rv {
+				return 0, false // mixed induction vars: not analyzable
+			}
+			if wc != rc {
+				if dist != 0 && dist != wc-rc {
+					return 0, false
+				}
+				dist = wc - rc
+			}
+			continue
+		}
+		if wok != rok {
+			return 0, false
+		}
+		// Neither side is affine in a loop var: require provable equality
+		// or provable non-aliasing.
+		wcst, wisc := evalConst(w[i])
+		rcst, risc := evalConst(r[i])
+		if wisc && risc {
+			if wcst != rcst {
+				return 0, false // disjoint elements: no dependence
+			}
+			continue
+		}
+		if ast.ExprString(w[i]) != ast.ExprString(r[i]) {
+			return 0, false
+		}
+	}
+	return dist, true
+}
+
+// affine matches subscripts of the form v, v+c, c+v, v-c for an induction
+// variable v.
+func affine(e ast.Expr, ivars map[string]bool) (string, int64, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if ivars[x.Name] {
+			return x.Name, 0, true
+		}
+	case *ast.BinaryExpr:
+		if x.Op != "+" && x.Op != "-" {
+			return "", 0, false
+		}
+		if id, ok := x.X.(*ast.Ident); ok && ivars[id.Name] {
+			if c, ok := evalConst(x.Y); ok {
+				if x.Op == "-" {
+					c = -c
+				}
+				return id.Name, c, true
+			}
+		}
+		if x.Op == "+" {
+			if id, ok := x.Y.(*ast.Ident); ok && ivars[id.Name] {
+				if c, ok := evalConst(x.X); ok {
+					return id.Name, c, true
+				}
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// --- ACV005: reduction variable misuse ---
+
+func (p *pass) checkReduction(ps *ast.PragmaStmt, d *directive.Directive, cl *directive.Clause, isLoop bool) {
+	body := ps.Body
+	if body == nil {
+		return
+	}
+	for _, vr := range cl.Vars {
+		r := vr.Name
+		if p.isArray(r) {
+			continue // only scalar reductions are analyzable
+		}
+		p.scanReductionUse(body, r, cl.ReduceOp, isLoop, false)
+	}
+}
+
+// scanReductionUse walks the attachment body. guarded means an enclosing
+// if-condition reads the variable and a branch assigns it (the min/max
+// compare-and-update idiom).
+func (p *pass) scanReductionUse(s ast.Stmt, r, op string, strict, guarded bool) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.Block:
+		for _, inner := range st.Stmts {
+			p.scanReductionUse(inner, r, op, strict, guarded)
+		}
+	case *ast.AssignStmt:
+		if id, ok := st.LHS.(*ast.Ident); ok && id.Name == r {
+			p.checkReductionAssign(st, r, op, strict, guarded)
+			return
+		}
+		// Assignment to something else: any read of r leaks a partial value.
+		if exprReads(st.RHS, r, p.syms) || lvalueIndexReadsVar(st.LHS, r, p.syms) {
+			p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+				"reduction variable %q is read inside the construct; its value is undefined until the reduction completes", r))
+		}
+	case *ast.IncDecStmt:
+		if id, ok := st.X.(*ast.Ident); ok && id.Name == r {
+			if !(st.Op == "++" && op == "+") {
+				p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+					"reduction variable %q is updated with %q but declared reduction(%s)", r, st.Op, op))
+			}
+		}
+	case *ast.ExprStmt:
+		if exprReads(st.X, r, p.syms) {
+			p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+				"reduction variable %q is read inside the construct; its value is undefined until the reduction completes", r))
+		}
+	case *ast.IfStmt:
+		condReads := exprReads(st.Cond, r, p.syms)
+		branchAssigns := assignsTo(st.Then, r, p.syms) || assignsTo(st.Else, r, p.syms)
+		if condReads && !branchAssigns {
+			p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+				"reduction variable %q is read inside the construct; its value is undefined until the reduction completes", r))
+		}
+		g := guarded || (condReads && branchAssigns)
+		p.scanReductionUse(st.Then, r, op, strict, g)
+		p.scanReductionUse(st.Else, r, op, strict, g)
+	case *ast.ForStmt:
+		p.scanReductionUse(st.Init, r, op, strict, guarded)
+		p.reportBoundRead(st.Cond, r, st.Line)
+		p.scanReductionUse(st.Body, r, op, strict, guarded)
+		p.scanReductionUse(st.Post, r, op, strict, guarded)
+	case *ast.DoStmt:
+		p.reportBoundRead(st.From, r, st.Line)
+		p.reportBoundRead(st.To, r, st.Line)
+		p.reportBoundRead(st.Step, r, st.Line)
+		p.scanReductionUse(st.Body, r, op, strict, guarded)
+	case *ast.WhileStmt:
+		p.reportBoundRead(st.Cond, r, st.Line)
+		p.scanReductionUse(st.Body, r, op, strict, guarded)
+	case *ast.PragmaStmt:
+		p.scanReductionUse(st.Body, r, op, strict, guarded)
+	case *ast.DeclStmt:
+		if exprReads(st.Init, r, p.syms) {
+			p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+				"reduction variable %q is read inside the construct; its value is undefined until the reduction completes", r))
+		}
+	}
+}
+
+// checkReductionAssign judges one assignment whose target is the reduction
+// variable.
+func (p *pass) checkReductionAssign(st *ast.AssignStmt, r, op string, strict, guarded bool) {
+	if st.Op != "=" {
+		compound := map[string]string{"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+		if compound[st.Op] != op {
+			p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+				"reduction variable %q is updated with %q but declared reduction(%s)", r, st.Op, op))
+		}
+		return
+	}
+	// r = r <op> x / x <op> r is the canonical update.
+	if be, ok := st.RHS.(*ast.BinaryExpr); ok && be.Op == op {
+		if isIdent(be.X, r) || isIdent(be.Y, r) {
+			return
+		}
+	}
+	// max/min via intrinsic call, or any opaque self-referential form
+	// (e.g. Fortran merge for logical reductions).
+	if exprReads(st.RHS, r, p.syms) {
+		return
+	}
+	// Compare-and-update guarded by a condition on r (max/min idiom).
+	if guarded {
+		return
+	}
+	if strict {
+		p.report("ACV005", ast.Pos{Line: st.Line}, r, fmt.Sprintf(
+			"reduction variable %q is overwritten inside the loop; the assignment is not a reduction(%s) update", r, op))
+	}
+}
+
+// reportBoundRead flags a loop bound that reads the reduction variable.
+func (p *pass) reportBoundRead(e ast.Expr, r string, line int) {
+	if e != nil && exprReads(e, r, p.syms) {
+		p.report("ACV005", ast.Pos{Line: line}, r, fmt.Sprintf(
+			"reduction variable %q is read inside the construct; its value is undefined until the reduction completes", r))
+	}
+}
+
+// assignsTo reports whether a statement subtree assigns the variable.
+func assignsTo(s ast.Stmt, r string, syms map[string]symInfo) bool {
+	if s == nil {
+		return false
+	}
+	found := false
+	ast.Walk(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if isIdent(x.LHS, r) {
+				found = true
+			}
+		case *ast.IncDecStmt:
+			if isIdent(x.X, r) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lvalueIndexReadsVar reports whether an assignment target's subscripts
+// read the variable.
+func lvalueIndexReadsVar(e ast.Expr, r string, syms map[string]symInfo) bool {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		for _, i := range x.Idx {
+			if exprReads(i, r, syms) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if exprReads(a, r, syms) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,79 @@
+package analysis
+
+// Finding renderers: a compiler-style text form for terminals and a stable
+// JSON form for tooling.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line, compiler style:
+//
+//	name:12:5: ACV001 warning: host reads "a" ...
+//
+// name prefixes each line when non-empty (a file name, a template name).
+func WriteText(w io.Writer, name string, findings []Finding) error {
+	for _, f := range findings {
+		prefix := ""
+		if name != "" {
+			prefix = name + ":"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s: %s %s: %s\n", prefix, f.Pos, f.ID, f.Sev, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFinding is the stable wire form of a finding.
+type jsonFinding struct {
+	File     string `json:"file,omitempty"`
+	ID       string `json:"id"`
+	Severity string `json:"severity"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Func     string `json:"func,omitempty"`
+	Var      string `json:"var,omitempty"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array. name fills each finding's
+// "file" field when non-empty.
+func WriteJSON(w io.Writer, name string, findings []Finding) error {
+	return writeJSON(w, flatten([]FileFindings{{Name: name, Findings: findings}}))
+}
+
+// FileFindings pairs a source name with its findings, for multi-file
+// JSON output.
+type FileFindings struct {
+	Name     string
+	Findings []Finding
+}
+
+// WriteJSONFiles renders the findings of several files as one flat JSON
+// array, each entry carrying its file name.
+func WriteJSONFiles(w io.Writer, files []FileFindings) error {
+	return writeJSON(w, flatten(files))
+}
+
+func flatten(files []FileFindings) []jsonFinding {
+	out := []jsonFinding{}
+	for _, ff := range files {
+		for _, f := range ff.Findings {
+			out = append(out, jsonFinding{
+				File: ff.Name, ID: f.ID, Severity: f.Sev.String(),
+				Line: f.Pos.Line, Col: f.Pos.Col,
+				Func: f.Func, Var: f.Var, Message: f.Message,
+			})
+		}
+	}
+	return out
+}
+
+func writeJSON(w io.Writer, out []jsonFinding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -8,7 +8,10 @@
 // interpreter are language-agnostic.
 package ast
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Lang identifies the source language of a program.
 type Lang int
@@ -79,6 +82,70 @@ func (t Type) IsNumeric() bool {
 	return !t.Ptr && (t.Base == Int || t.Base == Float || t.Base == Double || t.Base == Logical)
 }
 
+// Pos is a source position: a 1-based line and a 1-based column. Col 0
+// means "column unknown" (positions recorded before the frontends carried
+// columns); such positions render as a bare line number.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "L" or "L:C".
+func (p Pos) String() string {
+	if p.Col <= 0 {
+		return fmt.Sprintf("%d", p.Line)
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// IsValid reports whether the position carries at least a line.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Ignore is one suppression comment collected by a frontend:
+// `// accvet:ignore [IDs...]` in C, `!$acc$ignore [IDs...]` in Fortran.
+// An empty ID list suppresses every analyzer. The comment applies to
+// findings on its own line and on the following line, so it works both
+// trailing a statement and on a line of its own above one.
+type Ignore struct {
+	Line int
+	IDs  []string // analyzer IDs, upper-cased; empty = all
+}
+
+// IgnoreMarker is the comment marker that declares a suppression: the C
+// frontend recognizes it in // and /* */ comments, the Fortran frontend
+// spells it as the "!$acc$ignore" sentinel.
+const IgnoreMarker = "accvet:ignore"
+
+// NewIgnore builds an Ignore from the argument text that followed the
+// marker: analyzer IDs separated by spaces or commas; none means "all".
+func NewIgnore(line int, args string) Ignore {
+	ig := Ignore{Line: line}
+	// Everything after "--" is a human-readable justification, not an ID
+	// list (the nolint convention).
+	if i := strings.Index(args, "--"); i >= 0 {
+		args = args[:i]
+	}
+	for _, f := range strings.FieldsFunc(args, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	}) {
+		ig.IDs = append(ig.IDs, strings.ToUpper(f))
+	}
+	return ig
+}
+
+// Matches reports whether the ignore entry covers the given analyzer ID.
+func (ig Ignore) Matches(id string) bool {
+	if len(ig.IDs) == 0 {
+		return true
+	}
+	for _, want := range ig.IDs {
+		if want == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Pragma is the interface implemented by directive annotations attached to
 // PragmaStmt nodes. The concrete type lives in internal/directive; ast keeps
 // only this minimal view to avoid an import cycle.
@@ -112,6 +179,20 @@ type Program struct {
 	Lang  Lang
 	Funcs []*FuncDecl
 	Entry string // name of the entry procedure
+	// Ignores are the analyzer-suppression comments the frontend collected,
+	// in source order (internal/analysis applies them).
+	Ignores []Ignore
+}
+
+// Suppressed reports whether a finding from analyzer id at the given line
+// is covered by an ignore comment on that line or the line above.
+func (p *Program) Suppressed(id string, line int) bool {
+	for _, ig := range p.Ignores {
+		if (ig.Line == line || ig.Line == line-1) && ig.Matches(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // node/stmt/expr marker plumbing.

@@ -38,7 +38,7 @@ int acc_test()
 func BenchmarkLex(b *testing.B) {
 	b.SetBytes(int64(len(benchSrc)))
 	for i := 0; i < b.N; i++ {
-		if _, err := lex(benchSrc); err != nil {
+		if _, _, err := lex(benchSrc); err != nil {
 			b.Fatal(err)
 		}
 	}

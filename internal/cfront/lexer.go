@@ -7,6 +7,8 @@ package cfront
 import (
 	"fmt"
 	"strings"
+
+	"accv/internal/ast"
 )
 
 // tokKind enumerates token kinds.
@@ -22,11 +24,14 @@ const (
 	tokPragma // an "#pragma acc" line; Lit holds the text after "acc"
 )
 
-// token is one lexical token.
+// token is one lexical token. Col is the 1-based source column of the
+// token's first byte (for pragma tokens: of the directive text after the
+// "#pragma acc" sentinel); 0 when unknown.
 type token struct {
 	Kind tokKind
 	Lit  string
 	Line int
+	Col  int
 }
 
 func (t token) String() string {
@@ -57,44 +62,61 @@ var multiOps = []string{
 }
 
 // lex scans a complete C-subset source into tokens. Pragma lines become
-// single tokPragma tokens; backslash continuations are honoured.
-func lex(src string) ([]token, error) {
+// single tokPragma tokens; backslash continuations are honoured. Comments
+// carrying the accvet:ignore marker are returned as suppressions.
+func lex(src string) ([]token, []ast.Ignore, error) {
 	var toks []token
+	var ignores []ast.Ignore
 	line := 1
+	lineStart := 0
 	i := 0
 	n := len(src)
+	col := func(at int) int { return at - lineStart + 1 }
 	for i < n {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '/' && i+1 < n && src[i+1] == '/':
+			start := i + 2
 			for i < n && src[i] != '\n' {
 				i++
 			}
+			if ig, ok := parseIgnore(src[start:i], line); ok {
+				ignores = append(ignores, ig)
+			}
 		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine := line
+			start := i + 2
 			i += 2
 			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
 				if src[i] == '\n' {
 					line++
+					lineStart = i + 1
 				}
 				i++
 			}
 			if i+1 >= n {
-				return nil, &lexError{line, "unterminated comment"}
+				return nil, nil, &lexError{line, "unterminated comment"}
+			}
+			if ig, ok := parseIgnore(src[start:i], startLine); ok {
+				ignores = append(ignores, ig)
 			}
 			i += 2
 		case c == '#':
 			start := line
+			startCol := col(i)
 			// Collect the full logical line, honouring '\' continuations.
 			var sb strings.Builder
 			for i < n {
 				if src[i] == '\\' && i+1 < n && src[i+1] == '\n' {
 					i += 2
 					line++
+					lineStart = i
 					sb.WriteByte(' ')
 					continue
 				}
@@ -104,17 +126,21 @@ func lex(src string) ([]token, error) {
 				sb.WriteByte(src[i])
 				i++
 			}
-			text := strings.TrimSpace(sb.String())
-			text = strings.TrimPrefix(text, "#")
-			text = strings.TrimSpace(text)
-			if rest, ok := cutWord(text, "pragma"); ok {
-				if rest2, ok := cutWord(rest, "acc"); ok {
-					toks = append(toks, token{tokPragma, rest2, start})
+			// Walk "#", "pragma", "acc" by byte offset so the directive
+			// text's own source column survives into the token.
+			raw := sb.String()
+			off := skipHSpace(raw, 1) // past '#'
+			if ok, off2 := cutWordAt(raw, off, "pragma"); ok {
+				off2 = skipHSpace(raw, off2)
+				if ok2, off3 := cutWordAt(raw, off2, "acc"); ok2 {
+					off3 = skipHSpace(raw, off3)
+					toks = append(toks, token{tokPragma, strings.TrimSpace(raw[off3:]), start, startCol + off3})
 				}
 				// Non-acc pragmas are ignored, as a real compiler would.
 			}
 			// #include is a no-op; #define is handled by applyDefines.
 		case c == '"':
+			startCol := col(i)
 			j := i + 1
 			var sb strings.Builder
 			for j < n && src[j] != '"' {
@@ -135,15 +161,15 @@ func lex(src string) ([]token, error) {
 					continue
 				}
 				if src[j] == '\n' {
-					return nil, &lexError{line, "unterminated string"}
+					return nil, nil, &lexError{line, "unterminated string"}
 				}
 				sb.WriteByte(src[j])
 				j++
 			}
 			if j >= n {
-				return nil, &lexError{line, "unterminated string"}
+				return nil, nil, &lexError{line, "unterminated string"}
 			}
-			toks = append(toks, token{tokString, sb.String(), line})
+			toks = append(toks, token{tokString, sb.String(), line, startCol})
 			i = j + 1
 		case isDigit(c) || (c == '.' && i+1 < n && isDigit(src[i+1])):
 			j := i
@@ -168,20 +194,20 @@ func lex(src string) ([]token, error) {
 			if isFloat {
 				kind = tokFloat
 			}
-			toks = append(toks, token{kind, lit, line})
+			toks = append(toks, token{kind, lit, line, col(i)})
 			i = j
 		case isIdentStart(c):
 			j := i
 			for j < n && isIdentPart(src[j]) {
 				j++
 			}
-			toks = append(toks, token{tokIdent, src[i:j], line})
+			toks = append(toks, token{tokIdent, src[i:j], line, col(i)})
 			i = j
 		default:
 			matched := false
 			for _, op := range multiOps {
 				if strings.HasPrefix(src[i:], op) {
-					toks = append(toks, token{tokPunct, op, line})
+					toks = append(toks, token{tokPunct, op, line, col(i)})
 					i += len(op)
 					matched = true
 					break
@@ -191,15 +217,49 @@ func lex(src string) ([]token, error) {
 				break
 			}
 			if strings.ContainsRune("+-*/%<>=!&|^~?:;,.(){}[]", rune(c)) {
-				toks = append(toks, token{tokPunct, string(c), line})
+				toks = append(toks, token{tokPunct, string(c), line, col(i)})
 				i++
 				break
 			}
-			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			return nil, nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
-	toks = append(toks, token{tokEOF, "", line})
-	return toks, nil
+	toks = append(toks, token{tokEOF, "", line, 0})
+	return toks, ignores, nil
+}
+
+// parseIgnore recognizes an "accvet:ignore [IDs...]" suppression comment.
+func parseIgnore(text string, line int) (ast.Ignore, bool) {
+	t := strings.TrimSpace(text)
+	if !strings.HasPrefix(t, ast.IgnoreMarker) {
+		return ast.Ignore{}, false
+	}
+	rest := t[len(ast.IgnoreMarker):]
+	if rest != "" && isIdentPart(rest[0]) {
+		return ast.Ignore{}, false
+	}
+	return ast.NewIgnore(line, rest), true
+}
+
+// skipHSpace advances i past spaces and tabs.
+func skipHSpace(s string, i int) int {
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	return i
+}
+
+// cutWordAt reports whether word starts at s[i] as a whole word, returning
+// the offset just past it.
+func cutWordAt(s string, i int, word string) (bool, int) {
+	if i > len(s) || !strings.HasPrefix(s[i:], word) {
+		return false, i
+	}
+	j := i + len(word)
+	if j < len(s) && isIdentPart(s[j]) {
+		return false, i
+	}
+	return true, j
 }
 
 // cutWord strips a leading word from s, returning the remainder and whether

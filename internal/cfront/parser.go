@@ -20,7 +20,7 @@ func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, 
 // procedure named "acc_test"; the wrapper emitted by the test generator
 // always provides it.
 func Parse(src string) (*ast.Program, error) {
-	toks, err := lex(src)
+	toks, ignores, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
@@ -29,13 +29,13 @@ func Parse(src string) (*ast.Program, error) {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	prog := &ast.Program{Lang: ast.LangC, Entry: "acc_test"}
+	prog := &ast.Program{Lang: ast.LangC, Entry: "acc_test", Ignores: ignores}
 	routineNext := false
 	for !p.at(tokEOF) {
 		// A file-scope "#pragma acc routine" annotates the next procedure.
 		if p.at(tokPragma) {
 			t := p.next()
-			d, err := directive.Parse(t.Lit, ast.LangC, t.Line, ClauseExprParser{})
+			d, err := directive.ParseAt(t.Lit, ast.LangC, ast.Pos{Line: t.Line, Col: t.Col}, ClauseExprParser{})
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +83,7 @@ func applyDefines(src string, toks []token) ([]token, error) {
 			return nil, &ParseError{lineNo + 1, "bad #define"}
 		}
 		name, val := rest[:i], strings.TrimSpace(rest[i:])
-		sub, err := lex(val)
+		sub, _, err := lex(val)
 		if err != nil {
 			return nil, err
 		}
@@ -501,7 +501,7 @@ func (p *parser) parseWhile() (ast.Stmt, error) {
 // statement it applies to.
 func (p *parser) parsePragma() (ast.Stmt, error) {
 	t := p.next()
-	d, err := directive.Parse(t.Lit, ast.LangC, t.Line, ClauseExprParser{})
+	d, err := directive.ParseAt(t.Lit, ast.LangC, ast.Pos{Line: t.Line, Col: t.Col}, ClauseExprParser{})
 	if err != nil {
 		return nil, err
 	}
@@ -711,7 +711,7 @@ type ClauseExprParser struct{}
 
 // ParseClauseExpr parses a clause-argument expression in C syntax.
 func (ClauseExprParser) ParseClauseExpr(src string, line int) (ast.Expr, error) {
-	toks, err := lex(src)
+	toks, _, err := lex(src)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,7 @@ func parseOK(t *testing.T, src string) *ast.Program {
 }
 
 func TestLexBasics(t *testing.T) {
-	toks, err := lex(`int x = 42; float f = 1.5e-3f; /* c */ // line
+	toks, _, err := lex(`int x = 42; float f = 1.5e-3f; /* c */ // line
 "str\n" a_b3 <<= >= && ++`)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestLexBasics(t *testing.T) {
 }
 
 func TestLexPragmaContinuation(t *testing.T) {
-	toks, err := lex("#pragma acc parallel copy(a) \\\n    num_gangs(4)\nint x;")
+	toks, _, err := lex("#pragma acc parallel copy(a) \\\n    num_gangs(4)\nint x;")
 	if err != nil {
 		t.Fatal(err)
 	}

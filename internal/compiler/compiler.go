@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"accv/internal/analysis"
 	"accv/internal/ast"
 	"accv/internal/device"
 	"accv/internal/directive"
@@ -60,11 +61,32 @@ func (p WorkerNoGangPolicy) String() string {
 	return "accept"
 }
 
+// VetMode controls the accvet static-analysis phase of compilation.
+type VetMode int
+
+const (
+	// VetOn runs the analyzers and attaches findings to the Executable
+	// (the default). Findings never fail compilation; enforcement policy
+	// belongs to the harness.
+	VetOn VetMode = iota
+	// VetOff skips analysis entirely; Executable.Findings stays nil.
+	VetOff
+)
+
+// String names the vet mode.
+func (m VetMode) String() string {
+	if m == VetOff {
+		return "off"
+	}
+	return "on"
+}
+
 // Options configures a compilation.
 type Options struct {
 	Spec         SpecVersion
 	Mapping      device.Mapping
 	WorkerNoGang WorkerNoGangPolicy
+	Vet          VetMode
 	Name         string // compiler identity, for diagnostics
 	Version      string
 }
@@ -81,12 +103,18 @@ const (
 
 // Diagnostic is one compiler message. BugID is set when a vendor bug effect
 // produced the message, so reports can link failures to the bug database.
+// Col is the 1-based source column nearest the problem (typically the
+// offending clause), or 0 when unknown.
 type Diagnostic struct {
 	Sev   Severity
 	Line  int
+	Col   int
 	Msg   string
 	BugID string
 }
+
+// Pos returns the diagnostic's source position.
+func (d Diagnostic) Pos() ast.Pos { return ast.Pos{Line: d.Line, Col: d.Col} }
 
 // Error renders the diagnostic.
 func (d Diagnostic) Error() string {
@@ -94,7 +122,7 @@ func (d Diagnostic) Error() string {
 	if d.Sev == Error {
 		sev = "error"
 	}
-	return fmt.Sprintf("line %d: %s: %s", d.Line, sev, d.Msg)
+	return fmt.Sprintf("line %s: %s: %s", d.Pos(), sev, d.Msg)
 }
 
 // CompileError wraps the diagnostics of a failed compilation.
@@ -261,6 +289,10 @@ type Executable struct {
 	Loops   map[*ast.PragmaStmt]*LoopPlan
 	Hooks   Hooks
 	Diags   []Diagnostic
+	// Findings holds accvet static-analysis results for the program (nil
+	// when Opts.Vet is VetOff). They are advisory metadata: the harness
+	// decides whether error-severity findings fail a test.
+	Findings []analysis.Finding
 }
 
 // Compiler compiles OpenACC programs; vendor simulations implement it.
@@ -283,10 +315,21 @@ type Toolchain interface {
 	DeviceConfig() device.Config
 }
 
+// VetConfigurable is implemented by toolchains whose accvet analysis
+// phase can be toggled after construction; the harness uses it to keep
+// analysis entirely off the compile path when the run's vet policy is
+// off.
+type VetConfigurable interface {
+	SetVet(VetMode)
+}
+
 // Reference is the specification-faithful compiler.
 type Reference struct {
 	Opts Options
 }
+
+// SetVet implements VetConfigurable.
+func (r *Reference) SetVet(m VetMode) { r.Opts.Vet = m }
 
 // NewReference builds a reference compiler with defaults.
 func NewReference() *Reference {
@@ -333,6 +376,10 @@ func Compile(prog *ast.Program, opts Options) (*Executable, []Diagnostic, error)
 		if d.Sev == Error {
 			return nil, s.diags, &CompileError{Diags: s.diags}
 		}
+	}
+	if opts.Vet == VetOn {
+		rep := analysis.Analyze(prog, analysis.Options{})
+		s.exe.Findings = rep.Findings
 	}
 	return s.exe, s.diags, nil
 }

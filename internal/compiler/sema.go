@@ -98,6 +98,12 @@ func (s *sema) errorf(line int, format string, args ...any) {
 	s.diags = append(s.diags, Diagnostic{Sev: Error, Line: line, Msg: fmt.Sprintf(format, args...)})
 }
 
+// errorfAt is errorf with a full source position, used where the offending
+// clause's column is known.
+func (s *sema) errorfAt(pos ast.Pos, format string, args ...any) {
+	s.diags = append(s.diags, Diagnostic{Sev: Error, Line: pos.Line, Col: pos.Col, Msg: fmt.Sprintf(format, args...)})
+}
+
 func (s *sema) warnf(line int, format string, args ...any) {
 	s.diags = append(s.diags, Diagnostic{Sev: Warn, Line: line, Msg: fmt.Sprintf(format, args...)})
 }
@@ -170,12 +176,13 @@ func (s *sema) pragma(p *ast.PragmaStmt) {
 		return
 	}
 	if allowed, ok := allowedClauses[d.Name]; ok {
-		for _, c := range d.Clauses {
+		for i := range d.Clauses {
+			c := &d.Clauses[i]
 			if !allowed[c.Kind] {
-				s.errorf(d.Line, "clause %q is not valid on the %s directive", c.Kind, d.Name)
+				s.errorfAt(d.ClausePos(c), "clause %q is not valid on the %s directive", c.Kind, d.Name)
 			}
 			if (c.Kind == directive.Default || c.Kind == directive.Auto) && s.exe.Opts.Spec < Spec20 {
-				s.errorf(d.Line, "clause %q requires OpenACC 2.0 (compiling for %s)", c.Kind, s.exe.Opts.Spec)
+				s.errorfAt(d.ClausePos(c), "clause %q requires OpenACC 2.0 (compiling for %s)", c.Kind, s.exe.Opts.Spec)
 			}
 		}
 	}

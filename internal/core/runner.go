@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"accv/internal/analysis"
 	"accv/internal/ast"
 	"accv/internal/cfront"
 	"accv/internal/compiler"
@@ -37,6 +38,11 @@ const (
 	FailCrash
 	// FailTimeout: the program exceeded its budget (hang).
 	FailTimeout
+	// VetFail: the accvet static analyzers found an error-severity
+	// data-movement or loop hazard in the generated functional source, so
+	// the test's verdict about the compiler cannot be trusted. This flags
+	// suite defects, not compiler defects (docs/ANALYSIS.md).
+	VetFail
 	// Canceled: the suite run was canceled before or while this test ran
 	// (context cancellation or fail-fast abort); no verdict was reached.
 	Canceled
@@ -55,6 +61,8 @@ func (o Outcome) String() string {
 		return "crash"
 	case FailTimeout:
 		return "time out"
+	case VetFail:
+		return "vet findings"
 	case Canceled:
 		return "canceled"
 	}
@@ -65,8 +73,9 @@ func (o Outcome) String() string {
 func (o Outcome) Failed() bool { return o != Pass }
 
 // Verdict reports whether the outcome is an actual compiler verdict —
-// canceled tests never reached one.
-func (o Outcome) Verdict() bool { return o != Canceled }
+// canceled tests never reached one, and a vet failure indicts the test
+// source rather than the compiler.
+func (o Outcome) Verdict() bool { return o != Canceled && o != VetFail }
 
 // MetricLabel returns the snake_case outcome value of the
 // accv_tests_total metric series (docs/OBSERVABILITY.md).
@@ -82,6 +91,8 @@ func (o Outcome) MetricLabel() string {
 		return "crash"
 	case FailTimeout:
 		return "timeout"
+	case VetFail:
+		return "vet_fail"
 	case Canceled:
 		return "canceled"
 	}
@@ -114,6 +125,37 @@ func TransientlyFlaky(r *TestResult) bool {
 	return r.FuncRuns > 0 && r.FuncFails > 0 && r.FuncFails < r.FuncRuns
 }
 
+// VetPolicy decides what a run does with the accvet static-analysis
+// findings the compiler attaches to functional variants
+// (docs/ANALYSIS.md).
+type VetPolicy int
+
+// Vet policies.
+const (
+	// VetEnforce — the default — fails a test with outcome VetFail when
+	// the analyzers report an error-severity hazard in its functional
+	// source. Warnings are recorded on the result but do not fail.
+	VetEnforce VetPolicy = iota
+	// VetWarnOnly records findings on the TestResult without ever
+	// failing a test over them.
+	VetWarnOnly
+	// VetOff ignores findings and, when the toolchain supports it
+	// (compiler.VetConfigurable), turns the analysis phase off entirely
+	// so compilation pays nothing for it.
+	VetOff
+)
+
+// String names the policy.
+func (p VetPolicy) String() string {
+	switch p {
+	case VetWarnOnly:
+		return "warn"
+	case VetOff:
+		return "off"
+	}
+	return "enforce"
+}
+
 // Config parameterizes a suite run.
 type Config struct {
 	// Toolchain is the compiler + device runtime under validation.
@@ -137,6 +179,9 @@ type Config struct {
 	// in-flight tests abort cooperatively and unstarted ones report
 	// Canceled. The failing test's own result is always kept.
 	FailFast bool
+	// Vet selects the static-analysis policy; the zero value enforces
+	// (error findings fail the test with outcome VetFail). See VetPolicy.
+	Vet VetPolicy
 	// Retry re-runs transiently flaky tests; see RetryPolicy.
 	Retry RetryPolicy
 	// Verbose streams per-test progress through Progress. Callbacks run
@@ -165,6 +210,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Devices == 0 {
 		c.Devices = 2
+	}
+	if c.Vet == VetOff {
+		// Keep the analysis phase entirely off the compile path, not just
+		// ignored, when the toolchain lets us reach its options.
+		if v, ok := c.Toolchain.(compiler.VetConfigurable); ok {
+			v.SetVet(compiler.VetOff)
+		}
 	}
 	return c
 }
@@ -225,6 +277,10 @@ type TestResult struct {
 	Outcome     Outcome
 	Detail      string // failure detail: diagnostic or runtime error text
 	BugIDs      []string
+	// Findings holds the accvet static-analysis results for the
+	// functional source (nil when the vet policy or the toolchain's vet
+	// mode is off).
+	Findings []analysis.Finding
 
 	FuncRuns  int
 	FuncFails int
@@ -493,6 +549,31 @@ func runTest(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, w
 		res.Outcome = FailCompile
 		res.Detail = err.Error()
 		return res
+	}
+
+	// Static-analysis findings on the functional source. Error-severity
+	// findings under the enforcing policy mean the test itself is
+	// hazardous, so its verdict about the compiler is void: fail it with
+	// the distinct VetFail outcome instead of running it. Cross variants
+	// are exempt — they are intentionally broken by construction.
+	if cfg.Vet != VetOff {
+		res.Findings = exe.Findings
+		if cfg.Obs != nil {
+			for i := range exe.Findings {
+				cfg.Obs.Add("accv_vet_findings_total", 1,
+					obs.L("analyzer", exe.Findings[i].ID),
+					obs.L("severity", exe.Findings[i].Sev.String()))
+			}
+		}
+		if cfg.Vet == VetEnforce {
+			for i := range exe.Findings {
+				if exe.Findings[i].Sev == analysis.Error {
+					res.Outcome = VetFail
+					res.Detail = "accvet: " + exe.Findings[i].String()
+					return res
+				}
+			}
+		}
 	}
 
 	// Functional runs.

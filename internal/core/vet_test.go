@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/obs"
+)
+
+// hazardousTemplate triggers ACV002 (error severity): the kernel reads a
+// create-allocated array that was never copied in.
+func hazardousTemplate() *Template {
+	return &Template{
+		Name: "vet_hazard", Lang: ast.LangC, Family: "vet", Description: "intentionally hazardous",
+		NoCross: true,
+		Source: `    int i, errors;
+    int b[8], c[8];
+    for (i = 0; i < 8; i++) { b[i] = i; c[i] = -1; }
+    #pragma acc data create(b[0:8]) copyout(c[0:8])
+    {
+        #pragma acc parallel present(b[0:8], c[0:8])
+        {
+            #pragma acc loop
+            for (i = 0; i < 8; i++) {
+                c[i] = b[i];
+            }
+        }
+    }
+    errors = 0;
+    return (errors == 0);
+`,
+	}
+}
+
+func vetCfg(policy VetPolicy, o *obs.Observer) Config {
+	return Config{
+		Toolchain: compiler.NewReference(), Iterations: 1,
+		Timeout: 2 * time.Second, Vet: policy, Obs: o,
+	}
+}
+
+func TestVetEnforceFailsHazardousTest(t *testing.T) {
+	o := obs.NewObserver()
+	res := RunTest(vetCfg(VetEnforce, o), hazardousTemplate())
+	if res.Outcome != VetFail {
+		t.Fatalf("outcome = %v, want VetFail (detail %q)", res.Outcome, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "ACV002") {
+		t.Errorf("detail %q does not name the finding", res.Detail)
+	}
+	if len(res.Findings) == 0 {
+		t.Error("findings not recorded on the result")
+	}
+	if res.Outcome.Verdict() {
+		t.Error("VetFail must not count as a compiler verdict")
+	}
+	if res.FuncRuns != 0 {
+		t.Errorf("test ran %d functional iterations despite failing vet", res.FuncRuns)
+	}
+	snap := o.Metrics.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "accv_vet_findings_total" && c.Labels["analyzer"] == "ACV002" && c.Labels["severity"] == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("accv_vet_findings_total{analyzer=ACV002,severity=error} not emitted: %+v", snap.Counters)
+	}
+}
+
+func TestVetWarnOnlyRecordsWithoutFailing(t *testing.T) {
+	res := RunTest(vetCfg(VetWarnOnly, nil), hazardousTemplate())
+	if res.Outcome == VetFail {
+		t.Fatalf("warn-only policy failed the test: %q", res.Detail)
+	}
+	if len(res.Findings) == 0 {
+		t.Error("warn-only policy must still record findings")
+	}
+}
+
+// TestVetOffSkipsAnalysis asserts the off policy keeps analysis off the
+// compile path entirely: the toolchain's vet mode is switched off through
+// VetConfigurable, so the executable carries no findings at all.
+func TestVetOffSkipsAnalysis(t *testing.T) {
+	ref := compiler.NewReference()
+	cfg := Config{
+		Toolchain: ref, Iterations: 1,
+		Timeout: 2 * time.Second, Vet: VetOff,
+	}
+	res := RunTest(cfg, hazardousTemplate())
+	if res.Outcome == VetFail {
+		t.Fatalf("vet-off policy failed the test: %q", res.Detail)
+	}
+	if res.Findings != nil {
+		t.Errorf("findings recorded under VetOff: %v", res.Findings)
+	}
+	if ref.Opts.Vet != compiler.VetOff {
+		t.Error("VetOff policy did not propagate to the toolchain")
+	}
+	functional, _, _, err := hazardousTemplate().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parse(ast.LangC, functional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, _, err := ref.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.Findings != nil {
+		t.Errorf("compiler attached findings with vet off: %v", exe.Findings)
+	}
+}
+
+// TestVetDefaultOnCleanSuite asserts the default policy is enforcing and
+// harmless on hazard-free sources.
+func TestVetDefaultOnCleanSuite(t *testing.T) {
+	src := `    int i;
+    int a[8], b[8];
+    for (i = 0; i < 8; i++) { a[i] = i; b[i] = 0; }
+    #pragma acc parallel copyin(a[0:8]) copyout(b[0:8])
+    {
+        #pragma acc loop
+        for (i = 0; i < 8; i++) {
+            b[i] = a[i] + 1;
+        }
+    }
+    for (i = 0; i < 8; i++) {
+        if (b[i] != i + 1) return 0;
+    }
+    return 1;
+`
+	tpl := &Template{Name: "clean", Lang: ast.LangC, Family: "vet", Description: "clean", Source: src, NoCross: true}
+	res := RunTest(Config{Toolchain: compiler.NewReference(), Iterations: 1}, tpl)
+	if res.Outcome != Pass {
+		t.Fatalf("outcome = %v (%s), want Pass", res.Outcome, res.Detail)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("clean source produced findings: %v", res.Findings)
+	}
+}

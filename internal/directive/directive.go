@@ -253,6 +253,7 @@ type Clause struct {
 	ReduceOp string   // normalized reduction operator: + * max min && || & | ^
 	Vars     []VarRef // var-lists of data/private/reduction/host/device clauses
 	DefaultK string   // default(none) keyword
+	Col      int      // source column of the clause keyword (0: unknown)
 }
 
 // Directive is a parsed directive with its clauses.
@@ -262,6 +263,18 @@ type Directive struct {
 	WaitArgs []ast.Expr // arguments of the wait directive (may be empty)
 	Raw      string     // original text after the sentinel
 	Line     int
+	Col      int // source column of the directive name (0: unknown)
+}
+
+// Pos returns the directive's source position.
+func (d *Directive) Pos() ast.Pos { return ast.Pos{Line: d.Line, Col: d.Col} }
+
+// ClausePos returns the source position of a clause on this directive.
+func (d *Directive) ClausePos(cl *Clause) ast.Pos {
+	if cl == nil {
+		return d.Pos()
+	}
+	return ast.Pos{Line: d.Line, Col: cl.Col}
 }
 
 // PragmaText implements ast.Pragma.
@@ -312,17 +325,30 @@ type ExprParser interface {
 	ParseClauseExpr(src string, line int) (ast.Expr, error)
 }
 
-// ParseError describes a directive syntax error.
+// ParseError describes a directive syntax error. Col is the 1-based source
+// column nearest the error, or 0 when the frontend supplied no column
+// information.
 type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 // Error implements error.
 func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d:%d: invalid acc directive: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("line %d: invalid acc directive: %s", e.Line, e.Msg)
 }
 
+// Pos returns the error's source position.
+func (e *ParseError) Pos() ast.Pos { return ast.Pos{Line: e.Line, Col: e.Col} }
+
 func errf(line int, format string, args ...any) error {
 	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func errfAt(pos ast.Pos, format string, args ...any) error {
+	return &ParseError{Line: pos.Line, Col: pos.Col, Msg: fmt.Sprintf(format, args...)}
 }

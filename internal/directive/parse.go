@@ -10,13 +10,20 @@ import (
 // "#pragma acc" / "!$acc" sentinel) into a Directive. Clause-argument
 // expressions are parsed by ep in the frontend's own expression grammar.
 func Parse(text string, lang ast.Lang, line int, ep ExprParser) (*Directive, error) {
-	p := &dirParser{src: text, lang: lang, line: line, ep: ep}
+	return ParseAt(text, lang, ast.Pos{Line: line}, ep)
+}
+
+// ParseAt is Parse with a full source position: pos.Col is the 1-based
+// column of the first byte of text in its source line (0: columns unknown),
+// so clause positions and parse errors can point at the offending clause.
+func ParseAt(text string, lang ast.Lang, pos ast.Pos, ep ExprParser) (*Directive, error) {
+	p := &dirParser{src: text, lang: lang, line: pos.Line, base: pos.Col, ep: ep}
 	d, err := p.parse()
 	if err != nil {
 		return nil, err
 	}
 	d.Raw = strings.TrimSpace(text)
-	d.Line = line
+	d.Line = pos.Line
 	return d, nil
 }
 
@@ -26,7 +33,22 @@ type dirParser struct {
 	pos  int
 	lang ast.Lang
 	line int
+	base int // source column of src[0]; 0 when unknown
 	ep   ExprParser
+}
+
+// at converts a byte offset in the directive text to a source position.
+// With no base column every position degrades to the bare line.
+func (p *dirParser) at(off int) ast.Pos {
+	if p.base <= 0 {
+		return ast.Pos{Line: p.line}
+	}
+	return ast.Pos{Line: p.line, Col: p.base + off}
+}
+
+// errf reports a parse error at the parser's current offset.
+func (p *dirParser) errf(format string, args ...any) error {
+	return errfAt(p.at(p.pos), format, args...)
 }
 
 func (p *dirParser) skipSpace() {
@@ -87,16 +109,18 @@ func (p *dirParser) parenGroup() (inner string, ok bool, err error) {
 			}
 		}
 	}
-	return "", false, errf(p.line, "unbalanced parentheses in %q", p.src)
+	return "", false, p.errf("unbalanced parentheses in %q", p.src)
 }
 
 // parse reads the directive name and clause list.
 func (p *dirParser) parse() (*Directive, error) {
+	p.skipSpace()
+	nameOff := p.pos
 	first := p.ident()
 	if first == "" {
-		return nil, errf(p.line, "missing directive name")
+		return nil, p.errf("missing directive name")
 	}
-	d := &Directive{}
+	d := &Directive{Col: p.at(nameOff).Col}
 	switch first {
 	case "parallel", "kernels":
 		d.Name = Parallel
@@ -115,12 +139,12 @@ func (p *dirParser) parse() (*Directive, error) {
 		d.Name = Data
 	case "enter":
 		if p.ident() != "data" {
-			return nil, errf(p.line, "expected 'enter data'")
+			return nil, p.errf("expected 'enter data'")
 		}
 		d.Name = EnterData
 	case "exit":
 		if p.ident() != "data" {
-			return nil, errf(p.line, "expected 'exit data'")
+			return nil, p.errf("expected 'exit data'")
 		}
 		d.Name = ExitData
 	case "host_data":
@@ -140,7 +164,7 @@ func (p *dirParser) parse() (*Directive, error) {
 			return nil, err
 		}
 		if !ok {
-			return nil, errf(p.line, "cache directive requires a var-list")
+			return nil, p.errf("cache directive requires a var-list")
 		}
 		vars, err := p.parseVarList(inner)
 		if err != nil {
@@ -182,11 +206,11 @@ func (p *dirParser) parse() (*Directive, error) {
 		case "host_data":
 			d.Name = EndHostData
 		default:
-			return nil, errf(p.line, "unknown end directive %q", rest)
+			return nil, p.errf("unknown end directive %q", rest)
 		}
 		return d, p.expectEnd(d)
 	default:
-		return nil, errf(p.line, "unknown directive %q", first)
+		return nil, p.errf("unknown directive %q", first)
 	}
 	if err := p.parseClauses(d); err != nil {
 		return nil, err
@@ -197,7 +221,7 @@ func (p *dirParser) parse() (*Directive, error) {
 // expectEnd verifies nothing trails the directive.
 func (p *dirParser) expectEnd(d *Directive) error {
 	if !p.eof() {
-		return errf(p.line, "unexpected text %q after %s", p.src[p.pos:], d.Name)
+		return p.errf("unexpected text %q after %s", p.src[p.pos:], d.Name)
 	}
 	return nil
 }
@@ -211,15 +235,17 @@ func (p *dirParser) parseClauses(d *Directive) error {
 			p.pos++
 			continue
 		}
+		p.skipSpace()
+		clauseOff := p.pos
 		name := p.ident()
 		if name == "" {
-			return errf(p.line, "expected clause near %q", p.src[p.pos:])
+			return p.errf("expected clause near %q", p.src[p.pos:])
 		}
 		kind, ok := clauseNames[name]
 		if !ok {
-			return errf(p.line, "unknown clause %q on %s", name, d.Name)
+			return p.errf("unknown clause %q on %s", name, d.Name)
 		}
-		cl := Clause{Kind: kind}
+		cl := Clause{Kind: kind, Col: p.at(clauseOff).Col}
 		inner, hasParen, err := p.parenGroup()
 		if err != nil {
 			return err
@@ -227,36 +253,36 @@ func (p *dirParser) parseClauses(d *Directive) error {
 		switch kind {
 		case Seq, Independent, Auto:
 			if hasParen {
-				return errf(p.line, "clause %s takes no argument", kind)
+				return p.errf("clause %s takes no argument", kind)
 			}
 		case If, NumGangs, NumWorkers, VectorLength, Collapse:
 			if !hasParen {
-				return errf(p.line, "clause %s requires an argument", kind)
+				return p.errf("clause %s requires an argument", kind)
 			}
 			e, err := p.ep.ParseClauseExpr(inner, p.line)
 			if err != nil {
-				return errf(p.line, "bad %s argument: %v", kind, err)
+				return p.errf("bad %s argument: %v", kind, err)
 			}
 			cl.Arg = e
 		case Async, Gang, Worker, Vector:
 			if hasParen {
 				e, err := p.ep.ParseClauseExpr(inner, p.line)
 				if err != nil {
-					return errf(p.line, "bad %s argument: %v", kind, err)
+					return p.errf("bad %s argument: %v", kind, err)
 				}
 				cl.Arg = e
 			}
 		case Reduction:
 			if !hasParen {
-				return errf(p.line, "reduction requires (operator:var-list)")
+				return p.errf("reduction requires (operator:var-list)")
 			}
 			op, list, found := cutTopLevel(inner, ':')
 			if !found {
-				return errf(p.line, "reduction requires (operator:var-list)")
+				return p.errf("reduction requires (operator:var-list)")
 			}
 			rop, err := normalizeReduceOp(strings.TrimSpace(op))
 			if err != nil {
-				return errf(p.line, "%v", err)
+				return p.errf("%v", err)
 			}
 			cl.ReduceOp = rop
 			vars, err := p.parseVarList(list)
@@ -266,12 +292,12 @@ func (p *dirParser) parseClauses(d *Directive) error {
 			cl.Vars = vars
 		case Default:
 			if !hasParen || strings.TrimSpace(strings.ToLower(inner)) != "none" {
-				return errf(p.line, "default clause requires (none)")
+				return p.errf("default clause requires (none)")
 			}
 			cl.DefaultK = "none"
 		default: // var-list clauses
 			if !hasParen {
-				return errf(p.line, "clause %s requires a var-list", kind)
+				return p.errf("clause %s requires a var-list", kind)
 			}
 			vars, err := p.parseVarList(inner)
 			if err != nil {
@@ -354,7 +380,7 @@ func (p *dirParser) parseExprList(s string) ([]ast.Expr, error) {
 		}
 		e, err := p.ep.ParseClauseExpr(part, p.line)
 		if err != nil {
-			return nil, errf(p.line, "bad expression %q: %v", part, err)
+			return nil, p.errf("bad expression %q: %v", part, err)
 		}
 		out = append(out, e)
 	}
@@ -386,7 +412,7 @@ func (p *dirParser) parseVarRef(item string) (VarRef, error) {
 		i++
 	}
 	if i == 0 {
-		return VarRef{}, errf(p.line, "bad var-list item %q", item)
+		return VarRef{}, p.errf("bad var-list item %q", item)
 	}
 	v := VarRef{Name: item[:i]}
 	rest := strings.TrimSpace(item[i:])
@@ -396,11 +422,11 @@ func (p *dirParser) parseVarRef(item string) (VarRef, error) {
 	case rest[0] == '[': // C sections, possibly repeated per dimension
 		for len(rest) > 0 {
 			if rest[0] != '[' {
-				return VarRef{}, errf(p.line, "bad section in %q", item)
+				return VarRef{}, p.errf("bad section in %q", item)
 			}
 			close := matchingBracket(rest, '[', ']')
 			if close < 0 {
-				return VarRef{}, errf(p.line, "unbalanced brackets in %q", item)
+				return VarRef{}, p.errf("unbalanced brackets in %q", item)
 			}
 			sec, err := p.parseSection(rest[1:close], true)
 			if err != nil {
@@ -413,7 +439,7 @@ func (p *dirParser) parseVarRef(item string) (VarRef, error) {
 	case rest[0] == '(': // Fortran sections: (lb:ub [, lb:ub ...])
 		close := matchingBracket(rest, '(', ')')
 		if close < 0 || strings.TrimSpace(rest[close+1:]) != "" {
-			return VarRef{}, errf(p.line, "bad section in %q", item)
+			return VarRef{}, p.errf("bad section in %q", item)
 		}
 		for _, dim := range splitTopLevel(rest[1:close], ',') {
 			sec, err := p.parseSection(dim, false)
@@ -424,7 +450,7 @@ func (p *dirParser) parseVarRef(item string) (VarRef, error) {
 		}
 		return v, nil
 	}
-	return VarRef{}, errf(p.line, "bad var-list item %q", item)
+	return VarRef{}, p.errf("bad var-list item %q", item)
 }
 
 // matchingBracket returns the index of the bracket closing s[0], or -1.
@@ -451,7 +477,7 @@ func (p *dirParser) parseSection(s string, lenIsCount bool) (Section, error) {
 		// A bare subscript denotes a single element: lo == hi.
 		e, err := p.ep.ParseClauseExpr(strings.TrimSpace(s), p.line)
 		if err != nil {
-			return Section{}, errf(p.line, "bad section %q: %v", s, err)
+			return Section{}, p.errf("bad section %q: %v", s, err)
 		}
 		if lenIsCount {
 			one := &ast.BasicLit{Kind: ast.IntLit, Value: "1", Line: p.line}
@@ -463,14 +489,14 @@ func (p *dirParser) parseSection(s string, lenIsCount bool) (Section, error) {
 	if t := strings.TrimSpace(lo); t != "" {
 		e, err := p.ep.ParseClauseExpr(t, p.line)
 		if err != nil {
-			return Section{}, errf(p.line, "bad section bound %q: %v", t, err)
+			return Section{}, p.errf("bad section bound %q: %v", t, err)
 		}
 		sec.Lo = e
 	}
 	if t := strings.TrimSpace(hi); t != "" {
 		e, err := p.ep.ParseClauseExpr(t, p.line)
 		if err != nil {
-			return Section{}, errf(p.line, "bad section bound %q: %v", t, err)
+			return Section{}, p.errf("bad section bound %q: %v", t, err)
 		}
 		sec.Hi = e
 	}

@@ -10,6 +10,8 @@ package ffront
 import (
 	"fmt"
 	"strings"
+
+	"accv/internal/ast"
 )
 
 // tokKind enumerates token kinds.
@@ -26,11 +28,14 @@ const (
 	tokPragma // a "!$acc" line; Lit holds the text after the sentinel
 )
 
-// token is one lexical token.
+// token is one lexical token. Col is the 1-based source column of the
+// token's first byte (for pragma tokens: of the directive text after the
+// "!$acc" sentinel); 0 when unknown.
 type token struct {
 	Kind tokKind
 	Lit  string
 	Line int
+	Col  int
 }
 
 func (t token) String() string {
@@ -68,13 +73,17 @@ var fMultiOps = []string{"::", "**", "==", "/=", "<=", ">=", "=>"}
 // lex scans Fortran-subset source into tokens. Free-form continuations
 // ('&' at line end, optional leading '&') are honoured, including inside
 // !$acc directive lines. Keywords and identifiers are lowercased.
-func lex(src string) ([]token, error) {
+// "!$acc$ignore" sentinels are returned as analyzer suppressions.
+func lex(src string) ([]token, []ast.Ignore, error) {
 	var toks []token
+	var ignores []ast.Ignore
 	line := 1
+	lineStart := 0
 	i, n := 0, len(src)
+	col := func(at int) int { return at - lineStart + 1 }
 	emitNL := func() {
 		if len(toks) > 0 && toks[len(toks)-1].Kind != tokNL {
-			toks = append(toks, token{tokNL, "\n", line})
+			toks = append(toks, token{tokNL, "\n", line, 0})
 		}
 	}
 	for i < n {
@@ -84,6 +93,7 @@ func lex(src string) ([]token, error) {
 			emitNL()
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r' || c == ';':
 			if c == ';' {
 				emitNL()
@@ -99,6 +109,7 @@ func lex(src string) ([]token, error) {
 			if i < n {
 				i++
 				line++
+				lineStart = i
 			}
 			for i < n && (src[i] == ' ' || src[i] == '\t') {
 				i++
@@ -107,11 +118,36 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 		case c == '!':
-			// Comment or !$acc sentinel.
+			// Comment, !$acc$ignore suppression, or !$acc sentinel. The
+			// suppression check must come first: "!$acc$ignore" would
+			// otherwise match the 5-byte "!$acc" prefix and lex as a bogus
+			// directive.
 			rest := src[i:]
+			if len(rest) >= 6 && strings.EqualFold(rest[:6], "!$acc$") {
+				j := i + 6
+				k := j
+				for k < n && (isAlpha(src[k]) || isDigit(src[k]) || src[k] == '_') {
+					k++
+				}
+				if strings.EqualFold(src[j:k], "ignore") {
+					end := k
+					for end < n && src[end] != '\n' {
+						end++
+					}
+					ignores = append(ignores, ast.NewIgnore(line, src[k:end]))
+					i = end
+					break
+				}
+				// Unknown !$acc$ sentinels are plain comments.
+				for i < n && src[i] != '\n' {
+					i++
+				}
+				break
+			}
 			if len(rest) >= 5 && strings.EqualFold(rest[:5], "!$acc") {
 				start := line
 				i += 5
+				p0 := i
 				var sb strings.Builder
 				for i < n && src[i] != '\n' {
 					if src[i] == '&' {
@@ -123,6 +159,7 @@ func lex(src string) ([]token, error) {
 						if i < n {
 							i++
 							line++
+							lineStart = i
 						}
 						for i < n && (src[i] == ' ' || src[i] == '\t') {
 							i++
@@ -136,7 +173,11 @@ func lex(src string) ([]token, error) {
 					sb.WriteByte(src[i])
 					i++
 				}
-				toks = append(toks, token{tokPragma, strings.ToLower(strings.TrimSpace(sb.String())), start})
+				// The token's column points at the first non-blank byte of
+				// the directive text, matching the TrimSpace on its Lit.
+				built := sb.String()
+				lead := len(built) - len(strings.TrimLeft(built, " \t"))
+				toks = append(toks, token{tokPragma, strings.ToLower(strings.TrimSpace(built)), start, p0 - lineStart + 1 + lead})
 				break
 			}
 			for i < n && src[i] != '\n' {
@@ -144,33 +185,34 @@ func lex(src string) ([]token, error) {
 			}
 		case c == '\'' || c == '"':
 			quote := c
+			startCol := col(i)
 			j := i + 1
 			var sb strings.Builder
 			for j < n && src[j] != quote {
 				if src[j] == '\n' {
-					return nil, &lexError{line, "unterminated string"}
+					return nil, nil, &lexError{line, "unterminated string"}
 				}
 				sb.WriteByte(src[j])
 				j++
 			}
 			if j >= n {
-				return nil, &lexError{line, "unterminated string"}
+				return nil, nil, &lexError{line, "unterminated string"}
 			}
-			toks = append(toks, token{tokString, sb.String(), line})
+			toks = append(toks, token{tokString, sb.String(), line, startCol})
 			i = j + 1
 		case c == '.' && i+1 < n && isAlpha(src[i+1]):
 			matched := false
 			low := strings.ToLower(src[i:min(i+7, n)])
 			for _, op := range dotOps {
 				if strings.HasPrefix(low, op) {
-					toks = append(toks, token{tokPunct, op, line})
+					toks = append(toks, token{tokPunct, op, line, col(i)})
 					i += len(op)
 					matched = true
 					break
 				}
 			}
 			if !matched {
-				return nil, &lexError{line, "unknown dot-operator near " + src[i:min(i+6, n)]}
+				return nil, nil, &lexError{line, "unknown dot-operator near " + src[i:min(i+6, n)]}
 			}
 		case isDigit(c) || (c == '.' && i+1 < n && isDigit(src[i+1])):
 			j := i
@@ -210,20 +252,20 @@ func lex(src string) ([]token, error) {
 			if isFloat {
 				kind = tokFloat
 			}
-			toks = append(toks, token{kind, lit, line})
+			toks = append(toks, token{kind, lit, line, col(i)})
 			i = j
 		case isAlpha(c) || c == '_':
 			j := i
 			for j < n && (isAlpha(src[j]) || isDigit(src[j]) || src[j] == '_') {
 				j++
 			}
-			toks = append(toks, token{tokIdent, strings.ToLower(src[i:j]), line})
+			toks = append(toks, token{tokIdent, strings.ToLower(src[i:j]), line, col(i)})
 			i = j
 		default:
 			matched := false
 			for _, op := range fMultiOps {
 				if strings.HasPrefix(src[i:], op) {
-					toks = append(toks, token{tokPunct, op, line})
+					toks = append(toks, token{tokPunct, op, line, col(i)})
 					i += len(op)
 					matched = true
 					break
@@ -233,18 +275,18 @@ func lex(src string) ([]token, error) {
 				break
 			}
 			if strings.ContainsRune("+-*/=<>(),:%", rune(c)) {
-				toks = append(toks, token{tokPunct, string(c), line})
+				toks = append(toks, token{tokPunct, string(c), line, col(i)})
 				i++
 				break
 			}
-			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			return nil, nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
 		}
 	}
 	if len(toks) > 0 && toks[len(toks)-1].Kind != tokNL {
-		toks = append(toks, token{tokNL, "\n", line})
+		toks = append(toks, token{tokNL, "\n", line, 0})
 	}
-	toks = append(toks, token{tokEOF, "", line})
-	return toks, nil
+	toks = append(toks, token{tokEOF, "", line, 0})
+	return toks, ignores, nil
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }

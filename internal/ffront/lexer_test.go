@@ -7,7 +7,7 @@ import (
 
 func lits(t *testing.T, src string) []string {
 	t.Helper()
-	toks, err := lex(src)
+	toks, _, err := lex(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestLexContinuation(t *testing.T) {
 }
 
 func TestLexDirectiveContinuation(t *testing.T) {
-	toks, err := lex("!$acc parallel copy(a) &\n!$acc num_gangs(4)\n")
+	toks, _, err := lex("!$acc parallel copy(a) &\n!$acc num_gangs(4)\n")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,12 +19,12 @@ func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, 
 // entry procedure "acc_test"; by the suite's convention it reports its
 // verdict by assigning the integer variable test_result (1 = pass).
 func Parse(src string) (*ast.Program, error) {
-	toks, err := lex(src)
+	toks, ignores, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	prog := &ast.Program{Lang: ast.LangFortran, Entry: "acc_test"}
+	prog := &ast.Program{Lang: ast.LangFortran, Entry: "acc_test", Ignores: ignores}
 	for {
 		p.skipNL()
 		if p.at(tokEOF) {
@@ -602,7 +602,7 @@ func (p *parser) parseEndDo() (*ast.Block, error) {
 // statements up to the matching end directive.
 func (p *parser) parsePragma() (ast.Stmt, error) {
 	t := p.next()
-	d, err := directive.Parse(t.Lit, ast.LangFortran, t.Line, ClauseExprParser{})
+	d, err := directive.ParseAt(t.Lit, ast.LangFortran, ast.Pos{Line: t.Line, Col: t.Col}, ClauseExprParser{})
 	if err != nil {
 		return nil, err
 	}
@@ -798,7 +798,7 @@ type ClauseExprParser struct{}
 
 // ParseClauseExpr parses a clause-argument expression in Fortran syntax.
 func (ClauseExprParser) ParseClauseExpr(src string, line int) (ast.Expr, error) {
-	toks, err := lex(src)
+	toks, _, err := lex(src)
 	if err != nil {
 		return nil, err
 	}

@@ -96,10 +96,11 @@ func writeText(w io.Writer, res *core.SuiteResult) error {
 			fmt.Fprintln(w)
 		}
 	}
+	writeFindingsText(w, res)
 	byOut := res.ByOutcome()
 	fmt.Fprintf(w, "\nSummary: %d/%d passed (%.1f%%)", res.Passed(), res.Total(), res.PassRate())
 	var parts []string
-	for _, o := range []core.Outcome{core.FailCompile, core.FailWrongResult, core.FailCrash, core.FailTimeout, core.Canceled} {
+	for _, o := range []core.Outcome{core.FailCompile, core.FailWrongResult, core.FailCrash, core.FailTimeout, core.VetFail, core.Canceled} {
 		if n := byOut[o]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%d %s", n, o))
 		}
@@ -114,16 +115,36 @@ func writeText(w io.Writer, res *core.SuiteResult) error {
 	return nil
 }
 
-// writeCSV renders one row per test.
-func writeCSV(w io.Writer, res *core.SuiteResult) error {
-	fmt.Fprintln(w, "compiler,version,test,lang,family,outcome,func_runs,func_fails,cross_fails,cross_runs,p,certainty,inconclusive,detail")
+// writeFindingsText renders the accvet static-analysis section of the
+// text report: one line per finding, grouped by test. Nothing is printed
+// for a clean (or vet-off) run.
+func writeFindingsText(w io.Writer, res *core.SuiteResult) {
+	printed := false
 	for i := range res.Results {
 		r := &res.Results[i]
-		fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%d,%d,%d,%d,%.3f,%.3f,%t,%s\n",
+		if len(r.Findings) == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(w, "\nStatic analysis (accvet) — see docs/ANALYSIS.md:\n")
+			printed = true
+		}
+		for _, f := range r.Findings {
+			fmt.Fprintf(w, "  %-36s %s\n", r.ID(), f)
+		}
+	}
+}
+
+// writeCSV renders one row per test.
+func writeCSV(w io.Writer, res *core.SuiteResult) error {
+	fmt.Fprintln(w, "compiler,version,test,lang,family,outcome,func_runs,func_fails,cross_fails,cross_runs,p,certainty,inconclusive,vet_findings,detail")
+	for i := range res.Results {
+		r := &res.Results[i]
+		fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%d,%d,%d,%d,%.3f,%.3f,%t,%d,%s\n",
 			res.Compiler, res.Version, r.Name, r.Lang, r.Family,
 			csvQuote(r.Outcome.String()), r.FuncRuns, r.FuncFails,
 			r.Cert.CrossFail, r.Cert.M, r.Cert.P, r.Cert.PC,
-			r.Inconclusive, csvQuote(firstLine(r.Detail)))
+			r.Inconclusive, len(r.Findings), csvQuote(firstLine(r.Detail)))
 	}
 	return nil
 }
@@ -161,6 +182,21 @@ td, th { border: 1px solid #999; padding: 3px 8px; font-size: 13px; }
 			fmt.Fprintf(w, "<tr class=%q><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
 				cls, html.EscapeString(r.Name), r.Lang, html.EscapeString(out),
 				cert, html.EscapeString(firstLine(r.Detail)))
+		}
+		fmt.Fprintln(w, "</table>")
+	}
+	nf := 0
+	for i := range res.Results {
+		nf += len(res.Results[i].Findings)
+	}
+	if nf > 0 {
+		fmt.Fprintf(w, "<h2>Static analysis (accvet)</h2>\n<table>\n<tr><th>test</th><th>finding</th></tr>\n")
+		for i := range res.Results {
+			r := &res.Results[i]
+			for _, f := range r.Findings {
+				fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td></tr>\n",
+					html.EscapeString(r.ID()), html.EscapeString(f.String()))
+			}
 		}
 		fmt.Fprintln(w, "</table>")
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"accv/internal/analysis"
 	"accv/internal/ast"
 	"accv/internal/core"
 )
@@ -15,7 +16,12 @@ func sampleResult() *core.SuiteResult {
 		Results: []core.TestResult{
 			{Name: "parallel", Lang: ast.LangC, Family: "parallel",
 				Description: "parallel works", Outcome: core.Pass,
-				HasCross: true, Cert: core.NewCertainty(3, 3)},
+				HasCross: true, Cert: core.NewCertainty(3, 3),
+				Findings: []analysis.Finding{{
+					ID: "ACV003", Sev: analysis.Warning,
+					Pos: ast.Pos{Line: 7, Col: 22}, Func: "acc_test", Var: "n",
+					Message: `copyin(n) has no effect: "n" is never referenced inside the parallel construct`,
+				}}},
 			{Name: "declare_copyin", Lang: ast.LangC, Family: "declare",
 				Description: "declare copyin", Outcome: core.FailWrongResult,
 				Detail: "verification returned 0 (want 1)", BugIDs: []string{"caps-c-declare-copyin"},
@@ -37,6 +43,7 @@ func TestTextReport(t *testing.T) {
 		"caps 3.1.0", "PASS parallel.c", "FAIL declare_copyin.c",
 		"incorrect results", "certainty 100%", "1/3 passed",
 		"Implicated compiler bugs: caps-c-declare-copyin",
+		"Static analysis (accvet)", "ACV003 warning",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("text report missing %q:\n%s", want, out)

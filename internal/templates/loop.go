@@ -213,7 +213,7 @@ func init() {
     {
         <acctest:directive cross="#pragma acc loop seq">#pragma acc loop independent</acctest:directive>
         for (i = 1; i < n; i++)
-            a[i] = a[i-1] + 1;
+            a[i] = a[i-1] + 1; // accvet:ignore ACV004 -- the dependence is the point of the test
     }
     /* Sequentially a[n-1] would be n-1; a parallel schedule cannot
        reproduce the chain, which is exactly what this test watches for. */
@@ -230,7 +230,7 @@ func init() {
   !$acc parallel copy(a(1:n)) num_gangs(8)
   <acctest:directive cross="!$acc loop seq">!$acc loop independent</acctest:directive>
   do i = 2, n
-    a(i) = a(i-1) + 1
+    a(i) = a(i-1) + 1  !$acc$ignore ACV004 -- the dependence is the point of the test
   end do
   !$acc end parallel
   if (a(n) /= n - 1) test_result = 1

@@ -118,7 +118,7 @@ func init() {
     {
         #pragma acc loop
         for (j = 0; j < n; j++)
-            c[j] = b[j];
+            c[j] = b[j]; // accvet:ignore ACV002 -- the test reads uninitialized device data on purpose
     }
     sum = 0;
     for (i = 0; i < n; i++) sum += b[i];
@@ -139,7 +139,7 @@ func init() {
   <acctest:directive cross="">!$acc parallel copyout(b(1:n), c(1:n))</acctest:directive>
   !$acc loop
   do j = 1, n
-    c(j) = b(j)
+    c(j) = b(j)  !$acc$ignore ACV002 -- the test reads uninitialized device data on purpose
   end do
   <acctest:directive cross="">!$acc end parallel</acctest:directive>
   sum = 0

@@ -43,6 +43,7 @@ type options struct {
 	retry       core.RetryPolicy
 	family      string
 	templates   []*Template
+	vet         core.VetPolicy
 }
 
 func gather(opts []Option) options {
@@ -108,6 +109,14 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 	}
 }
 
+// WithVet selects the static-analysis policy for suite runs. The accvet
+// analyzers (docs/ANALYSIS.md) check every functional source for
+// data-movement and loop hazards; under the default VetEnforce policy an
+// error-severity finding fails the test with outcome VetFail, because a
+// hazardous test says nothing trustworthy about the compiler. VetWarnOnly
+// records findings without failing; VetOff skips analysis entirely.
+func WithVet(p VetPolicy) Option { return func(o *options) { o.vet = p } }
+
 // WithFamily restricts a Runner to one feature family ("parallel",
 // "data", "loop", ...) — the paper's feature-selection capability.
 func WithFamily(name string) Option { return func(o *options) { o.family = name } }
@@ -169,6 +178,7 @@ func (r *Runner) config(tc Compiler) core.Config {
 		Workers:    r.opts.parallelism,
 		Devices:    r.opts.devices,
 		FailFast:   r.opts.failFast,
+		Vet:        r.opts.vet,
 		Retry:      r.opts.retry,
 		Obs:        r.opts.obs,
 	}

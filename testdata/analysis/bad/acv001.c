@@ -1,0 +1,28 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV001: the device copy of a is modified but never copied back, yet the
+   host reads it after the region. */
+int acc_test()
+{
+    int i, errors;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    #pragma acc data copyin(a[0:16])
+    {
+        #pragma acc parallel present(a[0:16])
+        {
+            #pragma acc loop
+            for (i = 0; i < 16; i++) {
+                a[i] = a[i] + 1;
+            }
+        }
+    }
+    errors = 0;
+    for (i = 0; i < 16; i++) {
+        if (a[i] != i + 1) errors++;
+    }
+    return (errors == 0);
+}

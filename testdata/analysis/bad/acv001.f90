@@ -1,0 +1,22 @@
+program acc_testcase
+  implicit none
+  ! ACV001: the device copy of a is modified but never copied back, yet
+  ! the host reads it after the region.
+  integer :: i, errors
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i
+  end do
+  !$acc data copyin(a(1:16))
+  !$acc parallel present(a(1:16))
+  !$acc loop
+  do i = 1, 16
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  !$acc end data
+  errors = 0
+  do i = 1, 16
+    if (a(i) /= i + 1) errors = errors + 1
+  end do
+end program acc_testcase

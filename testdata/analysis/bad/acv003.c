@@ -1,0 +1,24 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV003: copyin(a) maps an array the region never touches. */
+int acc_test()
+{
+    int i, errors;
+    int a[16], b[16];
+    for (i = 0; i < 16; i++) { a[i] = i; b[i] = -1; }
+    #pragma acc parallel copyin(a[0:16]) copyout(b[0:16])
+    {
+        #pragma acc loop
+        for (i = 0; i < 16; i++) {
+            b[i] = i * 2;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < 16; i++) {
+        if (b[i] != i * 2) errors++;
+    }
+    return (errors == 0);
+}

@@ -1,0 +1,20 @@
+program acc_testcase
+  implicit none
+  ! ACV003: copyin(a) maps an array the region never touches.
+  integer :: i, errors
+  integer :: a(16), b(16)
+  do i = 1, 16
+    a(i) = i
+    b(i) = -1
+  end do
+  !$acc parallel copyin(a(1:16)) copyout(b(1:16))
+  !$acc loop
+  do i = 1, 16
+    b(i) = i * 2
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, 16
+    if (b(i) /= i * 2) errors = errors + 1
+  end do
+end program acc_testcase

@@ -1,0 +1,25 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV004: the loop is marked independent but iteration i reads the value
+   iteration i-1 wrote. */
+int acc_test()
+{
+    int i, errors;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = 1;
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop independent
+        for (i = 1; i < 16; i++) {
+            a[i] = a[i-1] + 1;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < 16; i++) {
+        if (a[i] != i + 1) errors++;
+    }
+    return (errors == 0);
+}

@@ -1,0 +1,20 @@
+program acc_testcase
+  implicit none
+  ! ACV004: the loop is marked independent but iteration i reads the
+  ! value iteration i-1 wrote.
+  integer :: i, errors
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = 1
+  end do
+  !$acc parallel copy(a(1:16))
+  !$acc loop independent
+  do i = 2, 16
+    a(i) = a(i-1) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, 16
+    if (a(i) /= i) errors = errors + 1
+  end do
+end program acc_testcase

@@ -1,0 +1,22 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV005: sum is declared reduction(+:sum) but the loop body overwrites
+   it instead of accumulating. */
+int acc_test()
+{
+    int i, sum;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    sum = 0;
+    #pragma acc parallel copyin(a[0:16])
+    {
+        #pragma acc loop reduction(+:sum)
+        for (i = 0; i < 16; i++) {
+            sum = a[i];
+        }
+    }
+    return (sum == 120);
+}

@@ -1,0 +1,17 @@
+program acc_testcase
+  implicit none
+  ! ACV005: s is declared reduction(+:s) but the loop body overwrites it
+  ! instead of accumulating.
+  integer :: i, s
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i
+  end do
+  s = 0
+  !$acc parallel copyin(a(1:16))
+  !$acc loop reduction(+:s)
+  do i = 1, 16
+    s = a(i)
+  end do
+  !$acc end parallel
+end program acc_testcase

@@ -1,0 +1,25 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV006: the async region's copy-back is still pending when the host
+   reads a — there is no wait between the region and the check. */
+int acc_test()
+{
+    int i, errors;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:16]) async(1)
+    {
+        #pragma acc loop
+        for (i = 0; i < 16; i++) {
+            a[i] = i;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < 16; i++) {
+        if (a[i] != i) errors++;
+    }
+    return (errors == 0);
+}

@@ -1,0 +1,21 @@
+program acc_testcase
+  implicit none
+  ! Fixed: copy(a) copies the modified device data back at region exit.
+  integer :: i, errors
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i
+  end do
+  !$acc data copy(a(1:16))
+  !$acc parallel present(a(1:16))
+  !$acc loop
+  do i = 1, 16
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  !$acc end data
+  errors = 0
+  do i = 1, 16
+    if (a(i) /= i + 1) errors = errors + 1
+  end do
+end program acc_testcase

@@ -1,0 +1,28 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* Fixed: copyin(b) initializes the device copy before the kernel reads
+   it. */
+int acc_test()
+{
+    int i, errors;
+    int b[16], c[16];
+    for (i = 0; i < 16; i++) { b[i] = i; c[i] = -1; }
+    #pragma acc data copyin(b[0:16]) copyout(c[0:16])
+    {
+        #pragma acc parallel present(b[0:16], c[0:16])
+        {
+            #pragma acc loop
+            for (i = 0; i < 16; i++) {
+                c[i] = b[i];
+            }
+        }
+    }
+    errors = 0;
+    for (i = 0; i < 16; i++) {
+        if (c[i] != i) errors++;
+    }
+    return (errors == 0);
+}

@@ -1,0 +1,23 @@
+program acc_testcase
+  implicit none
+  ! Fixed: copyin(b) initializes the device copy before the kernel reads
+  ! it.
+  integer :: i, errors
+  integer :: b(16), c(16)
+  do i = 1, 16
+    b(i) = i
+    c(i) = -1
+  end do
+  !$acc data copyin(b(1:16)) copyout(c(1:16))
+  !$acc parallel present(b(1:16), c(1:16))
+  !$acc loop
+  do i = 1, 16
+    c(i) = b(i)
+  end do
+  !$acc end parallel
+  !$acc end data
+  errors = 0
+  do i = 1, 16
+    if (c(i) /= i) errors = errors + 1
+  end do
+end program acc_testcase

@@ -1,0 +1,25 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* Fixed: every iteration touches only its own element, so independent
+   holds. */
+int acc_test()
+{
+    int i, errors;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = 1;
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop independent
+        for (i = 1; i < 16; i++) {
+            a[i] = a[i] + i;
+        }
+    }
+    errors = 0;
+    for (i = 1; i < 16; i++) {
+        if (a[i] != i + 1) errors++;
+    }
+    return (errors == 0);
+}

@@ -1,0 +1,21 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* Fixed: the loop body accumulates into sum with the declared + operator. */
+int acc_test()
+{
+    int i, sum;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    sum = 0;
+    #pragma acc parallel copyin(a[0:16])
+    {
+        #pragma acc loop reduction(+:sum)
+        for (i = 0; i < 16; i++) {
+            sum = sum + a[i];
+        }
+    }
+    return (sum == 120);
+}

@@ -1,0 +1,16 @@
+program acc_testcase
+  implicit none
+  ! Fixed: the loop body accumulates into s with the declared + operator.
+  integer :: i, s
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i
+  end do
+  s = 0
+  !$acc parallel copyin(a(1:16))
+  !$acc loop reduction(+:s)
+  do i = 1, 16
+    s = s + a(i)
+  end do
+  !$acc end parallel
+end program acc_testcase

@@ -1,0 +1,20 @@
+program acc_testcase
+  implicit none
+  ! Fixed: wait(1) drains the async queue before the host reads a.
+  integer :: i, errors
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:16)) async(1)
+  !$acc loop
+  do i = 1, 16
+    a(i) = i
+  end do
+  !$acc end parallel
+  !$acc wait(1)
+  errors = 0
+  do i = 1, 16
+    if (a(i) /= i) errors = errors + 1
+  end do
+end program acc_testcase
