@@ -82,6 +82,20 @@ const (
 	VetOff = core.VetOff
 )
 
+// Engine selects the interpreter's statement execution engine (see
+// WithEngine and docs/PERFORMANCE.md).
+type Engine = interp.Engine
+
+// Execution engines.
+const (
+	// EngineVM — the default — executes lowered procedure bodies through
+	// the internal/bytecode register VM; constructs the lowerer declines
+	// fall back to tree-walking with identical semantics.
+	EngineVM = interp.EngineVM
+	// EngineTree forces the reference tree-walking interpreter everywhere.
+	EngineTree = interp.EngineTree
+)
+
 // AnalyzeProgram runs the accvet static analyzers over a parsed program
 // and returns the unsuppressed findings, sorted by position. It is the
 // library form of the accvet command.

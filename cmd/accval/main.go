@@ -37,6 +37,7 @@ func main() {
 		failFast     = flag.Bool("fail-fast", false, "cancel the remaining suite after the first failure")
 		retries      = flag.Int("retry", 0, "re-run transiently-flaky failures up to N extra times (requires -timeout)")
 		vet          = flag.String("vet", "on", "accvet static-analysis policy: on (error findings fail the test), warn, or off")
+		engine       = flag.String("engine", "vm", "interpreter execution engine: vm (compiled bytecode) or tree (reference tree-walker)")
 	)
 	flag.Parse()
 
@@ -127,6 +128,11 @@ func main() {
 		fatal(err)
 	}
 	runOpts = append(runOpts, accv.WithVet(vetPolicy))
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	runOpts = append(runOpts, accv.WithEngine(eng))
 
 	if *sweep {
 		runSweep(*compilerName, langs, runOpts)
@@ -306,6 +312,17 @@ func parseVet(s string) (accv.VetPolicy, error) {
 		return accv.VetOff, nil
 	}
 	return accv.VetEnforce, fmt.Errorf("unknown -vet policy %q (want on, warn, or off)", s)
+}
+
+// parseEngine maps the -engine flag onto the facade's execution engines.
+func parseEngine(s string) (accv.Engine, error) {
+	switch s {
+	case "vm", "":
+		return accv.EngineVM, nil
+	case "tree":
+		return accv.EngineTree, nil
+	}
+	return accv.EngineVM, fmt.Errorf("unknown -engine %q (want vm or tree)", s)
 }
 
 func parseLangs(s string) ([]accv.Language, error) {

@@ -387,6 +387,13 @@ type BasicLit struct {
 	Kind  LitKind
 	Value string
 	Line  int
+
+	// Memoized numeric payload, decoded once at construction by NewLit.
+	// Known is false for string literals, malformed spellings, and nodes
+	// built without NewLit; evaluators then fall back to parsing Value.
+	IntVal   int64
+	FloatVal float64
+	Known    bool
 }
 
 func (*BasicLit) node() {}
@@ -416,6 +423,7 @@ func (*CallExpr) expr() {}
 // + - * / % == != < <= > >= && || & | ^ << >>.
 type BinaryExpr struct {
 	Op   string
+	Kind OpKind // interned Op; OpInvalid when the node was built by hand
 	X, Y Expr
 	Line int
 }
@@ -426,6 +434,7 @@ func (*BinaryExpr) expr() {}
 // UnaryExpr is a unary operation: - ! ~ & (address-of for scalars).
 type UnaryExpr struct {
 	Op   string
+	Kind OpKind // interned Op; OpInvalid when the node was built by hand
 	X    Expr
 	Line int
 }

@@ -1,0 +1,198 @@
+package ast
+
+import "strconv"
+
+// OpKind is an interned operator: the frontends map operator spellings onto
+// it once at parse time so the interpreter and the bytecode lowerer dispatch
+// on a small integer instead of comparing strings on every evaluation.
+//
+// Nodes built directly (tests, synthesized trees) may leave the Kind field
+// zero; consumers fall back to BinOpKind/UnOpKind on the Op string without
+// mutating the shared node.
+type OpKind uint8
+
+// Operator kinds. The zero value OpInvalid marks an unset or unknown
+// operator.
+const (
+	OpInvalid OpKind = iota
+
+	// Binary arithmetic.
+	OpAdd // +
+	OpSub // -
+	OpMul // *
+	OpDiv // /
+	OpRem // %
+	OpPow // ** (Fortran)
+
+	// Comparisons.
+	OpEq // ==
+	OpNe // !=
+	OpLt // <
+	OpLe // <=
+	OpGt // >
+	OpGe // >=
+
+	// Short-circuit logical.
+	OpLAnd // &&
+	OpLOr  // ||
+
+	// Bitwise.
+	OpAnd // &
+	OpOr  // |
+	OpXor // ^
+	OpShl // <<
+	OpShr // >>
+
+	// Unary.
+	OpNeg    // -x
+	OpNot    // !x, .not.x
+	OpBitNot // ~x
+	OpDeref  // *p
+	OpAddrOf // &x
+)
+
+// String returns the C spelling of the operator.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpRem:
+		return "%"
+	case OpPow:
+		return "**"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLAnd:
+		return "&&"
+	case OpLOr:
+		return "||"
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpXor:
+		return "^"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "!"
+	case OpBitNot:
+		return "~"
+	case OpDeref:
+		return "*"
+	case OpAddrOf:
+		return "&"
+	}
+	return "?"
+}
+
+// BinOpKind interns a binary operator spelling.
+func BinOpKind(op string) OpKind {
+	switch op {
+	case "+":
+		return OpAdd
+	case "-":
+		return OpSub
+	case "*":
+		return OpMul
+	case "/":
+		return OpDiv
+	case "%":
+		return OpRem
+	case "**":
+		return OpPow
+	case "==":
+		return OpEq
+	case "!=":
+		return OpNe
+	case "<":
+		return OpLt
+	case "<=":
+		return OpLe
+	case ">":
+		return OpGt
+	case ">=":
+		return OpGe
+	case "&&":
+		return OpLAnd
+	case "||":
+		return OpLOr
+	case "&":
+		return OpAnd
+	case "|":
+		return OpOr
+	case "^":
+		return OpXor
+	case "<<":
+		return OpShl
+	case ">>":
+		return OpShr
+	}
+	return OpInvalid
+}
+
+// UnOpKind interns a unary operator spelling.
+func UnOpKind(op string) OpKind {
+	switch op {
+	case "-":
+		return OpNeg
+	case "!", ".not.":
+		return OpNot
+	case "~":
+		return OpBitNot
+	case "*":
+		return OpDeref
+	case "&":
+		return OpAddrOf
+	}
+	return OpInvalid
+}
+
+// NewBinary builds a binary expression with its operator kind interned.
+func NewBinary(op string, x, y Expr, line int) *BinaryExpr {
+	return &BinaryExpr{Op: op, Kind: BinOpKind(op), X: x, Y: y, Line: line}
+}
+
+// NewUnary builds a unary expression with its operator kind interned.
+func NewUnary(op string, x Expr, line int) *UnaryExpr {
+	return &UnaryExpr{Op: op, Kind: UnOpKind(op), X: x, Line: line}
+}
+
+// NewLit builds a literal with its numeric payload decoded once. Integer
+// literals parse with base detection (0x, 0 octal); float literals with
+// strconv. Malformed spellings leave Known false, and evaluation reports
+// the error exactly as it always did.
+func NewLit(kind LitKind, value string, line int) *BasicLit {
+	l := &BasicLit{Kind: kind, Value: value, Line: line}
+	switch kind {
+	case IntLit:
+		if v, err := strconv.ParseInt(value, 0, 64); err == nil {
+			l.IntVal, l.Known = v, true
+		}
+	case FloatLit:
+		if f, err := strconv.ParseFloat(value, 64); err == nil {
+			l.FloatVal, l.Known = f, true
+		}
+	}
+	return l
+}

@@ -560,7 +560,7 @@ func (p *parser) parseBinary(level int) (ast.Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				x = &ast.BinaryExpr{Op: op, X: x, Y: y, Line: line}
+				x = ast.NewBinary(op, x, y, line)
 				matched = true
 				break
 			}
@@ -584,7 +584,7 @@ func (p *parser) parseUnary() (ast.Expr, error) {
 		if op == "+" {
 			return x, nil
 		}
-		return &ast.UnaryExpr{Op: op, X: x, Line: line}, nil
+		return ast.NewUnary(op, x, line), nil
 	case p.atIdent("sizeof"):
 		p.next()
 		if err := p.expect("("); err != nil {
@@ -682,13 +682,13 @@ func (p *parser) parsePrimary() (ast.Expr, error) {
 		return &ast.Ident{Name: t.Lit, Line: t.Line}, nil
 	case tokInt:
 		p.next()
-		return &ast.BasicLit{Kind: ast.IntLit, Value: t.Lit, Line: t.Line}, nil
+		return ast.NewLit(ast.IntLit, t.Lit, t.Line), nil
 	case tokFloat:
 		p.next()
-		return &ast.BasicLit{Kind: ast.FloatLit, Value: t.Lit, Line: t.Line}, nil
+		return ast.NewLit(ast.FloatLit, t.Lit, t.Line), nil
 	case tokString:
 		p.next()
-		return &ast.BasicLit{Kind: ast.StringLit, Value: t.Lit, Line: t.Line}, nil
+		return ast.NewLit(ast.StringLit, t.Lit, t.Line), nil
 	case tokPunct:
 		if t.Lit == "(" {
 			p.next()

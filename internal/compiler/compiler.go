@@ -12,6 +12,7 @@ import (
 
 	"accv/internal/analysis"
 	"accv/internal/ast"
+	"accv/internal/bytecode"
 	"accv/internal/device"
 	"accv/internal/directive"
 )
@@ -293,6 +294,9 @@ type Executable struct {
 	// when Opts.Vet is VetOff). They are advisory metadata: the harness
 	// decides whether error-severity findings fail a test.
 	Findings []analysis.Finding
+	// Code is the bytecode lowering of the program's procedure bodies,
+	// produced once here and reused by every run (docs/PERFORMANCE.md).
+	Code *bytecode.Module
 }
 
 // Compiler compiles OpenACC programs; vendor simulations implement it.
@@ -381,6 +385,7 @@ func Compile(prog *ast.Program, opts Options) (*Executable, []Diagnostic, error)
 		rep := analysis.Analyze(prog, analysis.Options{})
 		s.exe.Findings = rep.Findings
 	}
+	s.exe.Code = bytecode.LowerProgram(prog)
 	return s.exe, s.diags, nil
 }
 
@@ -410,6 +415,9 @@ func EvalConstInt(e ast.Expr) (int64, bool) {
 	case *ast.BasicLit:
 		if x.Kind != ast.IntLit {
 			return 0, false
+		}
+		if x.Known {
+			return x.IntVal, true
 		}
 		v, err := strconv.ParseInt(x.Value, 0, 64)
 		return v, err == nil

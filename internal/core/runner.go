@@ -182,6 +182,16 @@ type Config struct {
 	// Vet selects the static-analysis policy; the zero value enforces
 	// (error findings fail the test with outcome VetFail). See VetPolicy.
 	Vet VetPolicy
+	// Engine selects the interpreter's execution engine; the zero value is
+	// the bytecode VM (interp.EngineVM). interp.EngineTree forces the
+	// reference tree-walker everywhere (docs/PERFORMANCE.md).
+	Engine interp.Engine
+	// Cache, when non-nil, memoizes successful compilations by content
+	// hash (source + toolchain identity + vet + language), so repeated
+	// compilations of identical generated sources — sweeps, screens,
+	// retries — are served from memory. Hits and misses are surfaced as
+	// accv_compile_cache_{hits,misses}_total when Obs is set.
+	Cache *compiler.Cache
 	// Retry re-runs transiently flaky tests; see RetryPolicy.
 	Retry RetryPolicy
 	// Verbose streams per-test progress through Progress. Callbacks run
@@ -522,28 +532,7 @@ func runTest(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, w
 	}
 	res.Functional, res.Cross, res.HasCross = functional, cross, hasCross
 
-	var parseSpan *obs.Span
-	if cfg.Obs != nil {
-		parseSpan = testSpan.Child("test.parse", obs.L("test", tpl.Name), obs.L("variant", "functional"))
-	}
-	prog, err := parse(tpl.Lang, functional)
-	if cfg.Obs != nil {
-		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", parseSpan.End(), obs.L("phase", "parse"))
-	}
-	if err != nil {
-		res.Outcome = FailCompile
-		res.Detail = "frontend: " + err.Error()
-		return res
-	}
-
-	var compileSpan *obs.Span
-	if cfg.Obs != nil {
-		compileSpan = testSpan.Child("test.compile", obs.L("test", tpl.Name), obs.L("variant", "functional"))
-	}
-	exe, diags, err := cfg.Toolchain.Compile(prog)
-	if cfg.Obs != nil {
-		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", compileSpan.End(), obs.L("phase", "compile"))
-	}
+	exe, diags, err := cfg.compileSource(tpl.Lang, functional, tpl.Name, "functional", testSpan)
 	collectBugIDs(&res, diags)
 	if err != nil {
 		res.Outcome = FailCompile
@@ -609,30 +598,11 @@ func runTest(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, w
 
 	// Cross runs (deeper validation of the directive under test).
 	if hasCross {
-		var crossParseSpan *obs.Span
-		if cfg.Obs != nil {
-			crossParseSpan = testSpan.Child("test.parse", obs.L("test", tpl.Name), obs.L("variant", "cross"))
-		}
-		cprog, err := parse(tpl.Lang, cross)
-		if cfg.Obs != nil {
-			cfg.Obs.ObserveDuration("accv_phase_duration_seconds", crossParseSpan.End(), obs.L("phase", "parse"))
-		}
-		if err != nil {
-			// A cross variant that no longer parses (e.g. the directive
-			// removal left an empty construct) counts as a failing cross
-			// run: the variant certainly does not reproduce the functional
-			// result.
-			res.Cert = NewCertainty(cfg.Iterations, cfg.Iterations)
-			return res
-		}
-		var crossCompileSpan *obs.Span
-		if cfg.Obs != nil {
-			crossCompileSpan = testSpan.Child("test.compile", obs.L("test", tpl.Name), obs.L("variant", "cross"))
-		}
-		cexe, _, err := cfg.Toolchain.Compile(cprog)
-		if cfg.Obs != nil {
-			cfg.Obs.ObserveDuration("accv_phase_duration_seconds", crossCompileSpan.End(), obs.L("phase", "compile"))
-		}
+		// A cross variant that no longer parses or compiles (e.g. the
+		// directive removal left an empty construct) counts as failing every
+		// cross run: the variant certainly does not reproduce the functional
+		// result.
+		cexe, _, err := cfg.compileSource(tpl.Lang, cross, tpl.Name, "cross", testSpan)
 		if err != nil {
 			res.Cert = NewCertainty(cfg.Iterations, cfg.Iterations)
 			return res
@@ -665,6 +635,57 @@ func runTest(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, w
 	return res
 }
 
+// compileSource takes one generated source through frontend and compiler,
+// consulting the compile cache first when the config carries one. Cache
+// hits skip parsing and compilation entirely (the cached executable's own
+// diagnostics are returned); misses compile and populate the cache on
+// success. Frontend errors are reported with a "frontend:" prefix, exactly
+// as the uncached path always has.
+func (cfg Config) compileSource(lang ast.Lang, src, name, variant string, testSpan *obs.Span) (*compiler.Executable, []compiler.Diagnostic, error) {
+	var key compiler.CacheKey
+	if cfg.Cache != nil {
+		key = compiler.NewCacheKey(src, lang.String(),
+			cfg.Toolchain.Name(), cfg.Toolchain.Version(), cfg.Vet.String())
+		if exe, ok := cfg.Cache.Get(key); ok {
+			if cfg.Obs != nil {
+				cfg.Obs.Add("accv_compile_cache_hits_total", 1)
+			}
+			return exe, exe.Diags, nil
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Add("accv_compile_cache_misses_total", 1)
+		}
+	}
+
+	var parseSpan *obs.Span
+	if cfg.Obs != nil {
+		parseSpan = testSpan.Child("test.parse", obs.L("test", name), obs.L("variant", variant))
+	}
+	prog, err := parse(lang, src)
+	if cfg.Obs != nil {
+		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", parseSpan.End(), obs.L("phase", "parse"))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("frontend: %w", err)
+	}
+
+	var compileSpan *obs.Span
+	if cfg.Obs != nil {
+		compileSpan = testSpan.Child("test.compile", obs.L("test", name), obs.L("variant", variant))
+	}
+	exe, diags, err := cfg.Toolchain.Compile(prog)
+	if cfg.Obs != nil {
+		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", compileSpan.End(), obs.L("phase", "compile"))
+	}
+	if err != nil {
+		return nil, diags, err
+	}
+	if cfg.Cache != nil {
+		cfg.Cache.Put(key, exe)
+	}
+	return exe, diags, nil
+}
+
 // runOnce executes a compiled variant once on a fresh platform — each run
 // gets its own device/interpreter instance, so pool workers never share
 // mutable runtime state. variant ("functional" or "cross") labels the
@@ -679,6 +700,7 @@ func (cfg Config) runOnce(ctx context.Context, exe *compiler.Executable, tpl *Te
 		Timeout:  cfg.Timeout,
 		Seed:     seed,
 		Env:      tpl.Env,
+		Engine:   cfg.Engine,
 	})
 	if cfg.Obs != nil {
 		cfg.Obs.Add("accv_runs_total", 1, obs.L("variant", variant))

@@ -480,7 +480,7 @@ func (p *dirParser) parseSection(s string, lenIsCount bool) (Section, error) {
 			return Section{}, p.errf("bad section %q: %v", s, err)
 		}
 		if lenIsCount {
-			one := &ast.BasicLit{Kind: ast.IntLit, Value: "1", Line: p.line}
+			one := ast.NewLit(ast.IntLit, "1", p.line)
 			return Section{Lo: e, Hi: one, LenIsCount: true}, nil
 		}
 		return Section{Lo: e, Hi: e, LenIsCount: false}, nil

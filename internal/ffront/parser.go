@@ -143,7 +143,7 @@ func (p *parser) parseUnit() (*ast.FuncDecl, error) {
 		// The entry procedure returns test_result (0 when never assigned).
 		body.Stmts = append([]ast.Stmt{
 			&ast.DeclStmt{Name: "test_result", Type: ast.Type{Base: ast.Int},
-				Init: &ast.BasicLit{Kind: ast.IntLit, Value: "0"}, Line: line},
+				Init: ast.NewLit(ast.IntLit, "0", 0), Line: line},
 		}, body.Stmts...)
 		body.Stmts = append(body.Stmts, &ast.ReturnStmt{X: &ast.Ident{Name: "test_result"}})
 		return &ast.FuncDecl{Name: "acc_test", Result: ast.Type{Base: ast.Int}, Body: body, Line: line}, nil
@@ -702,7 +702,7 @@ func (p *parser) parseBinary(level int) (ast.Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				x = &ast.BinaryExpr{Op: canonOp(op), X: x, Y: y, Line: line}
+				x = ast.NewBinary(canonOp(op), x, y, line)
 				matched = true
 				break
 			}
@@ -722,7 +722,7 @@ func (p *parser) parseUnary() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.UnaryExpr{Op: "-", X: x, Line: line}, nil
+		return ast.NewUnary("-", x, line), nil
 	case p.accept("+"):
 		return p.parseUnary()
 	case p.accept(".not."):
@@ -730,7 +730,7 @@ func (p *parser) parseUnary() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.UnaryExpr{Op: "!", X: x, Line: line}, nil
+		return ast.NewUnary("!", x, line), nil
 	}
 	return p.parsePostfix()
 }
@@ -763,13 +763,13 @@ func (p *parser) parsePostfix() (ast.Expr, error) {
 		return &ast.CallExpr{Fun: t.Lit, Args: args, Line: t.Line}, nil
 	case tokInt:
 		p.next()
-		return &ast.BasicLit{Kind: ast.IntLit, Value: t.Lit, Line: t.Line}, nil
+		return ast.NewLit(ast.IntLit, t.Lit, t.Line), nil
 	case tokFloat:
 		p.next()
-		return &ast.BasicLit{Kind: ast.FloatLit, Value: t.Lit, Line: t.Line}, nil
+		return ast.NewLit(ast.FloatLit, t.Lit, t.Line), nil
 	case tokString:
 		p.next()
-		return &ast.BasicLit{Kind: ast.StringLit, Value: t.Lit, Line: t.Line}, nil
+		return ast.NewLit(ast.StringLit, t.Lit, t.Line), nil
 	case tokPunct:
 		switch t.Lit {
 		case "(":
@@ -781,10 +781,10 @@ func (p *parser) parsePostfix() (ast.Expr, error) {
 			return x, p.expect(")")
 		case ".true.":
 			p.next()
-			return &ast.BasicLit{Kind: ast.IntLit, Value: "1", Line: t.Line}, nil
+			return ast.NewLit(ast.IntLit, "1", t.Line), nil
 		case ".false.":
 			p.next()
-			return &ast.BasicLit{Kind: ast.IntLit, Value: "0", Line: t.Line}, nil
+			return ast.NewLit(ast.IntLit, "0", t.Line), nil
 		}
 	}
 	return nil, p.errf("unexpected token %s in expression", t)

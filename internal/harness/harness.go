@@ -99,6 +99,13 @@ type Harness struct {
 	mu      sync.Mutex
 	epoch   int
 	history []Screening
+	// caches holds one compile cache per compilation environment — the
+	// stack plus any fault that post-processes executables — so repeated
+	// screenings of the same stack across epochs and nodes reuse compiled
+	// programs. Faulted and healthy environments never share a cache: a
+	// stale-driver node's executables carry mutated hooks under the same
+	// toolchain identity.
+	caches map[string]*compiler.Cache
 }
 
 // New builds a harness over n nodes with the given stacks. The default
@@ -222,8 +229,20 @@ func (h *Harness) screen(ctx context.Context, node int, stack Stack, lang ast.La
 	if lang == ast.LangFortran {
 		suite = core.ByLang(ast.LangFortran)
 	}
+	cacheKey := stack.Name()
+	if n.Fault == StaleDriver {
+		cacheKey += "+" + n.Fault.String()
+	}
 	h.mu.Lock()
 	epoch := h.epoch
+	if h.caches == nil {
+		h.caches = make(map[string]*compiler.Cache)
+	}
+	cache := h.caches[cacheKey]
+	if cache == nil {
+		cache = compiler.NewCache()
+		h.caches[cacheKey] = cache
+	}
 	h.mu.Unlock()
 	var span *obs.Span
 	if h.Obs != nil {
@@ -235,6 +254,7 @@ func (h *Harness) screen(ctx context.Context, node int, stack Stack, lang ast.La
 	}
 	res, err := core.RunSuiteContext(ctx, core.Config{
 		Toolchain: tc, Iterations: h.Iterations, Workers: workers, Obs: h.Obs,
+		Cache: cache,
 	}, suite)
 	if err != nil && res == nil {
 		return Screening{}, err

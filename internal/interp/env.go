@@ -1,140 +1,28 @@
 package interp
 
 import (
-	"fmt"
-
 	"accv/internal/ast"
 	"accv/internal/mem"
+	"accv/internal/rt"
 )
 
-// VarInfo binds a variable name to its backing buffer. Scalars are length-1
-// buffers so that data clauses, update directives, and firstprivate copies
-// treat scalars and arrays uniformly; pointer variables hold a mem.Ptr in
-// element 0.
-type VarInfo struct {
-	Name  string
-	Kind  mem.Kind
-	Buf   *mem.Buffer
-	Dims  []int // empty for scalars
-	Lower []int // per-dimension lower bound (0 for C, 1 for Fortran)
-	IsPtr bool
-	// Bias is subtracted from the flattened element index before indexing
-	// Buf; device mirrors of array sections a[lo:len] set Bias=lo so kernel
-	// code can keep using original subscripts.
-	Bias int
-}
+// The scoping substrate lives in internal/rt so the bytecode VM shares the
+// exact binding and lookup rules; these aliases keep the interpreter's
+// existing surface (and its tests) unchanged.
 
-// IsArray reports whether the variable has array shape.
-func (v *VarInfo) IsArray() bool { return len(v.Dims) > 0 }
+// VarInfo binds a variable name to its backing buffer; see rt.VarInfo.
+type VarInfo = rt.VarInfo
 
-// Total returns the flattened element count.
-func (v *VarInfo) Total() int {
-	if len(v.Dims) == 0 {
-		return 1
-	}
-	n := 1
-	for _, d := range v.Dims {
-		n *= d
-	}
-	return n
-}
-
-// FlatIndex flattens a multi-dimensional subscript (row-major) and checks
-// bounds against the declared shape.
-func (v *VarInfo) FlatIndex(idx []int64) (int, error) {
-	if len(idx) != len(v.Dims) {
-		if len(v.Dims) == 0 && len(idx) == 1 && v.IsPtr {
-			return int(idx[0]), nil // pointer indexing: p[i]
-		}
-		return 0, fmt.Errorf("%s has %d dimensions, indexed with %d subscripts", v.Name, len(v.Dims), len(idx))
-	}
-	flat := 0
-	for d, i := range idx {
-		lo := 0
-		if d < len(v.Lower) {
-			lo = v.Lower[d]
-		}
-		rel := int(i) - lo
-		if rel < 0 || rel >= v.Dims[d] {
-			return 0, fmt.Errorf("index %d out of range [%d,%d) in dimension %d of %s", i, lo, lo+v.Dims[d], d+1, v.Name)
-		}
-		flat = flat*v.Dims[d] + rel
-	}
-	return flat, nil
-}
-
-// Env is a lexical scope chain.
-type Env struct {
-	parent *Env
-	vars   map[string]*VarInfo
-	// deviceView maps names bound by host_data use_device to device
-	// pointers for the duration of the construct.
-	deviceView map[string]mem.Ptr
-	// cleanup runs when the owning frame exits (declare-directive unmaps).
-	cleanup []func() error
-}
+// Env is a lexical scope chain; see rt.Env.
+type Env = rt.Env
 
 // NewEnv creates a child scope.
-func NewEnv(parent *Env) *Env {
-	return &Env{parent: parent, vars: make(map[string]*VarInfo)}
-}
-
-// Bind installs a variable in this scope.
-func (e *Env) Bind(v *VarInfo) { e.vars[v.Name] = v }
-
-// Lookup resolves a name through the scope chain.
-func (e *Env) Lookup(name string) (*VarInfo, bool) {
-	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
-			return v, true
-		}
-	}
-	return nil, false
-}
-
-// DeviceView resolves a host_data use_device binding.
-func (e *Env) DeviceView(name string) (mem.Ptr, bool) {
-	for s := e; s != nil; s = s.parent {
-		if s.deviceView != nil {
-			if p, ok := s.deviceView[name]; ok {
-				return p, true
-			}
-		}
-	}
-	return mem.Ptr{}, false
-}
-
-// AddCleanup registers a frame-exit action on this scope.
-func (e *Env) AddCleanup(f func() error) { e.cleanup = append(e.cleanup, f) }
-
-// RunCleanup executes registered cleanups in reverse order.
-func (e *Env) RunCleanup() error {
-	var first error
-	for i := len(e.cleanup) - 1; i >= 0; i-- {
-		if err := e.cleanup[i](); err != nil && first == nil {
-			first = err
-		}
-	}
-	e.cleanup = nil
-	return first
-}
+func NewEnv(parent *Env) *Env { return rt.NewEnv(parent) }
 
 // basicKind maps declared types to element kinds.
-func basicKind(t ast.Type) mem.Kind {
-	if t.Ptr {
-		return mem.KPtr
-	}
-	switch t.Base {
-	case ast.Float:
-		return mem.KF32
-	case ast.Double:
-		return mem.KF64
-	default:
-		return mem.KInt
-	}
-}
+func basicKind(t ast.Type) mem.Kind { return rt.BasicKind(t) }
 
 // newScalar allocates a zeroed scalar variable in the given space.
 func newScalar(name string, kind mem.Kind, space mem.Space) *VarInfo {
-	return &VarInfo{Name: name, Kind: kind, Buf: mem.NewBuffer(kind, 1, space, name), IsPtr: kind == mem.KPtr}
+	return rt.NewScalar(name, kind, space)
 }

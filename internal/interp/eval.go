@@ -2,11 +2,11 @@ package interp
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 
 	"accv/internal/ast"
 	"accv/internal/mem"
+	"accv/internal/rt"
 )
 
 // eval evaluates an expression.
@@ -83,37 +83,45 @@ func (c *execCtx) evalIdent(x *ast.Ident) (mem.Value, error) {
 	return mem.Value{}, errf(x, "undeclared variable %q", x.Name)
 }
 
-// evalLit parses a literal token.
+// evalLit produces a literal's value, via the payload memoized at parse time
+// (rt.EvalLit re-parses only for hand-built nodes).
 func evalLit(x *ast.BasicLit) (mem.Value, error) {
-	switch x.Kind {
-	case ast.IntLit:
-		v, err := strconv.ParseInt(x.Value, 0, 64)
-		if err != nil {
-			return mem.Value{}, errf(x, "bad integer literal %q", x.Value)
-		}
-		return mem.Int(v), nil
-	case ast.FloatLit:
-		f, err := strconv.ParseFloat(x.Value, 64)
-		if err != nil {
-			return mem.Value{}, errf(x, "bad float literal %q", x.Value)
-		}
-		return mem.F64(f), nil
-	default:
-		return mem.Str(x.Value), nil
+	v, err := rt.EvalLit(x)
+	if err != nil {
+		return mem.Value{}, errf(x, "%v", err)
 	}
+	return v, nil
+}
+
+// binKind returns the node's interned operator, recomputing it locally for
+// hand-built nodes (the shared AST is never mutated — lowered programs run
+// concurrently across goroutines).
+func binKind(x *ast.BinaryExpr) ast.OpKind {
+	if x.Kind != ast.OpInvalid {
+		return x.Kind
+	}
+	return ast.BinOpKind(x.Op)
+}
+
+func unKind(x *ast.UnaryExpr) ast.OpKind {
+	if x.Kind != ast.OpInvalid {
+		return x.Kind
+	}
+	return ast.UnOpKind(x.Op)
 }
 
 // evalBinary evaluates a binary operation with short-circuit && and ||.
 func (c *execCtx) evalBinary(x *ast.BinaryExpr) (mem.Value, error) {
-	if x.Op == "&&" || x.Op == "||" {
+	k := binKind(x)
+	if k == ast.OpLAnd || k == ast.OpLOr {
 		l, err := c.eval(x.X)
 		if err != nil {
 			return mem.Value{}, err
 		}
-		if x.Op == "&&" && !l.Truth() {
+		if k == ast.OpLAnd && !l.Truth() {
 			return mem.Int(0), nil
 		}
-		if x.Op == "||" && l.Truth() {
+		if k == ast.OpLOr && l.Truth() {
 			return mem.Int(1), nil
 		}
 		r, err := c.eval(x.Y)
@@ -130,164 +138,36 @@ func (c *execCtx) evalBinary(x *ast.BinaryExpr) (mem.Value, error) {
 	if err != nil {
 		return mem.Value{}, err
 	}
-	return binaryOp(x.Op, l, r, x)
+	return applyBinary(k, x.Op, l, r, x)
 }
 
-// binaryOp applies a (non-short-circuit) binary operator.
+// applyBinary dispatches through the shared operator kernels, preserving the
+// original spelling in diagnostics for unknown operators.
+func applyBinary(k ast.OpKind, op string, l, r mem.Value, at ast.Node) (mem.Value, error) {
+	if k == ast.OpInvalid {
+		if l.K == mem.KPtr || r.K == mem.KPtr {
+			return mem.Value{}, errf(at, "invalid pointer operation %q", op)
+		}
+		return mem.Value{}, errf(at, "unsupported operator %q", op)
+	}
+	v, err := rt.BinOp(k, l, r)
+	if err != nil {
+		return mem.Value{}, errf(at, "%v", err)
+	}
+	return v, nil
+}
+
+// binaryOp applies a (non-short-circuit) binary operator by spelling; kept
+// for call sites that carry operator strings (compound assignment,
+// reduction combining, builtins).
 func binaryOp(op string, l, r mem.Value, at ast.Node) (mem.Value, error) {
-	// Pointer arithmetic: ptr ± int, and pointer comparisons.
-	if l.K == mem.KPtr || r.K == mem.KPtr {
-		return pointerOp(op, l, r, at)
-	}
-	bothInt := l.K == mem.KInt && r.K == mem.KInt
-	switch op {
-	case "**": // Fortran power operator
-		if bothInt {
-			base, exp := l.I, r.I
-			if exp < 0 {
-				return mem.Int(0), nil
-			}
-			out := int64(1)
-			for ; exp > 0; exp-- {
-				out *= base
-			}
-			return mem.Int(out), nil
-		}
-		f := powFloat(l.AsFloat(), r.AsFloat())
-		if l.K == mem.KF64 || r.K == mem.KF64 {
-			return mem.F64(f), nil
-		}
-		return mem.F32(f), nil
-	case "+", "-", "*", "/":
-		if bothInt {
-			a, b := l.I, r.I
-			switch op {
-			case "+":
-				return mem.Int(a + b), nil
-			case "-":
-				return mem.Int(a - b), nil
-			case "*":
-				return mem.Int(a * b), nil
-			default:
-				if b == 0 {
-					return mem.Value{}, errf(at, "integer division by zero")
-				}
-				return mem.Int(a / b), nil
-			}
-		}
-		a, b := l.AsFloat(), r.AsFloat()
-		var f float64
-		switch op {
-		case "+":
-			f = a + b
-		case "-":
-			f = a - b
-		case "*":
-			f = a * b
-		default:
-			f = a / b
-		}
-		if l.K == mem.KF64 || r.K == mem.KF64 {
-			return mem.F64(f), nil
-		}
-		return mem.F32(f), nil
-	case "%":
-		if !bothInt {
-			return mem.Value{}, errf(at, "%% requires integer operands")
-		}
-		if r.I == 0 {
-			return mem.Value{}, errf(at, "integer modulo by zero")
-		}
-		return mem.Int(l.I % r.I), nil
-	case "==", "!=", "<", "<=", ">", ">=":
-		var res bool
-		if bothInt {
-			a, b := l.I, r.I
-			switch op {
-			case "==":
-				res = a == b
-			case "!=":
-				res = a != b
-			case "<":
-				res = a < b
-			case "<=":
-				res = a <= b
-			case ">":
-				res = a > b
-			default:
-				res = a >= b
-			}
-		} else {
-			a, b := l.AsFloat(), r.AsFloat()
-			switch op {
-			case "==":
-				res = a == b
-			case "!=":
-				res = a != b
-			case "<":
-				res = a < b
-			case "<=":
-				res = a <= b
-			case ">":
-				res = a > b
-			default:
-				res = a >= b
-			}
-		}
-		return mem.Bool(res), nil
-	case "&", "|", "^", "<<", ">>":
-		a, b := l.AsInt(), r.AsInt()
-		switch op {
-		case "&":
-			return mem.Int(a & b), nil
-		case "|":
-			return mem.Int(a | b), nil
-		case "^":
-			return mem.Int(a ^ b), nil
-		case "<<":
-			return mem.Int(a << (uint(b) & 63)), nil
-		default:
-			return mem.Int(a >> (uint(b) & 63)), nil
-		}
-	}
-	return mem.Value{}, errf(at, "unsupported operator %q", op)
-}
-
-// pointerOp handles pointer arithmetic and comparison.
-func pointerOp(op string, l, r mem.Value, at ast.Node) (mem.Value, error) {
-	switch op {
-	case "+":
-		if l.K == mem.KPtr && r.K != mem.KPtr {
-			p := l.P
-			p.Off += int(r.AsInt())
-			return mem.PtrVal(p), nil
-		}
-		if r.K == mem.KPtr && l.K != mem.KPtr {
-			p := r.P
-			p.Off += int(l.AsInt())
-			return mem.PtrVal(p), nil
-		}
-	case "-":
-		if l.K == mem.KPtr && r.K != mem.KPtr {
-			p := l.P
-			p.Off -= int(r.AsInt())
-			return mem.PtrVal(p), nil
-		}
-		if l.K == mem.KPtr && r.K == mem.KPtr && l.P.Buf == r.P.Buf {
-			return mem.Int(int64(l.P.Off - r.P.Off)), nil
-		}
-	case "==":
-		return mem.Bool(l.P == r.P && l.K == r.K || (l.K == mem.KPtr && r.K == mem.KInt && r.I == 0 && l.P.IsNil())), nil
-	case "!=":
-		eq, _ := pointerOp("==", l, r, at)
-		return mem.Bool(!eq.Truth()), nil
-	}
-	return mem.Value{}, errf(at, "invalid pointer operation %q", op)
+	return applyBinary(ast.BinOpKind(op), op, l, r, at)
 }
 
 // evalUnary evaluates prefix operators.
 func (c *execCtx) evalUnary(x *ast.UnaryExpr) (mem.Value, error) {
-	if x.Op == "&" {
+	k := unKind(x)
+	if k == ast.OpAddrOf {
 		buf, idx, err := c.lvalue(x.X)
 		if err != nil {
 			return mem.Value{}, err
@@ -298,21 +178,14 @@ func (c *execCtx) evalUnary(x *ast.UnaryExpr) (mem.Value, error) {
 	if err != nil {
 		return mem.Value{}, err
 	}
-	switch x.Op {
-	case "-":
-		switch v.K {
-		case mem.KInt:
-			return mem.Int(-v.I), nil
-		case mem.KF32:
-			return mem.F32(-v.F), nil
-		case mem.KF64:
-			return mem.F64(-v.F), nil
+	switch k {
+	case ast.OpNeg, ast.OpNot, ast.OpBitNot:
+		out, err := rt.UnOp(k, v)
+		if err != nil {
+			return mem.Value{}, errf(x, "%v", err)
 		}
-	case "!", ".not.":
-		return mem.Bool(!v.Truth()), nil
-	case "~":
-		return mem.Int(^v.AsInt()), nil
-	case "*":
+		return out, nil
+	case ast.OpDeref:
 		if v.K != mem.KPtr || v.P.IsNil() {
 			return mem.Value{}, errf(x, "dereference of non-pointer value")
 		}
@@ -328,9 +201,6 @@ func (c *execCtx) evalUnary(x *ast.UnaryExpr) (mem.Value, error) {
 	}
 	return mem.Value{}, errf(x, "unsupported unary operator %q", x.Op)
 }
-
-// powFloat computes a**b for the Fortran power operator.
-func powFloat(a, b float64) float64 { return math.Pow(a, b) }
 
 // formatValue renders a value for printf's %d/%f/%g/%s verbs.
 func formatValue(verb byte, v mem.Value) string {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"accv/internal/ast"
+	"accv/internal/bytecode"
 	"accv/internal/mem"
 )
 
@@ -29,6 +30,11 @@ type execCtx struct {
 	// host code, which the host_data tests rely on.
 	cudaLib bool
 	retVal  mem.Value
+	// memoStmt/memoProc are a one-slot cache of the last bytecode dispatch
+	// decision: loop bodies re-enter exec with the same statement every
+	// iteration, so this skips the module map lookup on the hot path.
+	memoStmt ast.Stmt
+	memoProc *bytecode.Proc
 }
 
 // space is the memory space new declarations live in.
@@ -76,8 +82,29 @@ func (in *Interp) callFunction(fn *ast.FuncDecl, args []*VarInfo, kernel *kernel
 	return mem.Int(0), nil
 }
 
-// exec runs one statement.
+// exec runs one statement, dispatching to the bytecode VM when the
+// statement was lowered and the tree-walker otherwise.
 func (c *execCtx) exec(st ast.Stmt) (ctl, error) {
+	if st == nil {
+		return ctlNone, nil
+	}
+	if code := c.in.code; code != nil {
+		var p *bytecode.Proc
+		if c.memoStmt == st {
+			p = c.memoProc
+		} else {
+			p = code.Proc(st)
+			c.memoStmt, c.memoProc = st, p
+		}
+		if p != nil {
+			return c.execVM(p)
+		}
+	}
+	return c.execTree(st)
+}
+
+// execTree runs one statement by walking its tree.
+func (c *execCtx) execTree(st ast.Stmt) (ctl, error) {
 	if st == nil {
 		return ctlNone, nil
 	}
@@ -391,14 +418,19 @@ func (c *execCtx) indexTarget(x *ast.IndexExpr) (*mem.Buffer, int, error) {
 // Host code may only touch device memory from a simulated device library
 // ("cuda*" procedures); device code may never follow host pointers.
 func (c *execCtx) checkDeref(buf *mem.Buffer, at ast.Node) error {
+	return c.checkDerefAt(buf, ast.LineOf(at))
+}
+
+// checkDerefAt is checkDeref with a pre-resolved source line (VM path).
+func (c *execCtx) checkDerefAt(buf *mem.Buffer, line int) error {
 	if buf == nil {
-		return errf(at, "dereference of null pointer")
+		return &RuntimeError{Line: line, Msg: "dereference of null pointer"}
 	}
 	if buf.Space == mem.Device && c.kernel == nil && !c.cudaLib {
-		return errf(at, "segmentation fault: host dereference of device pointer (%s)", buf.Name)
+		return &RuntimeError{Line: line, Msg: fmt.Sprintf("segmentation fault: host dereference of device pointer (%s)", buf.Name)}
 	}
 	if buf.Space == mem.Host && c.kernel != nil {
-		return errf(at, "device dereference of host pointer (%s)", buf.Name)
+		return &RuntimeError{Line: line, Msg: fmt.Sprintf("device dereference of host pointer (%s)", buf.Name)}
 	}
 	return nil
 }
@@ -420,6 +452,21 @@ func (c *execCtx) checkSpace(v *VarInfo, at ast.Node) error {
 	return nil
 }
 
+// checkSpaceAt is checkSpace with a pre-resolved source line (VM path).
+func (c *execCtx) checkSpaceAt(v *VarInfo, line int) error {
+	want := c.space()
+	if v.Buf.Space != want {
+		if want == mem.Device {
+			return &RuntimeError{Line: line, Msg: fmt.Sprintf("compute region accesses host variable %q that has no device copy", v.Name)}
+		}
+		if c.cudaLib {
+			return nil
+		}
+		return &RuntimeError{Line: line, Msg: fmt.Sprintf("host code accesses device-resident variable %q", v.Name)}
+	}
+	return nil
+}
+
 // maybeYield injects scheduler yield points inside kernels so racing gangs
 // interleave; the per-lane xorshift keeps runs with different seeds from
 // interleaving identically.
@@ -431,7 +478,9 @@ func (c *execCtx) maybeYield() {
 
 // tick charges one interpreted operation. Kernel lanes batch their charges
 // into the shared budget counter so concurrent gangs do not serialize on
-// one atomic.
+// one atomic; the host goroutine batches for the same reason (one atomic
+// add per statement is measurable on the suite profile). Budget and stop
+// checks still run every 64 charges, plenty for hang detection.
 func (c *execCtx) tick() {
 	if k := c.kernel; k != nil {
 		k.ops++
@@ -442,5 +491,10 @@ func (c *execCtx) tick() {
 		}
 		return
 	}
-	c.in.step(1)
+	in := c.in
+	in.hostPend++
+	if in.hostPend >= 64 {
+		in.step(in.hostPend)
+		in.hostPend = 0
+	}
 }

@@ -11,16 +11,37 @@ package interp
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"accv/internal/bytecode"
 	"accv/internal/compiler"
 	"accv/internal/device"
+	"accv/internal/rt"
 )
+
+// Engine selects the statement execution engine.
+type Engine uint8
+
+const (
+	// EngineVM (the default) executes lowered procedure bodies through the
+	// internal/bytecode register VM, tree-walking only what the lowerer
+	// escaped or declined.
+	EngineVM Engine = iota
+	// EngineTree walks the AST for everything — the reference semantics the
+	// VM is differentially tested against.
+	EngineTree
+)
+
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "vm"
+}
 
 // RunConfig parameterizes one program execution.
 type RunConfig struct {
@@ -44,6 +65,10 @@ type RunConfig struct {
 	Seed int64
 	// Env provides ACC_* environment variables.
 	Env map[string]string
+	// Engine selects the execution engine; the zero value is EngineVM.
+	// EngineVM silently degrades to tree-walking for programs the compiler
+	// did not lower (Executable.Code == nil).
+	Engine Engine
 }
 
 // Result is the outcome of a run.
@@ -89,19 +114,9 @@ var (
 	ErrCanceled = errors.New("run canceled")
 )
 
-// RuntimeError is a program-level failure (crash) with a source line.
-type RuntimeError struct {
-	Line int
-	Msg  string
-}
-
-// Error implements error.
-func (e *RuntimeError) Error() string {
-	if e.Line > 0 {
-		return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
-	}
-	return "runtime error: " + e.Msg
-}
+// RuntimeError is a program-level failure (crash) with a source line; the
+// concrete type lives in internal/rt so both engines raise the same errors.
+type RuntimeError = rt.RuntimeError
 
 // Run executes the program to completion and reports the result.
 func Run(exe *compiler.Executable, cfg RunConfig) Result {
@@ -123,6 +138,9 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 		seed:   cfg.Seed,
 		out:    &out,
 		sink:   cfg.Stdout,
+	}
+	if cfg.Engine == EngineVM {
+		in.code = exe.Code
 	}
 	if cfg.Timeout > 0 {
 		timer := time.AfterFunc(cfg.Timeout, func() { in.requestStop(ErrDeadline) })
@@ -185,6 +203,10 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 	} else {
 		_ = plat.Current().WaitAll()
 	}
+	// Fold the host goroutine's unflushed statement charges into the total
+	// (raw add, not step: a budget abort must not fire outside the recover).
+	in.ops.Add(in.hostPend)
+	in.hostPend = 0
 	res.Ops = in.ops.Load()
 	res.Output = out.String()
 	res.SimCycles = dev.Stats.SimCycles.Load() - cyclesBefore
@@ -223,8 +245,15 @@ type Interp struct {
 	plat   *device.Platform
 	maxOps int64
 	seed   int64
+	// code is the lowered bytecode module when the VM engine is active;
+	// nil means every statement tree-walks.
+	code *bytecode.Module
 
 	ops atomic.Int64
+	// hostPend batches the host goroutine's statement charges so host code
+	// does not pay one atomic add per statement; kernel lanes batch into
+	// their own kernelState.pend. Only the host goroutine touches it.
+	hostPend int64
 	// stopErr, once non-nil, aborts the run at the next step check with
 	// the stored sentinel (ErrDeadline or ErrCanceled). First writer wins.
 	stopErr atomic.Pointer[error]

@@ -110,7 +110,11 @@ func (c *execCtx) analyzeFor(x *ast.ForStmt) (loopDesc, ast.Stmt, error) {
 			}
 		case "=":
 			be, ok := post.RHS.(*ast.BinaryExpr)
-			if !ok || (be.Op != "+" && be.Op != "-") {
+			var bk ast.OpKind
+			if ok {
+				bk = binKind(be)
+			}
+			if !ok || (bk != ast.OpAdd && bk != ast.OpSub) {
 				return d, nil, errf(x, "loop increment is not canonical")
 			}
 			v, err := c.eval(be.Y)
@@ -118,7 +122,7 @@ func (c *execCtx) analyzeFor(x *ast.ForStmt) (loopDesc, ast.Stmt, error) {
 				return d, nil, err
 			}
 			d.step = v.AsInt()
-			if be.Op == "-" {
+			if bk == ast.OpSub {
 				d.step = -d.step
 			}
 		default:
@@ -143,14 +147,14 @@ func (c *execCtx) analyzeFor(x *ast.ForStmt) (loopDesc, ast.Stmt, error) {
 		return d, nil, err
 	}
 	limit := lim.AsInt()
-	switch cond.Op {
-	case "<":
+	switch binKind(cond) {
+	case ast.OpLt:
 		d.count = ceilDiv(limit-d.start, d.step)
-	case "<=":
+	case ast.OpLe:
 		d.count = ceilDiv(limit-d.start+1, d.step)
-	case ">":
+	case ast.OpGt:
 		d.count = ceilDiv(d.start-limit, -d.step)
-	case ">=":
+	case ast.OpGe:
 		d.count = ceilDiv(d.start-limit+1, -d.step)
 	default:
 		return d, nil, errf(x, "loop condition operator %q is not canonical", cond.Op)

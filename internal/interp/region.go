@@ -657,7 +657,7 @@ func (c *execCtx) execDataRegion(p *ast.PragmaStmt, r *compiler.Region) error {
 func (c *execCtx) execHostData(p *ast.PragmaStmt, r *compiler.Region) error {
 	dev := c.in.plat.Current()
 	cc := c.child()
-	cc.env.deviceView = map[string]mem.Ptr{}
+	cc.env.DeviceViews = map[string]mem.Ptr{}
 	for _, ref := range r.UseDevice {
 		v, ok := c.env.Lookup(ref.Name)
 		if !ok {
@@ -670,10 +670,10 @@ func (c *execCtx) execHostData(p *ast.PragmaStmt, r *compiler.Region) error {
 		if c.in.hooks().UseDeviceWrongAddr {
 			// Miscompilation: the host address leaks through use_device, so
 			// "device" computations never touch the device copy.
-			cc.env.deviceView[ref.Name] = mem.Ptr{Buf: v.Buf}
+			cc.env.DeviceViews[ref.Name] = mem.Ptr{Buf: v.Buf}
 			continue
 		}
-		cc.env.deviceView[ref.Name] = m.DevPtr(0)
+		cc.env.DeviceViews[ref.Name] = m.DevPtr(0)
 	}
 	_, err := cc.exec(p.Body)
 	return err
@@ -787,8 +787,8 @@ func (c *execCtx) execDeclare(r *compiler.Region) error {
 		return err
 	}
 	root := c.env
-	for root.parent != nil {
-		root = root.parent
+	for root.Parent != nil {
+		root = root.Parent
 	}
 	hooks := c.in.hooks()
 	root.AddCleanup(func() error { return rd.exit(dev, hooks) })

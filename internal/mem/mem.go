@@ -202,8 +202,10 @@ var bufSeq atomic.Int64
 // elements rarely contend.
 const lockStripes = 8
 
-// Buffer is a fixed-length typed array in one memory space. Loads and
-// stores are individually locked (striped by element index) so concurrent
+// Buffer is a fixed-length typed array in one memory space. Numeric
+// buffers (KInt, KF32, KF64 — every array and scalar the test templates
+// declare) store unboxed 64-bit words accessed atomically; the remaining
+// kinds store boxed Values under striped locks. Either way, concurrent
 // gangs never observe torn values, but read-modify-write sequences are not
 // atomic — racing updates lose increments exactly as they would on real
 // accelerator hardware, which the cross-test methodology relies on.
@@ -213,19 +215,100 @@ type Buffer struct {
 	Space Space
 	Name  string // for diagnostics: declared variable name or "acc_malloc"
 
+	// words is the unboxed fast path: the element bit patterns (two's
+	// complement for KInt, IEEE-754 for KF32/KF64), loaded and stored with
+	// single atomic word operations — no lock, no Value boxing, and still
+	// race-detector clean.
+	words []uint64
+
 	locks [lockStripes]sync.Mutex
 	data  []Value
 }
 
+// unboxed reports whether elem uses the word representation.
+func unboxed(elem Kind) bool { return elem == KInt || elem == KF32 || elem == KF64 }
+
 // NewBuffer allocates a zero-filled buffer.
 func NewBuffer(elem Kind, n int, space Space, name string) *Buffer {
 	b := &Buffer{ID: bufSeq.Add(1), Elem: elem, Space: space, Name: name}
+	if unboxed(elem) {
+		b.words = make([]uint64, n)
+		return b
+	}
 	b.data = make([]Value, n)
 	zero := Value{K: elem}
 	for i := range b.data {
 		b.data[i] = zero
 	}
 	return b
+}
+
+// bits encodes v for an unboxed buffer, applying the same C conversion
+// rules Store's boxed path applies through Value.Convert.
+func (b *Buffer) bits(v Value) uint64 {
+	// Same-kind stores need no conversion for int and double; KF32 always
+	// re-rounds, exactly as Value.Convert does.
+	if v.K == b.Elem {
+		if b.Elem == KInt {
+			return uint64(v.I)
+		}
+		if b.Elem == KF64 {
+			return math.Float64bits(v.F)
+		}
+	}
+	switch b.Elem {
+	case KInt:
+		return uint64(v.AsInt())
+	case KF32:
+		return math.Float64bits(float64(float32(v.AsFloat())))
+	default:
+		return math.Float64bits(v.AsFloat())
+	}
+}
+
+// unbits decodes one stored word back into a Value.
+func (b *Buffer) unbits(w uint64) Value {
+	if b.Elem == KInt {
+		return Value{K: KInt, I: int64(w)}
+	}
+	return Value{K: b.Elem, F: math.Float64frombits(w)}
+}
+
+// Word0 returns the address of element 0's unboxed word, or nil for boxed
+// buffers (pointer and string elements). The interpreter's VM caches it per
+// frame slot so scalar loads and stores skip Load/Store's bounds check and
+// representation dispatch; the word array is allocated once in NewBuffer and
+// never moves, so a cached address stays valid for the buffer's lifetime.
+func (b *Buffer) Word0() *uint64 {
+	if len(b.words) > 0 {
+		return &b.words[0]
+	}
+	return nil
+}
+
+// LoadWord atomically reads the unboxed word at w as a typed value. w must
+// come from this buffer's Word0.
+func (b *Buffer) LoadWord(w *uint64) Value {
+	return b.unbits(atomic.LoadUint64(w))
+}
+
+// LoadWordInto is LoadWord writing straight into dst. Only the kind and the
+// matching payload field are written — a scalar's value is fully described
+// by those, and skipping the rest of the struct keeps a register-file write
+// to two words with no pointer-write barrier.
+func (b *Buffer) LoadWordInto(w *uint64, dst *Value) {
+	word := atomic.LoadUint64(w)
+	if b.Elem == KInt {
+		dst.K, dst.I = KInt, int64(word)
+		return
+	}
+	dst.K, dst.F = b.Elem, math.Float64frombits(word)
+}
+
+// StoreWord atomically writes v — converted to the element kind, exactly as
+// Store converts — into the unboxed word at w.
+func (b *Buffer) StoreWord(w *uint64, v Value) {
+	atomic.StoreUint64(w, b.bits(v))
 }
 
 // NewGarbageBuffer allocates a buffer filled with a deterministic pseudo-
@@ -235,23 +318,34 @@ func NewBuffer(elem Kind, n int, space Space, name string) *Buffer {
 func NewGarbageBuffer(elem Kind, n int, space Space, name string, seed int64) *Buffer {
 	b := NewBuffer(elem, n, space, name)
 	state := uint64(seed)*2862933555777941757 + 3037000493
-	for i := range b.data {
+	for i := 0; i < n; i++ {
 		state = state*6364136223846793005 + 1442695040888963407
 		bits := state >> 11
+		var v Value
 		switch elem {
 		case KF32:
-			b.data[i] = F32(float64(bits%1000003) * 0.001784)
+			v = F32(float64(bits%1000003) * 0.001784)
 		case KF64:
-			b.data[i] = F64(float64(bits%1000003) * 0.000913)
+			v = F64(float64(bits%1000003) * 0.000913)
 		default:
-			b.data[i] = Int(int64(bits % 1000003))
+			v = Int(int64(bits % 1000003))
+		}
+		if b.words != nil {
+			b.words[i] = b.bits(v)
+		} else {
+			b.data[i] = v
 		}
 	}
 	return b
 }
 
 // Len returns the element count.
-func (b *Buffer) Len() int { return len(b.data) }
+func (b *Buffer) Len() int {
+	if b.words != nil {
+		return len(b.words)
+	}
+	return len(b.data)
+}
 
 // String renders the buffer identity.
 func (b *Buffer) String() string {
@@ -274,6 +368,12 @@ func (b *Buffer) unlockAll() {
 
 // Load returns element i.
 func (b *Buffer) Load(i int) (Value, error) {
+	if w := b.words; w != nil {
+		if uint(i) >= uint(len(w)) {
+			return Value{}, fmt.Errorf("index %d out of range [0,%d) in %s", i, len(w), b)
+		}
+		return b.unbits(atomic.LoadUint64(&w[i])), nil
+	}
 	if i < 0 || i >= len(b.data) {
 		return Value{}, fmt.Errorf("index %d out of range [0,%d) in %s", i, len(b.data), b)
 	}
@@ -286,6 +386,13 @@ func (b *Buffer) Load(i int) (Value, error) {
 
 // Store writes element i, coercing to the buffer's element kind.
 func (b *Buffer) Store(i int, v Value) error {
+	if w := b.words; w != nil {
+		if uint(i) >= uint(len(w)) {
+			return fmt.Errorf("index %d out of range [0,%d) in %s", i, len(w), b)
+		}
+		atomic.StoreUint64(&w[i], b.bits(v))
+		return nil
+	}
 	if i < 0 || i >= len(b.data) {
 		return fmt.Errorf("index %d out of range [0,%d) in %s", i, len(b.data), b)
 	}
@@ -297,28 +404,56 @@ func (b *Buffer) Store(i int, v Value) error {
 }
 
 // CopyTo copies n elements from b[srcOff] into dst[dstOff]. The element
-// kinds must agree; data movement never converts. Source and destination
-// are locked one after the other (never nested), so concurrent copies in
-// opposite directions cannot deadlock.
+// kinds must agree; data movement never converts. Boxed source and
+// destination are locked one after the other (never nested), so concurrent
+// copies in opposite directions cannot deadlock; unboxed buffers copy word
+// by word atomically.
 func (b *Buffer) CopyTo(srcOff int, dst *Buffer, dstOff, n int) error {
-	if srcOff < 0 || srcOff+n > len(b.data) {
+	if srcOff < 0 || srcOff+n > b.Len() {
 		return fmt.Errorf("copy source [%d:%d) out of range in %s", srcOff, srcOff+n, b)
 	}
-	src := make([]Value, n)
-	b.lockAll()
-	copy(src, b.data[srcOff:srcOff+n])
-	b.unlockAll()
-	if dstOff < 0 || dstOff+n > len(dst.data) {
+	if dstOff < 0 || dstOff+n > dst.Len() {
 		return fmt.Errorf("copy destination [%d:%d) out of range in %s", dstOff, dstOff+n, dst)
 	}
-	dst.lockAll()
-	copy(dst.data[dstOff:dstOff+n], src)
-	dst.unlockAll()
+	if b.words != nil && dst.words != nil && b.Elem == dst.Elem {
+		for j := 0; j < n; j++ {
+			atomic.StoreUint64(&dst.words[dstOff+j], atomic.LoadUint64(&b.words[srcOff+j]))
+		}
+		return nil
+	}
+	if b.words == nil && dst.words == nil {
+		src := make([]Value, n)
+		b.lockAll()
+		copy(src, b.data[srcOff:srcOff+n])
+		b.unlockAll()
+		dst.lockAll()
+		copy(dst.data[dstOff:dstOff+n], src)
+		dst.unlockAll()
+		return nil
+	}
+	// Mixed representations (mismatched element kinds — outside the data-
+	// movement contract, kept as an elementwise fallback).
+	for j := 0; j < n; j++ {
+		v, err := b.Load(srcOff + j)
+		if err != nil {
+			return err
+		}
+		if err := dst.Store(dstOff+j, v); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Snapshot returns a copy of the contents (for tests and reports).
 func (b *Buffer) Snapshot() []Value {
+	if w := b.words; w != nil {
+		out := make([]Value, len(w))
+		for i := range w {
+			out[i] = b.unbits(atomic.LoadUint64(&w[i]))
+		}
+		return out
+	}
 	b.lockAll()
 	defer b.unlockAll()
 	out := make([]Value, len(b.data))
@@ -328,6 +463,13 @@ func (b *Buffer) Snapshot() []Value {
 
 // Fill sets every element to v.
 func (b *Buffer) Fill(v Value) {
+	if w := b.words; w != nil {
+		bits := b.bits(v)
+		for i := range w {
+			atomic.StoreUint64(&w[i], bits)
+		}
+		return
+	}
 	b.lockAll()
 	defer b.unlockAll()
 	cv := v.Convert(b.Elem)

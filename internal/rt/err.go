@@ -1,0 +1,22 @@
+package rt
+
+import "fmt"
+
+// RuntimeError is a program-level failure (crash) with a source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *RuntimeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("runtime error at line %d: %s", e.Line, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+// Errf builds a RuntimeError at a source line.
+func Errf(line int, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

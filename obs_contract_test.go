@@ -81,7 +81,7 @@ func TestTelemetryContract(t *testing.T) {
 		"accv_tests_total", "accv_runs_total", "accv_interp_ops_total",
 		"accv_device_kernels_total", "accv_device_bytes_total",
 		"accv_present_lookups_total", "accv_queue_waits_total",
-		"accv_harness_screenings_total",
+		"accv_harness_screenings_total", "accv_compile_cache_misses_total",
 	} {
 		found := false
 		for _, p := range snap.Counters {

@@ -44,6 +44,7 @@ type options struct {
 	family      string
 	templates   []*Template
 	vet         core.VetPolicy
+	engine      Engine
 }
 
 func gather(opts []Option) options {
@@ -117,6 +118,14 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 // records findings without failing; VetOff skips analysis entirely.
 func WithVet(p VetPolicy) Option { return func(o *options) { o.vet = p } }
 
+// WithEngine selects the interpreter's execution engine. The default,
+// EngineVM, runs compiled bytecode on the statement hot path; EngineTree
+// forces the reference tree-walking interpreter everywhere. The two are
+// semantically identical (held to byte-identical suite reports by the
+// differential tests); EngineTree exists for cross-checking and for
+// isolating suspected VM defects. See docs/PERFORMANCE.md.
+func WithEngine(e Engine) Option { return func(o *options) { o.engine = e } }
+
 // WithFamily restricts a Runner to one feature family ("parallel",
 // "data", "loop", ...) — the paper's feature-selection capability.
 func WithFamily(name string) Option { return func(o *options) { o.family = name } }
@@ -133,6 +142,13 @@ type Runner struct {
 	lang      Language
 	opts      options
 	templates []*Template
+	// cache memoizes compilations across this Runner's runs: sweeping
+	// several versions of a vendor, or re-running a suite, recompiles the
+	// same generated sources, and the cache serves those from memory
+	// (keyed by source + toolchain identity + vet + language, so distinct
+	// toolchains never collide). The cache locks internally; it does not
+	// compromise the Runner's concurrent-use guarantee.
+	cache *compiler.Cache
 }
 
 // NewRunner builds a runner over the registered OpenACC 1.0 templates for
@@ -159,7 +175,7 @@ func newRunner(lang Language, all []*Template, opts []Option) (*Runner, error) {
 			tpls = all
 		}
 	}
-	r := &Runner{lang: lang, opts: o, templates: tpls}
+	r := &Runner{lang: lang, opts: o, templates: tpls, cache: compiler.NewCache()}
 	// Validate the numeric surface now; the stand-in toolchain only
 	// satisfies the non-nil check, the caller's compiler arrives at Run.
 	if err := r.config(compiler.NewReference()).Validate(); err != nil {
@@ -181,6 +197,8 @@ func (r *Runner) config(tc Compiler) core.Config {
 		Vet:        r.opts.vet,
 		Retry:      r.opts.retry,
 		Obs:        r.opts.obs,
+		Engine:     r.opts.engine,
+		Cache:      r.cache,
 	}
 }
 
