@@ -12,6 +12,7 @@ package accv
 // where the dips fall, which vendor is flat) are the reproduction targets.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"accv/internal/device"
 	"accv/internal/harness"
 	"accv/internal/interp"
+	"accv/internal/sweep"
 	"accv/internal/vendors"
 )
 
@@ -35,57 +37,52 @@ func runExe(exe *compiler.Executable, plat *device.Platform) int64 {
 	return r.Exit
 }
 
-// sweepOnce caches one full pass-rate sweep per vendor so the three Fig. 8
-// benches and the Table I bench do not redo identical work.
+// sweepCache holds one full memoized cross-version sweep per vendor so the
+// three Fig. 8 benches do not redo identical work across sub-benchmarks.
 var (
 	sweepMu    sync.Mutex
-	sweepCache = map[string]map[string][2]float64{} // vendor → version → {C%, F%}
+	sweepCache = map[string]*sweep.Result{}
 )
 
-// passRates runs the full suite for one vendor version in both languages.
-func passRates(b *testing.B, vendor, version string) [2]float64 {
+// vendorSweep runs (or returns the cached) memoized sweep of every version
+// of one vendor in both languages — the engine behind accval -sweep.
+func vendorSweep(b *testing.B, vendor string) *sweep.Result {
 	b.Helper()
 	sweepMu.Lock()
-	if m, ok := sweepCache[vendor]; ok {
-		if r, ok := m[version]; ok {
-			sweepMu.Unlock()
-			return r
-		}
-	} else {
-		sweepCache[vendor] = map[string][2]float64{}
+	defer sweepMu.Unlock()
+	if r, ok := sweepCache[vendor]; ok {
+		return r
 	}
-	sweepMu.Unlock()
-
-	tc, err := vendors.New(vendor, version)
+	r, err := sweep.Run(context.Background(), vendor, sweep.Options{
+		Langs:      []ast.Lang{ast.LangC, ast.LangFortran},
+		Iterations: 2,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	var out [2]float64
-	for li, lang := range []ast.Lang{ast.LangC, ast.LangFortran} {
-		res := core.RunSuite(core.Config{Toolchain: tc, Iterations: 2}, core.ByLang(lang))
-		out[li] = res.PassRate()
-	}
-	sweepMu.Lock()
-	sweepCache[vendor][version] = out
-	sweepMu.Unlock()
-	return out
+	sweepCache[vendor] = r
+	return r
 }
 
 // benchFig8 regenerates one panel of Fig. 8: pass rate per compiler
-// version for the C and Fortran suites.
-func benchFig8(b *testing.B, vendor string, versions []string) {
+// version for the C and Fortran suites, through the memoized sweep engine
+// (whose output is held byte-identical to a naive per-version loop by
+// sweep_differential_test.go).
+func benchFig8(b *testing.B, vendor string) {
 	var rows []string
+	var res *sweep.Result
 	for i := 0; i < b.N; i++ {
+		res = vendorSweep(b, vendor)
 		rows = rows[:0]
-		for _, v := range versions {
-			r := passRates(b, vendor, v)
-			rows = append(rows, fmt.Sprintf("  %-8s  C: %5.1f%%   Fortran: %5.1f%%", v, r[0], r[1]))
+		for vi, v := range res.Versions {
+			rows = append(rows, fmt.Sprintf("  %-8s  C: %5.1f%%   Fortran: %5.1f%%", v,
+				res.Cells[vi][0].PassRate(), res.Cells[vi][1].PassRate()))
 		}
 	}
 	b.StopTimer()
-	last := passRates(b, vendor, versions[len(versions)-1])
-	b.ReportMetric(last[0], "final-C-pass%")
-	b.ReportMetric(last[1], "final-F-pass%")
+	last := res.Cells[len(res.Versions)-1]
+	b.ReportMetric(last[0].PassRate(), "final-C-pass%")
+	b.ReportMetric(last[1].PassRate(), "final-F-pass%")
 	b.Logf("Fig. 8 (%s) pass rates by version:\n%s", vendor, join(rows))
 }
 
@@ -101,19 +98,19 @@ func join(rows []string) string {
 // with the 3.0.x betas and the 3.1.x declare regression far below the
 // 3.2.x/3.3.x plateau, and the Fortran crater at 3.0.8.
 func BenchmarkFigure8aCAPSPassRate(b *testing.B) {
-	benchFig8(b, "caps", vendors.CAPSVersions)
+	benchFig8(b, "caps")
 }
 
 // BenchmarkFigure8bPGIPassRate regenerates Fig. 8(b): PGI improving from
 // 12.6, dipping at the 13.2 multi-target reorganization, and carrying the
 // async family to the end.
 func BenchmarkFigure8bPGIPassRate(b *testing.B) {
-	benchFig8(b, "pgi", vendors.PGIVersions)
+	benchFig8(b, "pgi")
 }
 
 // BenchmarkFigure8cCrayPassRate regenerates Fig. 8(c): the flat Cray bars.
 func BenchmarkFigure8cCrayPassRate(b *testing.B) {
-	benchFig8(b, "cray", vendors.CrayVersions)
+	benchFig8(b, "cray")
 }
 
 // BenchmarkTableIBugCounts regenerates Table I: bugs identified per
@@ -139,6 +136,36 @@ func BenchmarkTableIBugCounts(b *testing.B) {
 	}
 	b.StopTimer()
 	b.Logf("Table I — bugs identified per compiler version:\n%s", join(rows))
+}
+
+// BenchmarkSweep measures the full cross-version sweep of one vendor in
+// both languages, memoized against naive — the headline pair recorded in
+// BENCH_sweep.json (docs/PERFORMANCE.md, "The cross-version sweep memo").
+// The memoized run must actually share work: zero memo hits fails the
+// bench rather than silently measuring two naive sweeps.
+func BenchmarkSweep(b *testing.B) {
+	for _, vendor := range []string{"caps", "pgi", "cray"} {
+		for _, mode := range []struct {
+			name   string
+			noMemo bool
+		}{{"memo", false}, {"naive", true}} {
+			b.Run(vendor+"/"+mode.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := sweep.Run(context.Background(), vendor, sweep.Options{
+						Langs:      []ast.Lang{ast.LangC, ast.LangFortran},
+						Iterations: 3,
+						NoMemo:     mode.noMemo,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !mode.noMemo && res.MemoHits == 0 {
+						b.Fatalf("memoized %s sweep recorded zero memo hits", vendor)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkFigure13TitanHarness regenerates the §VII production workflow:

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -208,35 +209,27 @@ func writeTo(path string, f func(*os.File) error) {
 }
 
 // runSweep prints the Fig. 8-style pass-rate table across every simulated
-// version of the vendor under the shared execution options.
+// version of the vendor under the shared execution options. It runs on the
+// memoized sweep engine: -j spreads the worker budget across the
+// (version × lang) cells, and tests whose behavior is unchanged between
+// releases execute once (docs/PERFORMANCE.md). The rendered table is
+// byte-identical to the former per-version loop.
 func runSweep(vendor string, langs []accv.Language, opts []accv.Option) {
-	versions := accv.Versions(vendor)
-	if len(versions) == 0 {
-		fatal(fmt.Errorf("no simulated versions for compiler %q (use caps, pgi, or cray)", vendor))
-	}
-	runners := make([]*accv.Runner, len(langs))
-	for i, l := range langs {
-		r, err := accv.NewRunner(l, opts...)
-		if err != nil {
-			fatal(err)
-		}
-		runners[i] = r
+	res, err := accv.RunSweep(context.Background(), vendor,
+		append(append([]accv.Option(nil), opts...), accv.WithLangs(langs...))...)
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Printf("Pass rate (%%) by %s version — Fig. 8 reproduction\n\n", vendor)
 	fmt.Printf("%-10s", "version")
-	for _, l := range langs {
+	for _, l := range res.Langs {
 		fmt.Printf("  %10s", l.String()+" test")
 	}
 	fmt.Println()
-	for _, ver := range versions {
-		tc, err := accv.NewCompiler(vendor, ver)
-		if err != nil {
-			fatal(err)
-		}
+	for vi, ver := range res.Versions {
 		fmt.Printf("%-10s", ver)
-		for _, r := range runners {
-			res := r.Run(tc)
-			fmt.Printf("  %9.1f%%", res.PassRate())
+		for li := range res.Langs {
+			fmt.Printf("  %9.1f%%", res.Cells[vi][li].PassRate())
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"sync"
 	"sync/atomic"
@@ -42,43 +43,94 @@ func NewCacheKey(source string, parts ...string) CacheKey {
 // Executables are immutable after compilation, but toolchain wrappers own
 // the value-typed Hooks field; Get therefore returns a shallow copy so a
 // caller adjusting hooks on its copy can never corrupt the cached entry.
+//
+// The cache is LRU-bounded so long-lived owners — a sweep's shared cache
+// across every (version × lang) cell, a harness screening for days — hold
+// memory proportional to the cap, not to history. The default cap
+// (DefaultCacheCap) is deliberately generous: the full 1.0 registry in
+// both languages across all simulated versions of one vendor compiles to
+// well under half of it, so steady-state workloads never evict.
 type Cache struct {
-	mu sync.Mutex
-	m  map[CacheKey]*Executable
+	mu  sync.Mutex
+	cap int
+	m   map[CacheKey]*list.Element
+	lru *list.List // front = most recently used
 
 	hits, misses atomic.Int64
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[CacheKey]*Executable)}
+// cacheEntry is one LRU node: the key rides along so eviction can delete
+// the map entry without a reverse lookup.
+type cacheEntry struct {
+	key CacheKey
+	exe *Executable
 }
 
+// DefaultCacheCap is the compiled-program capacity of NewCache. Sized so
+// every workload in the repository — full registry, both languages, all
+// versions of every vendor, functional and cross variants — fits with
+// ample headroom; eviction exists to bound pathological callers, not to
+// recycle steady state.
+const DefaultCacheCap = 4096
+
+// NewCache returns an empty cache with the default capacity.
+func NewCache() *Cache { return NewCacheWithCap(DefaultCacheCap) }
+
+// NewCacheWithCap returns an empty cache holding at most capacity
+// programs, evicting least-recently-used entries past it. Non-positive
+// capacities take the default.
+func NewCacheWithCap(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{
+		cap: capacity,
+		m:   make(map[CacheKey]*list.Element),
+		lru: list.New(),
+	}
+}
+
+// Cap returns the configured capacity.
+func (c *Cache) Cap() int { return c.cap }
+
 // Get returns a shallow copy of the cached executable for key, counting
-// the lookup as a hit or miss.
+// the lookup as a hit or miss and marking the entry most recently used.
 func (c *Cache) Get(key CacheKey) (*Executable, bool) {
 	c.mu.Lock()
-	exe := c.m[key]
-	c.mu.Unlock()
-	if exe == nil {
+	el := c.m[key]
+	if el == nil {
+		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
 	}
+	c.lru.MoveToFront(el)
+	cp := *el.Value.(*cacheEntry).exe
+	c.mu.Unlock()
 	c.hits.Add(1)
-	cp := *exe
 	return &cp, true
 }
 
-// Put stores a successful compilation. The cache keeps its own shallow
-// copy, insulating it from later mutation of the caller's value.
+// Put stores a successful compilation, evicting the least-recently-used
+// entry when the cache is full. The cache keeps its own shallow copy,
+// insulating it from later mutation of the caller's value.
 func (c *Cache) Put(key CacheKey, exe *Executable) {
 	if exe == nil {
 		return
 	}
 	cp := *exe
 	c.mu.Lock()
-	c.m[key] = &cp
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		el.Value.(*cacheEntry).exe = &cp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, exe: &cp})
+	if c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
 }
 
 // Stats reports lifetime hit and miss counts (the

@@ -1,0 +1,90 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKey(i int) CacheKey { return NewCacheKey(fmt.Sprintf("src-%d", i)) }
+
+// TestCacheLRUEviction pins the LRU contract: the cache never exceeds its
+// cap, evicts the least-recently-used entry first, and a Get refreshes
+// recency.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCacheWithCap(3)
+	if c.Cap() != 3 {
+		t.Fatalf("Cap() = %d, want 3", c.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(testKey(i), &Executable{})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", c.Len())
+	}
+	// Refresh key 0; key 1 becomes the LRU entry.
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	c.Put(testKey(3), &Executable{})
+	if c.Len() != 3 {
+		t.Fatalf("Len() = %d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("key 1 survived eviction; LRU order not respected")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(testKey(i)); !ok {
+			t.Fatalf("key %d evicted; want only key 1 evicted", i)
+		}
+	}
+}
+
+// TestCachePutExistingRefreshes verifies that re-Putting a present key
+// updates in place (no growth) and refreshes its recency.
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := NewCacheWithCap(2)
+	c.Put(testKey(0), &Executable{})
+	c.Put(testKey(1), &Executable{})
+	c.Put(testKey(0), &Executable{}) // refresh: key 1 is now LRU
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d after re-put, want 2", c.Len())
+	}
+	c.Put(testKey(2), &Executable{})
+	if _, ok := c.Get(testKey(1)); ok {
+		t.Fatal("key 1 survived; re-put did not refresh key 0")
+	}
+	if _, ok := c.Get(testKey(0)); !ok {
+		t.Fatal("key 0 evicted despite refresh")
+	}
+}
+
+// TestCacheDefaultCap verifies NewCache and the non-positive fallback both
+// take the generous default.
+func TestCacheDefaultCap(t *testing.T) {
+	if got := NewCache().Cap(); got != DefaultCacheCap {
+		t.Fatalf("NewCache().Cap() = %d, want %d", got, DefaultCacheCap)
+	}
+	if got := NewCacheWithCap(0).Cap(); got != DefaultCacheCap {
+		t.Fatalf("NewCacheWithCap(0).Cap() = %d, want %d", got, DefaultCacheCap)
+	}
+	if got := NewCacheWithCap(-5).Cap(); got != DefaultCacheCap {
+		t.Fatalf("NewCacheWithCap(-5).Cap() = %d, want %d", got, DefaultCacheCap)
+	}
+}
+
+// TestCacheGetReturnsCopy re-pins the isolation contract under the LRU
+// implementation: mutating a Get result must not reach the cached entry.
+func TestCacheGetReturnsCopy(t *testing.T) {
+	c := NewCache()
+	key := testKey(0)
+	c.Put(key, &Executable{})
+	a, ok := c.Get(key)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	a.Hooks.WaitNoop = true
+	b, _ := c.Get(key)
+	if b.Hooks.WaitNoop {
+		t.Fatal("mutation of a Get copy reached the cached entry")
+	}
+}

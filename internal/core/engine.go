@@ -76,6 +76,7 @@ func runSuite(ctx context.Context, cfg Config, templates []*Template) (*SuiteRes
 	if workers > len(templates) {
 		workers = len(templates)
 	}
+	var memoHits, memoMisses atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -93,7 +94,27 @@ func runSuite(ctx context.Context, cfg Config, templates []*Template) (*SuiteRes
 					// skip without spending a run on it.
 					results[i] = skippedResult(cfg, templates[i])
 				} else {
-					results[i] = runTestAttempts(runCtx, cfg, templates[i], suiteSpan, worker)
+					var served int
+					results[i], served = runMemoized(runCtx, cfg, templates[i], suiteSpan, worker)
+					switch served {
+					case memoHit:
+						memoHits.Add(1)
+						if cfg.Obs != nil {
+							cfg.Obs.Add("accv_sweep_memo_hits_total", 1)
+							// Keep the accv_tests_total ≡ suite-size
+							// invariant: memoized tests still count, under
+							// the outcome their reused result carries.
+							cfg.Obs.Add("accv_tests_total", 1,
+								obs.L("lang", templates[i].Lang.String()),
+								obs.L("family", templates[i].Family),
+								obs.L("outcome", results[i].Outcome.MetricLabel()))
+						}
+					case memoMiss:
+						memoMisses.Add(1)
+						if cfg.Obs != nil {
+							cfg.Obs.Add("accv_sweep_memo_misses_total", 1)
+						}
+					}
 				}
 				if cfg.Obs != nil {
 					cfg.Obs.SetGauge("accv_suite_worker_busy", 0, workerLabel)
@@ -110,11 +131,13 @@ func runSuite(ctx context.Context, cfg Config, templates []*Template) (*SuiteRes
 	wg.Wait()
 
 	res := &SuiteResult{
-		Compiler: cfg.Toolchain.Name(),
-		Version:  cfg.Toolchain.Version(),
-		Lang:     lang,
-		Results:  results,
-		Duration: time.Since(start),
+		Compiler:   cfg.Toolchain.Name(),
+		Version:    cfg.Toolchain.Version(),
+		Lang:       lang,
+		Results:    results,
+		Duration:   time.Since(start),
+		MemoHits:   int(memoHits.Load()),
+		MemoMisses: int(memoMisses.Load()),
 	}
 	if cfg.Obs != nil {
 		suiteSpan.End()

@@ -1,0 +1,126 @@
+// The sweep memo table: cross-suite memoization of whole TestResults by
+// behavioral fingerprint. The sweep engine (internal/sweep) computes, per
+// (template, toolchain version), a fingerprint of every input that shapes
+// the test's behavior — see docs/PERFORMANCE.md, "The cross-version sweep
+// memo" — and suites sharing one MemoTable execute each distinct
+// fingerprint once. Entries are single-flight: the first worker to claim a
+// fingerprint runs the test while concurrent claimants wait on it, so two
+// sweep cells never duplicate the same execution.
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"accv/internal/analysis"
+	"accv/internal/obs"
+)
+
+// MemoTable is a shared, concurrency-safe result store keyed by
+// behavioral fingerprint. The zero value is not usable; call NewMemoTable.
+type MemoTable struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type memoEntry struct {
+	done chan struct{} // closed when the leader finishes
+	res  TestResult
+	ok   bool // false: leader's result was not memoizable (canceled)
+}
+
+// NewMemoTable returns an empty memo table. A table is scoped to one
+// logical sweep environment: callers that vary inputs the fingerprint
+// cannot see (e.g. harness fault injection mutating hooks post-compile)
+// must use separate tables per environment.
+func NewMemoTable() *MemoTable {
+	return &MemoTable{m: map[string]*memoEntry{}}
+}
+
+// Stats returns the cumulative hit/miss counts. A hit is a TestResult
+// served from the table (an execution saved); a miss is an execution that
+// populated it.
+func (t *MemoTable) Stats() (hits, misses int64) {
+	return t.hits.Load(), t.misses.Load()
+}
+
+// Len returns the number of completed entries (for tests).
+func (t *MemoTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// cloneResult deep-copies the slices a TestResult carries so a memoized
+// result handed to one sweep cell can never alias another cell's copy.
+func cloneResult(res TestResult) TestResult {
+	if res.BugIDs != nil {
+		res.BugIDs = append([]string(nil), res.BugIDs...)
+	}
+	if res.Findings != nil {
+		res.Findings = append([]analysis.Finding(nil), res.Findings...)
+	}
+	return res
+}
+
+// memoOutcome classifies how a test was served for the suite counters.
+const (
+	memoOff  = iota // memoization not configured or template opted out
+	memoMiss        // executed and stored (or executed after a failed lead)
+	memoHit         // served from the table
+)
+
+// runMemoized wraps runTestAttempts with the memo table. Canceled results
+// are never stored — a canceled leader deletes its entry so a later
+// claimant re-runs the test instead of inheriting the cancellation.
+func runMemoized(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, worker int) (TestResult, int) {
+	if cfg.Memo == nil || cfg.Fingerprint == nil {
+		return runTestAttempts(ctx, cfg, tpl, parent, worker), memoOff
+	}
+	fp, ok := cfg.Fingerprint(tpl)
+	if !ok {
+		return runTestAttempts(ctx, cfg, tpl, parent, worker), memoOff
+	}
+	t := cfg.Memo
+	for {
+		t.mu.Lock()
+		e := t.m[fp]
+		if e == nil {
+			// Leader: run the test, publish, wake the waiters.
+			e = &memoEntry{done: make(chan struct{})}
+			t.m[fp] = e
+			t.mu.Unlock()
+			res := runTestAttempts(ctx, cfg, tpl, parent, worker)
+			if res.Outcome != Canceled {
+				e.res = cloneResult(res)
+				e.ok = true
+			}
+			if !e.ok {
+				t.mu.Lock()
+				delete(t.m, fp)
+				t.mu.Unlock()
+			}
+			close(e.done)
+			t.misses.Add(1)
+			return res, memoMiss
+		}
+		t.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.ok {
+				t.hits.Add(1)
+				return cloneResult(e.res), memoHit
+			}
+			// The leader was canceled and withdrew the entry; retry —
+			// either this worker becomes the new leader or a healthier
+			// one already did.
+			continue
+		case <-ctx.Done():
+			return skippedResult(cfg, tpl), memoOff
+		}
+	}
+}

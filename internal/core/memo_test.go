@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"accv/internal/analysis"
+	"accv/internal/ast"
+	"accv/internal/compiler"
+)
+
+func memoTemplates(n int) []*Template {
+	var tpls []*Template
+	for i := 0; i < n; i++ {
+		tpls = append(tpls, &Template{
+			Name: fmt.Sprintf("m%02d", i), Lang: ast.LangC, Family: "f",
+			Description: "d", Source: "    return 1;\n", NoCross: true,
+		})
+	}
+	return tpls
+}
+
+// sameFP fingerprints every template identically — the degenerate sharing
+// case that maximally stresses single-flight.
+func sameFP(*Template) (string, bool) { return "fp", true }
+
+// TestMemoSingleFlight runs a wide worker pool over templates that all
+// share one fingerprint: exactly one execution may populate the table and
+// every other test must be served from it, even when the claimants race.
+func TestMemoSingleFlight(t *testing.T) {
+	const n = 24
+	memo := NewMemoTable()
+	res := RunSuite(Config{
+		Toolchain: compiler.NewReference(), Iterations: 1, Workers: 8,
+		Memo: memo, Fingerprint: sameFP,
+	}, memoTemplates(n))
+	hits, misses := memo.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 execution for one shared fingerprint", misses)
+	}
+	if hits != n-1 {
+		t.Errorf("hits = %d, want %d", hits, n-1)
+	}
+	if memo.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", memo.Len())
+	}
+	if res.MemoHits != n-1 || res.MemoMisses != 1 {
+		t.Errorf("suite counters = %d/%d, want %d/1", res.MemoHits, res.MemoMisses, n-1)
+	}
+	if res.Passed() != n {
+		t.Errorf("shared results changed verdicts: %d/%d passed", res.Passed(), n)
+	}
+}
+
+// TestMemoCanceledNotStored pins the cancellation rule: a canceled leader
+// withdraws its entry, so the table never serves a Canceled result and a
+// later healthy run re-executes.
+func TestMemoCanceledNotStored(t *testing.T) {
+	memo := NewMemoTable()
+	cfg := Config{
+		Toolchain: compiler.NewReference(), Iterations: 1, Workers: 2,
+		Memo: memo, Fingerprint: sameFP,
+	}
+	tpls := memoTemplates(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuiteContext(ctx, cfg, tpls); err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+	if memo.Len() != 0 {
+		t.Fatalf("canceled run left %d entries in the table", memo.Len())
+	}
+	res, err := RunSuiteContext(context.Background(), cfg, tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() != len(tpls) {
+		t.Errorf("healthy rerun after cancellation: %d/%d passed", res.Passed(), len(tpls))
+	}
+	if _, misses := memo.Stats(); misses == 0 {
+		t.Error("healthy rerun never executed; a canceled result was served")
+	}
+	if memo.Len() != 1 {
+		t.Errorf("Len() = %d after healthy rerun, want 1", memo.Len())
+	}
+}
+
+// TestCloneResultIsolation verifies the deep copy: mutating the slices of
+// a cloned result must not reach the original, in either direction.
+func TestCloneResultIsolation(t *testing.T) {
+	orig := TestResult{
+		Name:     "t",
+		BugIDs:   []string{"bug-a", "bug-b"},
+		Findings: []analysis.Finding{{ID: "ACV001"}},
+	}
+	cl := cloneResult(orig)
+	cl.BugIDs[0] = "mutated"
+	cl.Findings[0].ID = "mutated"
+	if orig.BugIDs[0] != "bug-a" {
+		t.Error("mutating the clone's BugIDs reached the original")
+	}
+	if orig.Findings[0].ID != "ACV001" {
+		t.Error("mutating the clone's Findings reached the original")
+	}
+	if nilClone := cloneResult(TestResult{Name: "n"}); nilClone.BugIDs != nil || nilClone.Findings != nil {
+		t.Error("clone of nil slices must stay nil")
+	}
+}
+
+// TestMemoServedResultsAliasNothing runs two suites against one table and
+// mutates every slice of the first suite's results; the second suite's
+// results must be unaffected (each hit is handed its own clone).
+func TestMemoServedResultsAliasNothing(t *testing.T) {
+	memo := NewMemoTable()
+	cfg := Config{
+		Toolchain: compiler.NewReference(), Iterations: 1, Workers: 4,
+		Memo: memo, Fingerprint: sameFP,
+	}
+	tpls := memoTemplates(6)
+	first := RunSuite(cfg, tpls)
+	for i := range first.Results {
+		first.Results[i].BugIDs = append(first.Results[i].BugIDs, "poison")
+	}
+	second := RunSuite(cfg, tpls)
+	for i := range second.Results {
+		for _, id := range second.Results[i].BugIDs {
+			if id == "poison" {
+				t.Fatal("a served result aliased a previously handed-out slice")
+			}
+		}
+	}
+	if hits, _ := memo.Stats(); hits < int64(len(tpls)) {
+		t.Fatalf("second suite hit only %d times; sharing under test did not happen", hits)
+	}
+}
+
+// TestMemoOffWithoutFingerprint verifies the opt-out paths: no memo, no
+// fingerprinter, or a fingerprinter declining a template all mean plain
+// execution with zero table traffic.
+func TestMemoOffWithoutFingerprint(t *testing.T) {
+	memo := NewMemoTable()
+	tpls := memoTemplates(3)
+	RunSuite(Config{
+		Toolchain: compiler.NewReference(), Iterations: 1,
+		Memo:        memo,
+		Fingerprint: func(*Template) (string, bool) { return "", false },
+	}, tpls)
+	if hits, misses := memo.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("declining fingerprinter still drove the table: %d/%d", hits, misses)
+	}
+	res := RunSuite(Config{Toolchain: compiler.NewReference(), Iterations: 1}, tpls)
+	if res.MemoHits != 0 || res.MemoMisses != 0 {
+		t.Errorf("memo-less run reported memo counters: %d/%d", res.MemoHits, res.MemoMisses)
+	}
+}

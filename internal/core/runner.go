@@ -202,6 +202,18 @@ type Config struct {
 	// zero cost: all instrumentation sits behind nil checks and the
 	// disabled path allocates nothing.
 	Obs *obs.Observer
+	// Memo, when non-nil (and Fingerprint is set), memoizes whole
+	// TestResults by behavioral fingerprint across every suite sharing the
+	// table — the sweep engine's cross-version result store
+	// (docs/PERFORMANCE.md, "The cross-version sweep memo"). Hits are
+	// deep-copied on the way out; canceled results are never stored.
+	Memo *MemoTable
+	// Fingerprint maps a template to its behavioral fingerprint under this
+	// config's toolchain. Returning ok=false opts the template out of
+	// memoization (it runs normally). The caller owns fingerprint
+	// soundness: two templates/configs may share a fingerprint only if
+	// their executions are behaviorally identical.
+	Fingerprint func(tpl *Template) (fp string, ok bool)
 }
 
 // withDefaults fills zero fields.
@@ -230,6 +242,11 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// WithDefaults returns the config with the documented defaults filled in.
+// The sweep engine uses it to salt behavioral fingerprints with the
+// effective run-shaping values rather than zero placeholders.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // Validate rejects nonsensical settings. Historically withDefaults
 // silently coerced them to defaults; the engine now refuses to run them.
@@ -321,6 +338,11 @@ type SuiteResult struct {
 	Lang     ast.Lang
 	Results  []TestResult
 	Duration time.Duration
+	// MemoHits / MemoMisses count this run's tests served from / executed
+	// into the shared sweep memo table (both zero when Config.Memo is
+	// unset). They are scheduling telemetry, not results: the report
+	// renderers ignore them so memoized and naive runs stay byte-identical.
+	MemoHits, MemoMisses int
 }
 
 // Total returns the number of tests.

@@ -20,6 +20,7 @@ import (
 	"accv/internal/core"
 	"accv/internal/device"
 	"accv/internal/obs"
+	"accv/internal/sweep"
 	"accv/internal/vendors"
 )
 
@@ -106,6 +107,24 @@ type Harness struct {
 	// stale-driver node's executables carry mutated hooks under the same
 	// toolchain identity.
 	caches map[string]*compiler.Cache
+	// memos holds one whole-result memo table and fingerprinter per
+	// screening environment — the cache key above extended with the
+	// run-shaping config salt — so repeated screenings of one stack across
+	// nodes and epochs reuse entire TestResults, not just compiled
+	// programs. Node toolchains are wrappers, not vendor instances, so they
+	// fingerprint by identity (template × toolchain name/version × device
+	// config): results never share across versions, and BadMemory nodes
+	// split off through their CorruptTransfers device config. StaleDriver
+	// mutates hooks post-compile, invisibly to any fingerprint, which is
+	// why tables are scoped to the fault-qualified environment key.
+	memos map[string]*envMemo
+}
+
+// envMemo pairs the memo table of one screening environment with the
+// fingerprinter whose salt matches that environment's run config.
+type envMemo struct {
+	memo *core.MemoTable
+	fps  *sweep.Fingerprinter
 }
 
 // New builds a harness over n nodes with the given stacks. The default
@@ -233,6 +252,10 @@ func (h *Harness) screen(ctx context.Context, node int, stack Stack, lang ast.La
 	if n.Fault == StaleDriver {
 		cacheKey += "+" + n.Fault.String()
 	}
+	cfg := core.Config{
+		Toolchain: tc, Iterations: h.Iterations, Workers: workers, Obs: h.Obs,
+	}
+	memoKey := cacheKey + "|" + sweep.ConfigSalt(cfg.WithDefaults())
 	h.mu.Lock()
 	epoch := h.epoch
 	if h.caches == nil {
@@ -243,7 +266,21 @@ func (h *Harness) screen(ctx context.Context, node int, stack Stack, lang ast.La
 		cache = compiler.NewCache()
 		h.caches[cacheKey] = cache
 	}
+	if h.memos == nil {
+		h.memos = make(map[string]*envMemo)
+	}
+	em := h.memos[memoKey]
+	if em == nil {
+		em = &envMemo{
+			memo: core.NewMemoTable(),
+			fps:  sweep.NewFingerprinter(sweep.ConfigSalt(cfg.WithDefaults())),
+		}
+		h.memos[memoKey] = em
+	}
 	h.mu.Unlock()
+	cfg.Cache = cache
+	cfg.Memo = em.memo
+	cfg.Fingerprint = em.fps.For(tc)
 	var span *obs.Span
 	if h.Obs != nil {
 		span = h.Obs.StartSpan("harness.screen",
@@ -252,10 +289,7 @@ func (h *Harness) screen(ctx context.Context, node int, stack Stack, lang ast.La
 			obs.L("stack", stack.Name()),
 			obs.L("lang", lang.String()))
 	}
-	res, err := core.RunSuiteContext(ctx, core.Config{
-		Toolchain: tc, Iterations: h.Iterations, Workers: workers, Obs: h.Obs,
-		Cache: cache,
-	}, suite)
+	res, err := core.RunSuiteContext(ctx, cfg, suite)
 	if err != nil && res == nil {
 		return Screening{}, err
 	}

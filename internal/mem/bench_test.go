@@ -1,0 +1,49 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDataMovement measures Buffer.CopyTo — the transfer primitive
+// behind every MapIn/Unmap/UpdateHost/UpdateDevice — for the unboxed word
+// slab path (every numeric array the templates declare) and the boxed
+// locked path. bytes/op makes the memmove win of bulkCopyWords visible
+// against the former per-word atomic loop.
+func BenchmarkDataMovement(b *testing.B) {
+	for _, n := range []int{64, 4096, 1 << 16} {
+		b.Run(fmt.Sprintf("unboxed/n=%d", n), func(b *testing.B) {
+			src := NewBuffer(KF64, n, Host, "src")
+			dst := NewBuffer(KF64, n, Device, "dst")
+			for i := 0; i < n; i++ {
+				if err := src.Store(i, F64(float64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(n) * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := src.CopyTo(0, dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, n := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("boxed/n=%d", n), func(b *testing.B) {
+			src := NewBuffer(KStr, n, Host, "src")
+			dst := NewBuffer(KStr, n, Device, "dst")
+			for i := 0; i < n; i++ {
+				if err := src.Store(i, Str("x")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := src.CopyTo(0, dst, 0, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

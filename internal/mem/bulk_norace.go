@@ -1,0 +1,16 @@
+//go:build !race
+
+package mem
+
+// bulkCopyWords moves a slab of unboxed element words with a single
+// memmove instead of a per-word atomic loop — the data-movement fast path
+// behind MapIn/Unmap/UpdateHost/UpdateDevice transfers. Elements stay
+// untorn without per-word atomics: the words are 64-bit aligned, so the
+// runtime's copy moves each one whole, and a concurrent atomic reader
+// observes complete before-or-after values only. A bulk transfer racing
+// element access has no ordering guarantee — exactly as on real
+// accelerator hardware, and exactly as the former word-by-word loop
+// behaved. Race-instrumented builds use the atomic twin in bulk_race.go.
+func bulkCopyWords(dst, src []uint64) {
+	copy(dst, src)
+}

@@ -406,8 +406,9 @@ func (b *Buffer) Store(i int, v Value) error {
 // CopyTo copies n elements from b[srcOff] into dst[dstOff]. The element
 // kinds must agree; data movement never converts. Boxed source and
 // destination are locked one after the other (never nested), so concurrent
-// copies in opposite directions cannot deadlock; unboxed buffers copy word
-// by word atomically.
+// copies in opposite directions cannot deadlock; unboxed buffers move the
+// whole word slab at once (bulkCopyWords — a memmove outside race builds),
+// preserving per-element untornness without per-word atomics.
 func (b *Buffer) CopyTo(srcOff int, dst *Buffer, dstOff, n int) error {
 	if srcOff < 0 || srcOff+n > b.Len() {
 		return fmt.Errorf("copy source [%d:%d) out of range in %s", srcOff, srcOff+n, b)
@@ -416,9 +417,7 @@ func (b *Buffer) CopyTo(srcOff int, dst *Buffer, dstOff, n int) error {
 		return fmt.Errorf("copy destination [%d:%d) out of range in %s", dstOff, dstOff+n, dst)
 	}
 	if b.words != nil && dst.words != nil && b.Elem == dst.Elem {
-		for j := 0; j < n; j++ {
-			atomic.StoreUint64(&dst.words[dstOff+j], atomic.LoadUint64(&b.words[srcOff+j]))
-		}
+		bulkCopyWords(dst.words[dstOff:dstOff+n], b.words[srcOff:srcOff+n])
 		return nil
 	}
 	if b.words == nil && dst.words == nil {

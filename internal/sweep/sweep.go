@@ -1,0 +1,210 @@
+// Package sweep runs cross-version validation sweeps — the paper's §V
+// evaluation workload (Table I, Fig. 8): one suite per (version × lang)
+// cell of a vendor family — with memoized execution. Per cell and
+// template it computes a behavioral fingerprint (fingerprint.go) and
+// shares one execution per distinct fingerprint across the whole sweep
+// through a single-flight core.MemoTable, so a template whose compiled
+// behavior does not change between two releases executes once. Reports
+// rendered from a memoized sweep are byte-identical to a naive
+// per-version loop (sweep_differential_test.go holds that line).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/core"
+	"accv/internal/interp"
+	"accv/internal/obs"
+	"accv/internal/vendors"
+)
+
+// Options parameterizes a sweep. The zero value sweeps the C templates
+// with the core defaults at GOMAXPROCS parallelism.
+type Options struct {
+	// Langs selects the languages (default: C only). Each language is a
+	// column of cells across every version.
+	Langs []ast.Lang
+	// Family restricts the template set (empty: the full 1.0 registry).
+	Family string
+	// Parallelism is the total worker budget, the -j of accval: it is
+	// split across concurrent cells, and within a cell it becomes the
+	// core scheduler's Workers. Default GOMAXPROCS.
+	Parallelism int
+	// Iterations, Timeout, Vet, Engine, Retry, FailFast mirror core.Config
+	// and apply to every cell identically (a sweep varies the version,
+	// nothing else). FailFast is per cell: a failure cancels that cell's
+	// remaining tests, not the other cells.
+	Iterations int
+	Timeout    time.Duration
+	Vet        core.VetPolicy
+	Engine     interp.Engine
+	Retry      core.RetryPolicy
+	FailFast   bool
+	// Obs receives the per-cell suite telemetry plus the sweep counters
+	// accv_sweep_memo_{hits,misses}_total and the per-version
+	// accv_sweep_saved_runs gauge (docs/OBSERVABILITY.md).
+	Obs *obs.Observer
+	// NoMemo disables fingerprint memoization: every cell runs naively.
+	// This is the differential-testing baseline; it is never faster.
+	NoMemo bool
+}
+
+// Result is a completed sweep: the per-cell suite results in
+// deterministic (version-major, lang-minor) order plus memo telemetry.
+type Result struct {
+	Vendor   string
+	Versions []string
+	Langs    []ast.Lang
+	// Cells holds one SuiteResult per (version, lang): Cells[vi][li] is
+	// Versions[vi] run over the Langs[li] template set.
+	Cells [][]*core.SuiteResult
+	// MemoHits is the number of test executions the memo table saved;
+	// MemoMisses is the number actually executed. Both are zero under
+	// NoMemo.
+	MemoHits, MemoMisses int64
+	Duration             time.Duration
+}
+
+// Run sweeps every simulated version of a vendor family ("caps", "pgi",
+// "cray") across the selected languages. Cancellation of ctx returns the
+// partial result with interrupted tests marked Canceled and err carrying
+// ctx.Err(), matching core.RunSuiteContext.
+func Run(ctx context.Context, vendor string, opts Options) (*Result, error) {
+	versions := vendors.All()[vendor]
+	if len(versions) == 0 {
+		return nil, fmt.Errorf("sweep: no simulated versions for compiler %q (use caps, pgi, or cray)", vendor)
+	}
+	langs := opts.Langs
+	if len(langs) == 0 {
+		langs = []ast.Lang{ast.LangC}
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	// One toolchain per cell (SetVet mutates vendor options, so cells
+	// must not share instances), applied eagerly so the fingerprint
+	// semantics key never observes a half-configured toolchain.
+	type cell struct {
+		vi, li int
+		tc     compiler.Toolchain
+	}
+	var cells []cell
+	for vi := range versions {
+		for li := range langs {
+			tc, err := vendors.New(vendor, versions[vi])
+			if err != nil {
+				return nil, err
+			}
+			if opts.Vet == core.VetOff {
+				if vc, ok := tc.(compiler.VetConfigurable); ok {
+					vc.SetVet(compiler.VetOff)
+				}
+			}
+			cells = append(cells, cell{vi: vi, li: li, tc: tc})
+		}
+	}
+
+	// Split the worker budget: up to par cells in flight, each cell's
+	// inner scheduler gets an equal share (at least 1). With J ≥ number
+	// of cells the split goes wide across cells, which is where the memo
+	// table's single-flight pays off; with J=1 the sweep degenerates to
+	// the sequential loop, still memoized.
+	cellPar := par
+	if cellPar > len(cells) {
+		cellPar = len(cells)
+	}
+	inner := par / cellPar
+	if inner < 1 {
+		inner = 1
+	}
+
+	baseCfg := core.Config{
+		Iterations: opts.Iterations,
+		Timeout:    opts.Timeout,
+		Workers:    inner,
+		Vet:        opts.Vet,
+		Engine:     opts.Engine,
+		Retry:      opts.Retry,
+		FailFast:   opts.FailFast,
+		Obs:        opts.Obs,
+	}
+	var (
+		memo  *core.MemoTable
+		fps   *Fingerprinter
+		cache = compiler.NewCache() // version is in the key: no cross-cell collisions
+	)
+	if !opts.NoMemo {
+		memo = core.NewMemoTable()
+		fps = NewFingerprinter(ConfigSalt(baseCfg.WithDefaults()))
+	}
+
+	start := time.Now()
+	res := &Result{Vendor: vendor, Versions: versions, Langs: langs}
+	res.Cells = make([][]*core.SuiteResult, len(versions))
+	for vi := range versions {
+		res.Cells[vi] = make([]*core.SuiteResult, len(langs))
+	}
+
+	jobs := make(chan cell, len(cells))
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < cellPar; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				cfg := baseCfg
+				cfg.Toolchain = c.tc
+				cfg.Cache = cache
+				if memo != nil {
+					cfg.Memo = memo
+					cfg.Fingerprint = fps.For(c.tc)
+				}
+				templates := templatesFor(opts.Family, langs[c.li])
+				sr, err := core.RunSuiteContext(ctx, cfg, templates)
+				mu.Lock()
+				res.Cells[c.vi][c.li] = sr
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				if opts.Obs != nil && sr != nil {
+					opts.Obs.SetGauge("accv_sweep_saved_runs", float64(sr.MemoHits),
+						obs.L("compiler", vendor),
+						obs.L("version", versions[c.vi]),
+						obs.L("lang", langs[c.li].String()))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Duration = time.Since(start)
+	if memo != nil {
+		res.MemoHits, res.MemoMisses = memo.Stats()
+	}
+	return res, firstErr
+}
+
+func templatesFor(family string, lang ast.Lang) []*core.Template {
+	if family != "" {
+		return core.ByFamily(family, lang)
+	}
+	return core.ByLang(lang)
+}

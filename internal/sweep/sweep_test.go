@@ -1,0 +1,135 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/report"
+	"accv/internal/sweep"
+	_ "accv/internal/templates"
+)
+
+// TestSweepCellShape verifies the result grid: one non-nil SuiteResult per
+// (version × lang) cell, in the family's declared version order, and
+// nonzero memo traffic in both directions.
+func TestSweepCellShape(t *testing.T) {
+	res, err := sweep.Run(context.Background(), "pgi", sweep.Options{
+		Langs:      []ast.Lang{ast.LangC, ast.LangFortran},
+		Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vendor != "pgi" {
+		t.Errorf("Vendor = %q", res.Vendor)
+	}
+	if len(res.Versions) == 0 {
+		t.Fatal("no versions swept")
+	}
+	if got, want := len(res.Langs), 2; got != want {
+		t.Fatalf("len(Langs) = %d, want %d", got, want)
+	}
+	if len(res.Cells) != len(res.Versions) {
+		t.Fatalf("len(Cells) = %d, want %d", len(res.Cells), len(res.Versions))
+	}
+	for vi, row := range res.Cells {
+		if len(row) != len(res.Langs) {
+			t.Fatalf("row %d has %d cells, want %d", vi, len(row), len(res.Langs))
+		}
+		for li, sr := range row {
+			if sr == nil {
+				t.Fatalf("cell (%s, %s) is nil", res.Versions[vi], res.Langs[li])
+			}
+			if sr.Total() == 0 {
+				t.Errorf("cell (%s, %s) ran zero tests", res.Versions[vi], res.Langs[li])
+			}
+		}
+	}
+	if res.MemoHits == 0 {
+		t.Error("full pgi sweep recorded zero memo hits; memoization is vacuous")
+	}
+	if res.MemoMisses == 0 {
+		t.Error("sweep recorded zero misses; nothing executed")
+	}
+	if res.Duration <= 0 {
+		t.Error("Duration not recorded")
+	}
+}
+
+// TestSweepUnknownVendor pins the error path.
+func TestSweepUnknownVendor(t *testing.T) {
+	if _, err := sweep.Run(context.Background(), "gcc", sweep.Options{}); err == nil {
+		t.Fatal("unknown vendor accepted")
+	}
+}
+
+// TestSweepNoMemoZeroCounters verifies the naive baseline reports no memo
+// traffic at all.
+func TestSweepNoMemoZeroCounters(t *testing.T) {
+	res, err := sweep.Run(context.Background(), "cray", sweep.Options{
+		Family:     "data",
+		Iterations: 1,
+		NoMemo:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoHits != 0 || res.MemoMisses != 0 {
+		t.Errorf("NoMemo sweep reported memo counters %d/%d", res.MemoHits, res.MemoMisses)
+	}
+}
+
+// TestSweepParallelismInvariance requires identical rendered reports from
+// a serial (-j 1) and a wide (-j 8) sweep of the same vendor: the worker
+// split across cells and the memo table's single-flight must never change
+// what a cell reports.
+func TestSweepParallelismInvariance(t *testing.T) {
+	render := func(par int) []byte {
+		res, err := sweep.Run(context.Background(), "caps", sweep.Options{
+			Langs:       []ast.Lang{ast.LangC},
+			Family:      "loop",
+			Iterations:  1,
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for vi, ver := range res.Versions {
+			for li := range res.Langs {
+				sr := res.Cells[vi][li]
+				sr.Duration = 0
+				for i := range sr.Results {
+					sr.Results[i].Duration = 0
+				}
+				fmt.Fprintf(&buf, "== %s ==\n", ver)
+				if err := report.Write(&buf, sr, report.Text); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	wide := render(8)
+	if !bytes.Equal(serial, wide) {
+		t.Error("sweep output depends on parallelism")
+	}
+}
+
+// TestSweepCanceledContext verifies cancellation surfaces ctx.Err() and
+// still returns the partial grid rather than nil.
+func TestSweepCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sweep.Run(ctx, "pgi", sweep.Options{Family: "data", Iterations: 1})
+	if err == nil {
+		t.Fatal("canceled sweep reported no error")
+	}
+	if res == nil {
+		t.Fatal("canceled sweep returned nil result")
+	}
+}

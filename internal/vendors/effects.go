@@ -74,18 +74,49 @@ func planMatches(plan *compiler.LoopPlan, e Effect) bool {
 // diagnostics it raises (reject actions produce errors tagged with the
 // bug ID).
 func applyEffect(e Effect, exe *compiler.Executable, bugID string) []compiler.Diagnostic {
-	var diags []compiler.Diagnostic
+	diags, _ := applyEffectTracked(e, exe, bugID)
+	return diags
+}
+
+// regionHasData reports whether a region carries a data action the
+// interpreter's ActSkipData lookup would suppress — an action of the
+// selected clause kind, restricted to explicitly-spelled clauses when the
+// effect spares the implicit lowering (mirrors regionData construction in
+// internal/interp).
+func regionHasData(r *compiler.Region, kind directive.ClauseKind, explicitOnly bool) bool {
+	for _, a := range r.Data {
+		if a.Kind == kind && (!explicitOnly || !a.Implicit) {
+			return true
+		}
+	}
+	return false
+}
+
+// applyEffectTracked is applyEffect additionally reporting whether the
+// effect had any observable consequence on this executable: a diagnostic,
+// or a plan/hook mutation the interpreter actually consults. The sweep
+// engine fingerprints a program by the set of effects that fire, so the
+// report must err toward true — over-reporting only costs cross-version
+// result sharing, while under-reporting would let a sweep reuse a result
+// across genuinely different behaviors. Each "did not fire" claim below
+// therefore mirrors the exact consumption point in internal/interp (e.g.
+// DropIf is only read when the directive has an if clause).
+func applyEffectTracked(e Effect, exe *compiler.Executable, bugID string) (diags []compiler.Diagnostic, fired bool) {
 	reject := func(line int, msg string) {
 		diags = append(diags, compiler.Diagnostic{Sev: compiler.Error, Line: line, Msg: msg, BugID: bugID})
 	}
 	switch e.Action {
 	case ActNone:
-		return nil
+		return nil, false
 	case ActHook:
-		if e.Hook != nil {
-			e.Hook(&exe.Hooks)
+		if e.Hook == nil {
+			return nil, false
 		}
-		return nil
+		before := exe.Hooks
+		e.Hook(&exe.Hooks)
+		// Fired only when a flag the hook flipped is one this program can
+		// observe (hookfires.go): a wait no-op is inert without waits.
+		return nil, hooksObservable(before, exe.Hooks, exe)
 	case ActReject:
 		for _, r := range exe.Regions {
 			if !matchConstruct(r, e.Constructs) {
@@ -100,7 +131,7 @@ func applyEffect(e Effect, exe *compiler.Executable, bugID string) []compiler.Di
 			}
 			reject(r.Dir.Line, msg)
 		}
-		return diags
+		return diags, len(diags) > 0
 	case ActRejectNonConstDims:
 		for _, r := range exe.Regions {
 			if !matchConstruct(r, e.Constructs) {
@@ -115,7 +146,7 @@ func applyEffect(e Effect, exe *compiler.Executable, bugID string) []compiler.Di
 				}
 			}
 		}
-		return diags
+		return diags, len(diags) > 0
 	}
 
 	// Region-mutating actions.
@@ -136,56 +167,101 @@ func applyEffect(e Effect, exe *compiler.Executable, bugID string) []compiler.Di
 				}
 				r.SkipDataKind[e.Clause] = true
 			}
+			if regionHasData(r, e.Clause, e.ExplicitOnly) {
+				fired = true
+			}
 		case ActForceSync:
 			r.ForceSync = true
+			if r.Dir.Has(directive.Async) {
+				fired = true
+			}
 		case ActDropIf:
 			r.DropIf = true
+			if r.Dir.Has(directive.If) {
+				fired = true
+			}
 		case ActSharePrivates:
 			r.SharePrivates = true
+			if len(r.Private) > 0 {
+				fired = true
+			}
 		case ActDropLaunchClause:
 			if r.DropClause == nil {
 				r.DropClause = map[directive.ClauseKind]bool{}
 			}
 			r.DropClause[e.Clause] = true
+			if r.Dir.Has(e.Clause) {
+				fired = true
+			}
 		case ActDeleteRegion:
+			if !r.Deleted {
+				fired = true
+			}
 			r.Deleted = true
 		case ActDeleteRegionWithClause:
 			if e.Clause == directive.BadClause || r.Dir.Has(e.Clause) {
+				if !r.Deleted {
+					fired = true
+				}
 				r.Deleted = true
 			}
 		case ActDeleteDeadStoreRegion:
 			if isDeadStoreRegion(p, r) {
+				if !r.Deleted {
+					fired = true
+				}
 				r.Deleted = true
 			}
 		case ActRegionDropReduction:
+			if len(r.Reduction) > 0 {
+				fired = true
+			}
 			r.Reduction = nil
 		}
 	}
 
-	// Loop-mutating actions.
-	for _, plan := range exe.Loops {
+	// Loop-mutating actions. Rescheduling mutations (drop plan, seq
+	// ignored, redundant execution) are inert on pure store-only nests
+	// with disjoint read/write sets (loopinert.go): every schedule stores
+	// the same values, so the effect is applied but not reported as fired.
+	for p, plan := range exe.Loops {
 		if !planMatches(plan, e) {
 			continue
 		}
 		switch e.Action {
 		case ActNoCombine:
 			plan.NoCombine = true
+			if len(plan.Reduction) > 0 {
+				fired = true
+			}
 		case ActLoopDropPlan:
 			plan.DropPlan = true
+			// A seq plan already takes the undirected path, so dropping
+			// its directive changes nothing.
+			if !plan.Seq && !loopMutationInert(p, plan, exe) {
+				fired = true
+			}
 		case ActLoopRedundant:
 			plan.Redundant = true
+			if !loopMutationInert(p, plan, exe) {
+				fired = true
+			}
 		case ActLoopPartialLanes:
 			plan.PartialLanes = true
+			fired = true
 		case ActLoopCollapseSwap:
 			plan.CollapseSwap = true
+			fired = true
 		case ActLoopSeqIgnored:
 			if plan.Seq {
+				inert := loopMutationInert(p, plan, exe)
 				plan.Seq = false
 				plan.Levels |= compiler.LevelGang
+				fired = !inert
 			}
 		}
 	}
-	return diags
+	return diags, fired
 }
 
 // isDeadStoreRegion approximates Cray's over-aggressive dead-code

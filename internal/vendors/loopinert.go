@@ -1,0 +1,390 @@
+package vendors
+
+import (
+	"accv/internal/ast"
+	"accv/internal/compiler"
+)
+
+// Loop-mutation inertness. The interpreter executes each iteration of a
+// partitioned loop exactly once per gang copy of the data (lane filtering
+// splits the index space and the loop joins before the next statement),
+// and an undirected loop — DropPlan or seq — executes every iteration on
+// one lane (or redundantly, once per gang). For a nest whose only
+// observable work is storing pure expressions into array elements the nest
+// never reads, any execution order and any repetition store the same
+// values, so rescheduling mutations cannot change the program's result.
+// The sweep fingerprint (vendors.FiredEffects) uses this to avoid
+// splitting memo groups on DropPlan/SeqIgnored/Redundant effects the
+// template cannot feel. PartialLanes (iterations lost) and CollapseSwap
+// (subscripts transposed) are never inert and stay unconditionally fired.
+//
+// loopMutationInert is deliberately strict — every default case answers
+// "not inert" — because under-reporting fired effects would let the memo
+// share one result across genuinely different behaviors. It accepts only:
+//
+//   - plans without private/reduction clauses (privatization and reduction
+//     combining are schedule-sensitive),
+//   - bodies built from blocks, declarations, loops, and if/while, with no
+//     calls, returns, increments, or nested directives,
+//   - assignments that are plain `=` stores to array elements,
+//   - a write-set (assigned array bases) disjoint from the read-set (every
+//     other identifier occurrence, including subscripts, bounds, and
+//     conditions) — which rules out loop-carried dependences,
+//   - induction variables that cannot leak a final value: lane execution
+//     binds fresh per-lane induction scalars, but the undirected path runs
+//     the loop as ordinary code, where a C `for (i = ...)` header writes
+//     the enclosing binding. Fortran do-variables and C decl-in-header
+//     variables are bound in a child scope on both paths, so they are
+//     always safe; an assign-style header is accepted only on the
+//     outermost loop (inner loops re-execute per lane, where a shared
+//     binding could race) and only when no enclosing region maps the
+//     variable through a data action (a kernels-mode shared scalar would
+//     copy the leaked value back) and no enclosing region's body mentions
+//     it outside the loop.
+func loopMutationInert(p *ast.PragmaStmt, plan *compiler.LoopPlan, exe *compiler.Executable) bool {
+	if len(plan.Private) > 0 || len(plan.Reduction) > 0 {
+		return false
+	}
+	// Collapsed nests pre-evaluate the inner header bounds once on the
+	// partitioned path but re-evaluate them per outer iteration on the
+	// plain path; a triangular nest would diverge. Keep them fired.
+	if plan.Collapse > 1 {
+		return false
+	}
+	s := &inertScan{
+		writes:  map[string]bool{},
+		reads:   map[string]bool{},
+		escaped: map[string]bool{},
+	}
+	var body ast.Stmt
+	switch outer := p.Body.(type) {
+	case *ast.ForStmt:
+		if !s.forControl(outer, false) {
+			return false
+		}
+		body = outer.Body
+	case *ast.DoStmt:
+		if !s.doControl(outer) {
+			return false
+		}
+		body = outer.Body
+	default:
+		return false
+	}
+	if !s.stmt(body) {
+		return false
+	}
+	for w := range s.writes {
+		if s.reads[w] {
+			return false
+		}
+	}
+	if len(s.escaped) == 0 {
+		return true
+	}
+	for rp, r := range exe.Regions {
+		if rp == p {
+			continue // combined construct: the region body IS the loop
+		}
+		if !containsNode(rp.Body, p) {
+			continue
+		}
+		for _, d := range r.Data {
+			if s.escaped[d.Var.Name] {
+				return false
+			}
+		}
+		if occursOutside(rp.Body, p, s.escaped) {
+			return false
+		}
+	}
+	return true
+}
+
+// inertScan walks a loop body collecting assigned array bases (writes),
+// every other identifier occurrence (reads), and assign-style induction
+// variables whose final value leaks into the enclosing scope under
+// undirected execution (escaped). Each method returns false the moment it
+// sees a construct outside the inert fragment.
+type inertScan struct {
+	writes  map[string]bool
+	reads   map[string]bool
+	escaped map[string]bool
+}
+
+func (s *inertScan) stmt(n ast.Stmt) bool {
+	switch t := n.(type) {
+	case nil:
+		return true
+	case *ast.Block:
+		for _, st := range t.Stmts {
+			if !s.stmt(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		for _, d := range t.Dims {
+			if !s.expr(d) {
+				return false
+			}
+		}
+		for _, l := range t.Lower {
+			if l != nil && !s.expr(l) {
+				return false
+			}
+		}
+		return t.Init == nil || s.expr(t.Init)
+	case *ast.AssignStmt:
+		if t.Op != "=" {
+			return false // compound ops read their target: not idempotent
+		}
+		ix, ok := t.LHS.(*ast.IndexExpr)
+		if !ok {
+			return false // scalar stores escape the iteration: schedule-sensitive
+		}
+		root, ok := s.lhsRoot(ix)
+		if !ok {
+			return false
+		}
+		s.writes[root] = true
+		return s.expr(t.RHS)
+	case *ast.IfStmt:
+		return s.expr(t.Cond) && s.stmt(t.Then) && s.stmt(t.Else)
+	case *ast.WhileStmt:
+		return s.expr(t.Cond) && s.stmt(t.Body)
+	case *ast.ForStmt:
+		return s.forControl(t, true) && s.stmt(t.Body)
+	case *ast.DoStmt:
+		return s.doControl(t) && s.stmt(t.Body)
+	default:
+		// IncDecStmt/ExprStmt/ReturnStmt/PragmaStmt and anything future.
+		return false
+	}
+}
+
+// forControl admits only the canonical C loop header the interpreter's
+// analyzeFor accepts — so the partitioned path can never raise a
+// "not canonical" runtime error that undirected execution would not —
+// with a statically-known step whose direction matches the condition, so
+// the partitioned trip count equals the plain execution's. Header reads
+// (initializers, bounds) land in the read-set like any other. Inner loops
+// (re-executed per lane) must declare their induction variable in the
+// header so every execution path scopes it locally; the outermost header
+// may assign an enclosing variable, recorded in escaped for the caller's
+// leak checks.
+func (s *inertScan) forControl(f *ast.ForStmt, inner bool) bool {
+	var iv string
+	switch init := f.Init.(type) {
+	case *ast.AssignStmt:
+		if inner {
+			return false // would write a binding shared across lanes
+		}
+		id, ok := init.LHS.(*ast.Ident)
+		if !ok || init.Op != "=" || !s.expr(init.RHS) {
+			return false
+		}
+		iv = id.Name
+		s.escaped[iv] = true
+	case *ast.DeclStmt:
+		if len(init.Dims) > 0 || init.Init == nil || !s.expr(init.Init) {
+			return false
+		}
+		iv = init.Name
+	default:
+		return false
+	}
+	s.reads[iv] = true
+
+	// Post: i++, i--, i += k, i -= k, i = i ± k with literal nonzero k.
+	var stepPos bool
+	switch post := f.Post.(type) {
+	case *ast.IncDecStmt:
+		id, ok := post.X.(*ast.Ident)
+		if !ok || id.Name != iv {
+			return false
+		}
+		stepPos = post.Op == "++"
+	case *ast.AssignStmt:
+		id, ok := post.LHS.(*ast.Ident)
+		if !ok || id.Name != iv {
+			return false
+		}
+		var step ast.Expr
+		neg := false
+		switch post.Op {
+		case "+=":
+			step = post.RHS
+		case "-=":
+			step = post.RHS
+			neg = true
+		case "=":
+			be, ok := post.RHS.(*ast.BinaryExpr)
+			if !ok {
+				return false
+			}
+			if x, ok := be.X.(*ast.Ident); !ok || x.Name != iv {
+				return false
+			}
+			switch be.Op {
+			case "+":
+			case "-":
+				neg = true
+			default:
+				return false
+			}
+			step = be.Y
+		default:
+			return false
+		}
+		n, ok := litInt(step)
+		if !ok || n == 0 {
+			return false
+		}
+		stepPos = (n > 0) != neg
+	default:
+		return false
+	}
+
+	// Cond: iv </<=/>/>= bound, direction agreeing with the step sign.
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if cx, ok := cond.X.(*ast.Ident); !ok || cx.Name != iv {
+		return false
+	}
+	switch cond.Op {
+	case "<", "<=":
+		if !stepPos {
+			return false
+		}
+	case ">", ">=":
+		if stepPos {
+			return false
+		}
+	default:
+		return false
+	}
+	return s.expr(cond.Y)
+}
+
+// litInt decodes an integer literal step expression.
+func litInt(e ast.Expr) (int64, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != ast.IntLit || !lit.Known {
+		return 0, false
+	}
+	return lit.IntVal, true
+}
+
+// doControl admits a Fortran do header. The do-variable is bound in a
+// child scope by both the plain and the lane executor, so it cannot
+// escape, and the two trip-count computations agree for every bound — the
+// only divergence is the wording of the zero-step error, so a step must be
+// absent or a nonzero literal.
+func (s *inertScan) doControl(d *ast.DoStmt) bool {
+	s.reads[d.Var] = true
+	if !s.expr(d.From) || !s.expr(d.To) {
+		return false
+	}
+	if d.Step != nil {
+		if n, ok := litInt(d.Step); !ok || n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// lhsRoot resolves the base identifier of an assigned array element,
+// folding the subscript expressions into the read-set.
+func (s *inertScan) lhsRoot(ix *ast.IndexExpr) (string, bool) {
+	for _, e := range ix.Idx {
+		if !s.expr(e) {
+			return "", false
+		}
+	}
+	switch x := ix.X.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.IndexExpr:
+		return s.lhsRoot(x)
+	default:
+		return "", false
+	}
+}
+
+func (s *inertScan) expr(e ast.Expr) bool {
+	switch t := e.(type) {
+	case nil:
+		return true
+	case *ast.Ident:
+		s.reads[t.Name] = true
+		return true
+	case *ast.BasicLit:
+		return true
+	case *ast.IndexExpr:
+		if !s.expr(t.X) {
+			return false
+		}
+		for _, ix := range t.Idx {
+			if !s.expr(ix) {
+				return false
+			}
+		}
+		return true
+	case *ast.BinaryExpr:
+		return s.expr(t.X) && s.expr(t.Y)
+	case *ast.UnaryExpr:
+		if t.Op == "&" {
+			return false // address could alias the write-set
+		}
+		return s.expr(t.X)
+	case *ast.CastExpr:
+		return s.expr(t.X)
+	case *ast.SizeofExpr:
+		return true
+	default:
+		// CallExpr and anything future: arbitrary effects.
+		return false
+	}
+}
+
+// containsNode reports whether the subtree rooted at root contains target.
+func containsNode(root ast.Node, target ast.Node) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Walk(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// occursOutside reports whether any name occurs as an identifier within
+// root but outside the subtree rooted at skip.
+func occursOutside(root ast.Node, skip ast.Node, names map[string]bool) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Walk(root, func(n ast.Node) bool {
+		if found || n == skip {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -2,6 +2,7 @@ package accv_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"strings"
@@ -31,6 +32,13 @@ func TestTelemetryContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	accv.NewSuite(accv.C).Iterations(2).Observe(o).Run(pgi)
+
+	// A memoized sweep over a small family: drives the sweep memo counters
+	// and the per-cell saved-runs gauge.
+	if _, err := accv.RunSweep(context.Background(), "pgi",
+		accv.WithFamily("data"), accv.WithObs(o)); err != nil {
+		t.Fatal(err)
+	}
 
 	// A harness screening epoch plus a degradation query.
 	h := accv.NewHarness(2, accv.DefaultStacks()[:1])
@@ -82,6 +90,7 @@ func TestTelemetryContract(t *testing.T) {
 		"accv_device_kernels_total", "accv_device_bytes_total",
 		"accv_present_lookups_total", "accv_queue_waits_total",
 		"accv_harness_screenings_total", "accv_compile_cache_misses_total",
+		"accv_sweep_memo_hits_total", "accv_sweep_memo_misses_total",
 	} {
 		found := false
 		for _, p := range snap.Counters {
@@ -93,6 +102,20 @@ func TestTelemetryContract(t *testing.T) {
 		if !found {
 			t.Errorf("counter %q never incremented during the contract run", want)
 		}
+	}
+
+	// The sweep must have published the per-cell saved-runs gauge with a
+	// nonzero value somewhere (the data family shares heavily across
+	// adjacent pgi releases).
+	savedSomewhere := false
+	for _, p := range snap.Gauges {
+		if p.Name == "accv_sweep_saved_runs" && p.Value > 0 {
+			savedSomewhere = true
+			break
+		}
+	}
+	if !savedSomewhere {
+		t.Error("gauge accv_sweep_saved_runs never rose above zero during the sweep")
 	}
 
 	// Trace: valid JSON, every span name documented.

@@ -45,6 +45,10 @@ type options struct {
 	templates   []*Template
 	vet         core.VetPolicy
 	engine      Engine
+
+	// Sweep knobs (RunSweep).
+	langs  []Language
+	noMemo bool
 }
 
 func gather(opts []Option) options {
@@ -129,6 +133,17 @@ func WithEngine(e Engine) Option { return func(o *options) { o.engine = e } }
 // WithFamily restricts a Runner to one feature family ("parallel",
 // "data", "loop", ...) — the paper's feature-selection capability.
 func WithFamily(name string) Option { return func(o *options) { o.family = name } }
+
+// WithLangs selects the language columns of a RunSweep (default: C only).
+// Runner construction ignores it — a Runner is built for one language.
+func WithLangs(langs ...Language) Option {
+	return func(o *options) { o.langs = append([]Language(nil), langs...) }
+}
+
+// WithoutSweepMemo disables RunSweep's fingerprint memoization, forcing
+// every (version × lang) cell to execute naively. This is the
+// differential-testing baseline; it is never faster.
+func WithoutSweepMemo() Option { return func(o *options) { o.noMemo = true } }
 
 // WithTemplates runs exactly the given test cases, overriding language
 // and family selection.

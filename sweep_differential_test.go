@@ -1,0 +1,172 @@
+package accv
+
+// Differential tests for the memoized cross-version sweep engine: a sweep
+// that shares executions by behavioral fingerprint must render exactly the
+// reports a naive per-version loop renders — byte for byte, for every
+// vendor, both languages, and both execution engines. The memo earns its
+// speed only by serving results that are indistinguishable from re-running
+// the test (docs/PERFORMANCE.md, "The cross-version sweep memo"); this
+// suite is the enforcement, and the anti-vacuity checks make sure the memo
+// actually engaged rather than trivially matching by never sharing.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"accv/internal/ast"
+	"accv/internal/compiler"
+	"accv/internal/core"
+	"accv/internal/sweep"
+)
+
+// sweepReports runs one vendor sweep (both languages) and renders every
+// (version × lang) cell as its Text and CSV reports in deterministic cell
+// order, with the wall-clock fields — the only legitimately
+// nondeterministic data in a SuiteResult — zeroed out.
+func sweepReports(t testing.TB, vendor string, engine Engine, noMemo bool) ([]byte, *sweep.Result) {
+	t.Helper()
+	res, err := sweep.Run(context.Background(), vendor, sweep.Options{
+		Langs:      []ast.Lang{C, Fortran},
+		Iterations: 1,
+		Engine:     engine,
+		NoMemo:     noMemo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for vi, ver := range res.Versions {
+		for li, lang := range res.Langs {
+			sr := res.Cells[vi][li]
+			if sr == nil {
+				t.Fatalf("%s %s %s: missing cell", vendor, ver, lang)
+			}
+			sr.Duration = 0
+			for i := range sr.Results {
+				sr.Results[i].Duration = 0
+			}
+			fmt.Fprintf(&buf, "==== %s %s %s ====\n", vendor, ver, lang)
+			if err := WriteReport(&buf, sr, Text); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteReport(&buf, sr, CSV); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return buf.Bytes(), res
+}
+
+// TestSweepMemoDifferential requires byte-identical rendered reports from
+// the memoized and naive sweeps for every vendor under both execution
+// engines, and nonzero memo hits from every memoized sweep (anti-vacuity:
+// equality proves nothing if the memo never shared an execution). If the
+// two disagree, the naive sweep is re-run once: a naive-vs-naive mismatch
+// means the corpus itself went schedule-nondeterministic on this machine
+// (not a memo defect), and the comparison is skipped.
+func TestSweepMemoDifferential(t *testing.T) {
+	for _, vendor := range []string{"caps", "pgi", "cray"} {
+		for _, eng := range []Engine{EngineVM, EngineTree} {
+			t.Run(fmt.Sprintf("%s/%s", vendor, eng), func(t *testing.T) {
+				naive, _ := sweepReports(t, vendor, eng, true)
+				memo, res := sweepReports(t, vendor, eng, false)
+				if res.MemoHits == 0 {
+					t.Fatalf("memoized %s sweep recorded zero memo hits; the differential is vacuous", vendor)
+				}
+				if res.MemoMisses == 0 {
+					t.Fatalf("memoized %s sweep recorded zero misses; nothing executed?", vendor)
+				}
+				if bytes.Equal(naive, memo) {
+					return
+				}
+				if again, _ := sweepReports(t, vendor, eng, true); !bytes.Equal(naive, again) {
+					t.Skipf("suite is schedule-nondeterministic on this machine (naive-vs-naive differs); cannot byte-compare sweeps")
+				}
+				t.Errorf("memoized sweep diverged from naive; first difference at %s", firstDiff(naive, memo))
+			})
+		}
+	}
+}
+
+// TestSweepFigureOutputsIdentical pins the figure-level outputs — the
+// Fig. 8 pass-rate curves and the per-cell pass/fail/total counts behind
+// Table I — to be identical between memoized and naive sweeps. This is a
+// tighter statement than report equality only in its failure messages: it
+// names the exact version and curve point that moved.
+func TestSweepFigureOutputsIdentical(t *testing.T) {
+	for _, vendor := range []string{"caps", "pgi", "cray"} {
+		t.Run(vendor, func(t *testing.T) {
+			ctx := context.Background()
+			opts := sweep.Options{Langs: []ast.Lang{C, Fortran}, Iterations: 1}
+			naiveOpts := opts
+			naiveOpts.NoMemo = true
+			naive, err := sweep.Run(ctx, vendor, naiveOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo, err := sweep.Run(ctx, vendor, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vi, ver := range naive.Versions {
+				for li, lang := range naive.Langs {
+					n, m := naive.Cells[vi][li], memo.Cells[vi][li]
+					if n.PassRate() != m.PassRate() {
+						t.Errorf("%s %s %s: Fig. 8 point moved: naive %.3f%% vs memo %.3f%%",
+							vendor, ver, lang, n.PassRate(), m.PassRate())
+					}
+					if n.Passed() != m.Passed() || n.Failed() != m.Failed() || n.Total() != m.Total() {
+						t.Errorf("%s %s %s: Table I counts moved: naive %d/%d/%d vs memo %d/%d/%d",
+							vendor, ver, lang, n.Passed(), n.Failed(), n.Total(),
+							m.Passed(), m.Failed(), m.Total())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompileCacheSharedAcrossEngines is the cache-key regression test for
+// engine selection: compiled executables are engine-independent (bytecode
+// is lowered at compile time; the engine is chosen at run time), so the
+// cache key deliberately omits the engine. This test holds that line — a
+// suite run under the tree engine served entirely from executables cached
+// by a VM-engine run must produce a byte-identical report. If compilation
+// ever becomes engine-dependent, this fails and the key must grow the
+// engine discriminator.
+func TestCompileCacheSharedAcrossEngines(t *testing.T) {
+	tc, err := NewCompiler("pgi", "13.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := compiler.NewCache()
+	run := func(e Engine) []byte {
+		res := core.RunSuite(core.Config{
+			Toolchain: tc, Iterations: 2, Engine: e, Cache: cache,
+		}, core.ByLang(C))
+		res.Duration = 0
+		for i := range res.Results {
+			res.Results[i].Duration = 0
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, res, Text); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	vm := run(EngineVM)
+	hitsBefore, _ := cache.Stats()
+	tree := run(EngineTree)
+	hitsAfter, _ := cache.Stats()
+	if hitsAfter <= hitsBefore {
+		t.Fatal("tree-engine run never hit the cache populated by the VM run; the sharing under test did not happen")
+	}
+	if !bytes.Equal(vm, tree) {
+		if again := run(EngineVM); !bytes.Equal(vm, again) {
+			t.Skip("suite is schedule-nondeterministic on this machine; cannot byte-compare engines")
+		}
+		t.Errorf("cached executables behaved differently across engines; first difference at %s", firstDiff(vm, tree))
+	}
+}
