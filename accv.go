@@ -219,18 +219,41 @@ func CompileAndRun(src string, lang Language, tc Compiler, opts ...Option) (RunR
 // interpreted operation, and RunResult.Err reports how it ended
 // (docs/API.md). The returned error covers frontend and compile failures
 // only; runtime trouble, including cancellation, lives in RunResult.Err.
+//
+// With WithCompileCache, the compilation is served from (and populates)
+// the shared compiled-program cache, keyed by source, language, and
+// toolchain identity; cache traffic is surfaced as
+// accv_compile_cache_{hits,misses}_total when WithObs is also set. This
+// is the accvd service's single-program path (docs/SERVICE.md).
 func CompileAndRunContext(ctx context.Context, src string, lang Language, tc Compiler, opts ...Option) (RunResult, error) {
 	cfg := gather(opts)
 	if cfg.devices == 0 {
 		cfg.devices = 2
 	}
-	prog, err := Parse(src, lang)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("frontend: %w", err)
+	var exe *compiler.Executable
+	var key compiler.CacheKey
+	if cfg.cache != nil {
+		key = compiler.NewCacheKey(src, "single", lang.String(), tc.Name(), tc.Version())
+		if hit, ok := cfg.cache.Get(key); ok {
+			cfg.obs.Add("accv_compile_cache_hits_total", 1)
+			exe = hit
+		} else {
+			cfg.obs.Add("accv_compile_cache_misses_total", 1)
+		}
 	}
-	exe, _, err := tc.Compile(prog)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("%s %s: %w", tc.Name(), tc.Version(), err)
+	if exe == nil {
+		prog, err := Parse(src, lang)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("frontend: %w", err)
+		}
+		var err2 error
+		exe, _, err2 = tc.Compile(prog)
+		if err2 != nil {
+			return RunResult{}, fmt.Errorf("%s %s: %w", tc.Name(), tc.Version(), err2)
+		}
+		if cfg.cache != nil {
+			cfg.cache.Put(key, exe)
+		}
 	}
 	plat := device.NewPlatform(tc.DeviceConfig(), cfg.devices)
 	r := interp.Run(exe, interp.RunConfig{

@@ -1,0 +1,72 @@
+package accv_test
+
+// The godoc-presence contract: every package in the module — the facade,
+// every internal package, every command — must carry a package doc
+// comment, so `go doc` is never blank and the README's layer table has a
+// canonical in-tree counterpart. The test walks the source tree rather
+// than a hardcoded package list, so a new package cannot land
+// undocumented.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// skipDirs are non-package trees: fixtures, docs, version control.
+var skipDirs = map[string]bool{
+	"testdata": true,
+	"docs":     true,
+	".git":     true,
+	".github":  true,
+}
+
+func TestEveryPackageHasDocComment(t *testing.T) {
+	fset := token.NewFileSet()
+	// documented maps directory → true once any file carries a package
+	// doc comment; seen tracks directories containing Go source at all.
+	documented := map[string]bool{}
+	seen := map[string]bool{}
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		// PackageClauseOnly keeps the doc comment attached to the package
+		// clause while skipping the body — cheap enough for the whole tree.
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 10 {
+		t.Fatalf("walk found only %d package directories; wrong working directory?", len(seen))
+	}
+	for dir := range seen {
+		if !documented[dir] {
+			t.Errorf("package in %s has no package doc comment on any file", dir)
+		}
+	}
+}

@@ -56,7 +56,7 @@ type Cache struct {
 	m   map[CacheKey]*list.Element
 	lru *list.List // front = most recently used
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 // cacheEntry is one LRU node: the key rides along so eviction can delete
@@ -130,6 +130,7 @@ func (c *Cache) Put(key CacheKey, exe *Executable) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -138,6 +139,13 @@ func (c *Cache) Put(key CacheKey, exe *Executable) {
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Evictions reports the lifetime count of entries dropped by the LRU
+// bound (the accv_compile_cache_evictions_total series). A steadily
+// rising value under a steady workload means the cap is smaller than the
+// working set and the cache is thrashing — raise the capacity
+// (NewCacheWithCap, accvd -cache-cap) until it flattens.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
 // Len reports the number of cached programs.
 func (c *Cache) Len() int {

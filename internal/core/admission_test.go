@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAdmissionClientQuota(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxClientInflight: 2, MaxInflightOps: -1})
+	r1, err := a.Admit("alice", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Admit("alice", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit("alice", 10); !errors.Is(err, ErrClientQuota) {
+		t.Fatalf("third alice request: err = %v, want ErrClientQuota", err)
+	}
+	// Other clients are unaffected.
+	rb, err := a.Admit("bob", 10)
+	if err != nil {
+		t.Fatalf("bob blocked by alice's quota: %v", err)
+	}
+	rb()
+	// Releasing one slot readmits.
+	r1()
+	r3, err := a.Admit("alice", 10)
+	if err != nil {
+		t.Fatalf("alice not readmitted after release: %v", err)
+	}
+	r2()
+	r3()
+	if n := a.Inflight(); n != 0 {
+		t.Fatalf("Inflight() = %d after all releases, want 0", n)
+	}
+	if n := a.Clients(); n != 0 {
+		t.Fatalf("Clients() = %d after all releases, want 0", n)
+	}
+}
+
+func TestAdmissionOpBudget(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxClientInflight: -1, MaxInflightOps: 100})
+	r1, err := a.Admit("a", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Admit("b", 60); !errors.Is(err, ErrOpBudget) {
+		t.Fatalf("over-budget admit: err = %v, want ErrOpBudget", err)
+	}
+	if got := a.HeldOps(); got != 60 {
+		t.Fatalf("HeldOps() = %d, want 60", got)
+	}
+	r2, err := a.Admit("b", 40)
+	if err != nil {
+		t.Fatalf("exact-fit admit refused: %v", err)
+	}
+	r1()
+	r2()
+
+	// An oversized request is admitted when the controller is idle, so a
+	// legitimate big job can run alone instead of deadlocking.
+	big, err := a.Admit("c", 1000)
+	if err != nil {
+		t.Fatalf("oversized solo request refused: %v", err)
+	}
+	if _, err := a.Admit("d", 1); !errors.Is(err, ErrOpBudget) {
+		t.Fatal("request admitted alongside an oversized job that holds the whole budget")
+	}
+	big()
+}
+
+// TestAdmissionReleaseIdempotent pins that double-releasing (easy to do
+// from HTTP teardown paths) cannot corrupt the accounting.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	r, err := a.Admit("x", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	r()
+	if a.Inflight() != 0 || a.HeldOps() != 0 {
+		t.Fatalf("double release corrupted accounting: inflight=%d heldOps=%d",
+			a.Inflight(), a.HeldOps())
+	}
+	if _, err := a.Admit("x", 5); err != nil {
+		t.Fatalf("controller unusable after double release: %v", err)
+	}
+}
+
+// TestAdmissionConcurrent hammers the controller from many goroutines and
+// checks the books balance afterwards.
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxClientInflight: 4, MaxInflightOps: 1 << 20})
+	var wg sync.WaitGroup
+	clients := []string{"c0", "c1", "c2", "c3"}
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				release, err := a.Admit(clients[(g+i)%len(clients)], 128)
+				if err != nil {
+					continue
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Inflight() != 0 || a.HeldOps() != 0 || a.Clients() != 0 {
+		t.Fatalf("books unbalanced after churn: inflight=%d heldOps=%d clients=%d",
+			a.Inflight(), a.HeldOps(), a.Clients())
+	}
+}

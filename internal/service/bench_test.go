@@ -1,0 +1,241 @@
+// The BENCH_service.json generator: an env-gated concurrent mixed-workload
+// load test against the full HTTP stack — compile, run, vet, suite, and
+// sweep requests from many clients at once — recording requests/sec,
+// per-endpoint p50/p99 latency, and the shared cache and memo hit-rates.
+// CI's bench-service step runs it with BENCH_SERVICE_OUT set and publishes
+// the artifact; locally:
+//
+//	BENCH_SERVICE_OUT=$PWD/BENCH_service.json go test -run TestWriteServiceBench -v ./internal/service
+//
+// The run fails — independently of any throughput number — if the shared
+// compile cache or the sweep memo records a zero hit-rate: a service that
+// is not getting warmer across requests is misconfigured, whatever its
+// latency.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+type serviceBenchEndpoint struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int     `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+type serviceBench struct {
+	Benchmark      string                 `json:"benchmark"`
+	Workload       string                 `json:"workload"`
+	HostCores      int                    `json:"host_cores"`
+	GOMAXPROCS     int                    `json:"gomaxprocs"`
+	Workers        int                    `json:"workers"`
+	Requests       int                    `json:"requests"`
+	DurationMS     int64                  `json:"duration_ms"`
+	RequestsPerSec float64                `json:"requests_per_sec"`
+	Endpoints      []serviceBenchEndpoint `json:"endpoints"`
+	CacheHits      int64                  `json:"cache_hits"`
+	CacheMisses    int64                  `json:"cache_misses"`
+	CacheHitRate   float64                `json:"cache_hit_rate"`
+	MemoHits       int64                  `json:"memo_hits"`
+	MemoMisses     int64                  `json:"memo_misses"`
+	MemoHitRate    float64                `json:"memo_hit_rate"`
+	Note           string                 `json:"note"`
+}
+
+// benchVetSource trips ACV003 so vet requests do real analysis work.
+const benchVetSource = `
+int acc_test()
+{
+    int i;
+    int a[16], b[16];
+    for (i = 0; i < 16; i++) { a[i] = i; b[i] = -1; }
+    #pragma acc parallel copyin(a[0:16]) copyout(b[0:16])
+    {
+        #pragma acc loop
+        for (i = 0; i < 16; i++) b[i] = i * 2;
+    }
+    return (b[0] == 0);
+}
+`
+
+// runServiceLoad drives perWorker requests from each of workers concurrent
+// clients through the mixed endpoint schedule and returns the collected
+// per-endpoint latencies keyed by endpoint name.
+func runServiceLoad(t *testing.T, s *Server, ts *httptest.Server, workers, perWorker int) (map[string][]time.Duration, time.Duration) {
+	t.Helper()
+	type sample struct {
+		endpoint string
+		d        time.Duration
+	}
+	samples := make(chan sample, workers*perWorker)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// The schedule interleaves the cheap endpoints with a
+				// suite every 10th and a sweep every 25th request, so the
+				// measurement covers both the fast path and the shared
+				// cache/memo under contention.
+				var (
+					endpoint string
+					do       func()
+				)
+				switch {
+				case i%25 == 24:
+					endpoint = "sweep"
+					do = func() {
+						postJSON(t, ts.URL+"/v1/sweep",
+							SweepRequest{Vendor: "pgi", Family: "wait", Iterations: 1}, nil)
+					}
+				case i%10 == 9:
+					endpoint = "suite"
+					do = func() {
+						postJSON(t, ts.URL+"/v1/suite",
+							SuiteRequest{Compiler: "caps", Version: "3.3.4", Family: "update", Iterations: 1}, nil)
+					}
+				case i%3 == 0:
+					endpoint = "compile"
+					do = func() {
+						postJSON(t, ts.URL+"/v1/compile", CompileRequest{Source: figure1Source}, nil)
+					}
+				case i%3 == 1:
+					endpoint = "run"
+					do = func() {
+						postJSON(t, ts.URL+"/v1/run", RunRequest{Source: figure1Source}, nil)
+					}
+				default:
+					endpoint = "vet"
+					do = func() {
+						postJSON(t, ts.URL+"/v1/vet", VetRequest{Source: benchVetSource}, nil)
+					}
+				}
+				t0 := time.Now()
+				do()
+				samples <- sample{endpoint, time.Since(t0)}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samples)
+	byEndpoint := map[string][]time.Duration{}
+	for s := range samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.d)
+	}
+	return byEndpoint, elapsed
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted ds.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(ds))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+func rate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// TestWriteServiceBench runs the mixed concurrent workload and writes the
+// JSON record to $BENCH_SERVICE_OUT. Without the variable it runs a
+// reduced smoke load and only enforces the warmth assertions.
+func TestWriteServiceBench(t *testing.T) {
+	out := os.Getenv("BENCH_SERVICE_OUT")
+	workers, perWorker := 8, 100
+	if out == "" {
+		workers, perWorker = 4, 30
+	}
+
+	s, ts := newTestServer(t, Config{})
+	// A warm-up pass seeds the cache and memo the way a long-running
+	// daemon would be seeded by earlier traffic.
+	runServiceLoad(t, s, ts, 2, 26)
+
+	byEndpoint, elapsed := runServiceLoad(t, s, ts, workers, perWorker)
+
+	cacheHits, cacheMisses, _ := s.CacheStats()
+	memoHits, memoMisses := s.MemoStats()
+	if cacheHits == 0 {
+		t.Fatal("shared compile cache recorded zero hits under the mixed load")
+	}
+	if memoHits == 0 {
+		t.Fatal("shared sweep memo recorded zero hits under the mixed load")
+	}
+
+	total := 0
+	rec := serviceBench{
+		Benchmark: "accvd mixed-workload load test (TestWriteServiceBench)",
+		Workload: fmt.Sprintf("%d concurrent clients x %d requests each over the in-process HTTP stack: "+
+			"compile/run/vet interleaved with a suite (caps 3.3.4, family=update) every 10th and a "+
+			"sweep (pgi, family=wait) every 25th request; cache and memo pre-warmed", workers, perWorker),
+		HostCores:  runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		DurationMS: elapsed.Milliseconds(),
+		CacheHits:  cacheHits, CacheMisses: cacheMisses,
+		CacheHitRate: rate(cacheHits, cacheMisses),
+		MemoHits:     memoHits, MemoMisses: memoMisses,
+		MemoHitRate: rate(memoHits, memoMisses),
+		Note: "Latencies are per-request wall time seen by the client, nearest-rank percentiles. " +
+			"Hit rates are lifetime ratios over the warm-up plus measured load — the cross-request " +
+			"sharing the daemon exists for. Regenerate with: " +
+			"BENCH_SERVICE_OUT=$PWD/BENCH_service.json go test -run TestWriteServiceBench -v ./internal/service",
+	}
+	var names []string
+	for name := range byEndpoint {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ds := byEndpoint[name]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		total += len(ds)
+		rec.Endpoints = append(rec.Endpoints, serviceBenchEndpoint{
+			Endpoint: name,
+			Requests: len(ds),
+			P50MS:    float64(percentile(ds, 0.50).Microseconds()) / 1000,
+			P99MS:    float64(percentile(ds, 0.99).Microseconds()) / 1000,
+		})
+		t.Logf("%-8s n=%-5d p50=%s p99=%s", name, len(ds), percentile(ds, 0.50), percentile(ds, 0.99))
+	}
+	rec.Requests = total
+	rec.RequestsPerSec = round2(float64(total) / elapsed.Seconds())
+	t.Logf("total: %d requests in %s (%.0f req/s), cache hit-rate %.2f, memo hit-rate %.2f",
+		total, elapsed, rec.RequestsPerSec, rec.CacheHitRate, rec.MemoHitRate)
+
+	if out == "" {
+		t.Skip("BENCH_SERVICE_OUT not set; smoke load only")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

@@ -1,0 +1,114 @@
+// Request coalescing: identical concurrent suite requests share one
+// execution. The first request becomes the flight leader and runs the
+// suite; later identical requests join the flight and are served a copy
+// of the leader's response. The flight's run context is refcounted — it
+// is canceled only when every joined client has gone away, so a canceled
+// leader does not kill a run other clients still want, and a run nobody
+// wants anymore stops spending scheduler slots (the canceled-clients
+// edge-case test pins both properties).
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+)
+
+// flightResult is a buffered response: status, content type, body.
+type flightResult struct {
+	status int
+	ctype  string
+	body   []byte
+}
+
+func (fr *flightResult) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", fr.ctype)
+	w.WriteHeader(fr.status)
+	w.Write(fr.body)
+}
+
+func errorResult(status int, code, msg string) flightResult {
+	var buf bytes.Buffer
+	encodeTo(&buf, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+	return flightResult{status: status, ctype: "application/json", body: buf.Bytes()}
+}
+
+func jsonResult(status int, v any) flightResult {
+	var buf bytes.Buffer
+	encodeTo(&buf, v)
+	return flightResult{status: status, ctype: "application/json", body: buf.Bytes()}
+}
+
+// flight is one in-progress coalesced execution.
+type flight struct {
+	done   chan struct{} // closed once res is set
+	res    flightResult
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	joiners int
+}
+
+// leave retires one interested client; the last one out cancels the run.
+func (f *flight) leave() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.joiners--
+	if f.joiners <= 0 {
+		f.cancel()
+	}
+}
+
+func (f *flight) join() {
+	f.mu.Lock()
+	f.joiners++
+	f.mu.Unlock()
+}
+
+// flightGroup is the single-flight table keyed by canonicalized request.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: map[string]*flight{}} }
+
+// do runs fn once per concurrent key: the first caller executes it under
+// a refcounted context, concurrent same-key callers block for the shared
+// result. Returns (result, coalesced); a nil result means the caller's
+// own ctx died while waiting. A rare race remains visible by design: a
+// caller joining a flight whose every previous client just left receives
+// that flight's canceled result and should simply retry.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) flightResult) (*flightResult, bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		f.join()
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			res := f.res
+			return &res, true
+		case <-ctx.Done():
+			f.leave()
+			return nil, true
+		}
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, joiners: 1}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// The leader's own disappearance counts as leaving the flight.
+	stop := context.AfterFunc(ctx, f.leave)
+	res := fn(runCtx)
+	stop()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.res = res
+	close(f.done)
+	cancel()
+	return &res, false
+}

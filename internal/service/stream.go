@@ -1,0 +1,148 @@
+// The live-progress stream: POST /v1/suite/stream runs a suite and emits
+// one Server-Sent Event per finished test plus a final summary event.
+// Events arrive in completion order (the scheduler is parallel); the
+// summary carries the same totals a blocking /v1/suite response would.
+// Protocol reference: docs/SERVICE.md, "Streaming suite progress".
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"accv"
+)
+
+// StreamTestEvent is the data payload of one "test" SSE event.
+type StreamTestEvent struct {
+	Name       string `json:"name"`
+	Lang       string `json:"lang"`
+	Family     string `json:"family"`
+	Outcome    string `json:"outcome"`
+	Detail     string `json:"detail,omitempty"`
+	DurationMS int64  `json:"duration_ms"`
+}
+
+// StreamSummaryEvent is the data payload of the final "summary" SSE
+// event; fields match SuiteResponse minus the rendered report.
+type StreamSummaryEvent struct {
+	Compiler   string  `json:"compiler"`
+	Version    string  `json:"version"`
+	Lang       string  `json:"lang"`
+	Total      int     `json:"total"`
+	Passed     int     `json:"passed"`
+	Failed     int     `json:"failed"`
+	PassRate   float64 `json:"pass_rate"`
+	DurationMS int64   `json:"duration_ms"`
+}
+
+// StreamErrorEvent is the data payload of an "error" SSE event (emitted
+// instead of "summary" when the run could not complete).
+type StreamErrorEvent struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (s *Server) handleSuiteStream(w http.ResponseWriter, r *http.Request) {
+	var req SuiteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Format != "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"format does not apply to the stream endpoint (events are always JSON)")
+		return
+	}
+	lang, _, opts, err := s.suiteOptions(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	tc, err := newToolchain(req.Compiler, req.Version)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeUnknownCompiler, err.Error())
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, codeInternal, "response writer does not support streaming")
+		return
+	}
+	release, admitted := s.admit(w, r, suiteCost(lang, req.Family, req.Iterations))
+	if !admitted {
+		return
+	}
+	defer release()
+
+	// Progress callbacks arrive concurrently from the scheduler workers;
+	// the channel serializes them onto this goroutine, which owns the
+	// response writer. The buffer holds a full suite so workers never
+	// block on a slow client.
+	events := make(chan StreamTestEvent, 1024)
+	opts = append(opts, accv.WithProgress(func(res accv.TestResult) {
+		events <- StreamTestEvent{
+			Name: res.Name, Lang: res.Lang.String(), Family: res.Family,
+			Outcome: res.Outcome.MetricLabel(), Detail: res.Detail,
+			DurationMS: res.Duration.Milliseconds(),
+		}
+	}))
+	runner, err := accv.NewRunner(lang, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	type suiteDone struct {
+		res *accv.SuiteResult
+		err error
+	}
+	done := make(chan suiteDone, 1)
+	go func() {
+		res, err := runner.RunContext(r.Context(), tc)
+		done <- suiteDone{res, err}
+	}()
+
+	emit := func(event string, payload any) {
+		data, _ := json.Marshal(payload)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev := <-events:
+			emit("test", ev)
+		case d := <-done:
+			// Drain the events the workers emitted before the run closed.
+			for {
+				select {
+				case ev := <-events:
+					emit("test", ev)
+					continue
+				default:
+				}
+				break
+			}
+			if d.err != nil && r.Context().Err() != nil {
+				// Client went away mid-run; nothing left to tell it.
+				return
+			}
+			if d.err != nil {
+				emit("error", StreamErrorEvent{Code: codeInternal, Message: d.err.Error()})
+				return
+			}
+			emit("summary", StreamSummaryEvent{
+				Compiler: d.res.Compiler, Version: d.res.Version,
+				Lang:  lang.String(),
+				Total: d.res.Total(), Passed: d.res.Passed(), Failed: d.res.Failed(),
+				PassRate:   d.res.PassRate(),
+				DurationMS: d.res.Duration.Milliseconds(),
+			})
+			return
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Tests for the SSE streaming endpoint: one "test" event per completed
+// test, a final "summary" event whose totals match the event count, and
+// the documented header/format rejections.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  []byte
+}
+
+// parseSSE splits a text/event-stream body into events.
+func parseSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != nil {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		default:
+			t.Fatalf("unexpected SSE line: %q", line)
+		}
+	}
+	if err := body.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestSuiteStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(SuiteRequest{
+		Compiler: "pgi", Version: "13.2", Family: "data", Iterations: 1,
+	})
+	resp, err := http.Post(ts.URL+"/v1/suite/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	events := parseSSE(t, bufio.NewScanner(resp.Body))
+	if len(events) == 0 {
+		t.Fatal("stream carried no events")
+	}
+	last := events[len(events)-1]
+	if last.event != "summary" {
+		t.Fatalf("last event = %q, want summary", last.event)
+	}
+	var sum StreamSummaryEvent
+	if err := json.Unmarshal(last.data, &sum); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := 0
+	outcomes := map[string]int{}
+	for _, ev := range events[:len(events)-1] {
+		if ev.event != "test" {
+			t.Fatalf("mid-stream event = %q, want test", ev.event)
+		}
+		var te StreamTestEvent
+		if err := json.Unmarshal(ev.data, &te); err != nil {
+			t.Fatal(err)
+		}
+		if te.Name == "" || te.Family != "data" || te.Outcome == "" {
+			t.Fatalf("malformed test event: %+v", te)
+		}
+		outcomes[te.Outcome]++
+		tests++
+	}
+	if tests != sum.Total {
+		t.Errorf("streamed %d test events, summary.total = %d", tests, sum.Total)
+	}
+	if sum.Passed+sum.Failed != sum.Total {
+		t.Errorf("summary passed %d + failed %d != total %d", sum.Passed, sum.Failed, sum.Total)
+	}
+	if outcomes["pass"] != sum.Passed {
+		t.Errorf("streamed %d pass outcomes, summary.passed = %d", outcomes["pass"], sum.Passed)
+	}
+	if sum.Compiler != "pgi" || sum.Version != "13.2" || sum.Lang != "c" {
+		t.Errorf("summary identity = %s %s %s, want pgi 13.2 c", sum.Compiler, sum.Version, sum.Lang)
+	}
+
+	// The streamed totals must agree with a blocking run of the same suite.
+	var blocking SuiteResponse
+	postJSON(t, ts.URL+"/v1/suite",
+		SuiteRequest{Compiler: "pgi", Version: "13.2", Family: "data", Iterations: 1}, &blocking)
+	if blocking.Total != sum.Total || blocking.Passed != sum.Passed {
+		t.Errorf("stream summary %d/%d diverges from blocking run %d/%d",
+			sum.Passed, sum.Total, blocking.Passed, blocking.Total)
+	}
+}
+
+// TestSuiteStreamRejectsFormat pins that the format option (which selects
+// a report renderer) is rejected on the stream endpoint.
+func TestSuiteStreamRejectsFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/suite/stream", "application/json",
+		strings.NewReader(`{"format":"csv"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, resp); code != codeBadRequest {
+		t.Errorf("error code = %q, want %q", code, codeBadRequest)
+	}
+}

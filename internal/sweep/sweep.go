@@ -53,6 +53,19 @@ type Options struct {
 	// NoMemo disables fingerprint memoization: every cell runs naively.
 	// This is the differential-testing baseline; it is never faster.
 	NoMemo bool
+	// Cache, when non-nil, is used as the sweep's compiled-program cache
+	// instead of a fresh per-run one. A long-lived owner (the accvd
+	// service) shares one cache across every request, so repeat sweeps
+	// start compile-warm. Version and language are in the key, so sharing
+	// is always sound.
+	Cache *compiler.Cache
+	// Memo, when non-nil (and NoMemo is false), is used as the sweep's
+	// result memo instead of a fresh per-run table. Fingerprints are
+	// salted with the effective run configuration, so one table may be
+	// shared across sweeps with different options — only behaviorally
+	// identical executions ever collide, and concurrent identical sweeps
+	// coalesce through the table's single-flight entries.
+	Memo *core.MemoTable
 }
 
 // Result is a completed sweep: the per-cell suite results in
@@ -139,11 +152,23 @@ func Run(ctx context.Context, vendor string, opts Options) (*Result, error) {
 	var (
 		memo  *core.MemoTable
 		fps   *Fingerprinter
-		cache = compiler.NewCache() // version is in the key: no cross-cell collisions
+		cache = opts.Cache
 	)
+	if cache == nil {
+		cache = compiler.NewCache() // version is in the key: no cross-cell collisions
+	}
 	if !opts.NoMemo {
-		memo = core.NewMemoTable()
+		memo = opts.Memo
+		if memo == nil {
+			memo = core.NewMemoTable()
+		}
 		fps = NewFingerprinter(ConfigSalt(baseCfg.WithDefaults()))
+	}
+	// Shared tables carry lifetime totals; report this run's share as the
+	// delta so Result.MemoHits/Misses keep their per-sweep meaning.
+	var memoHits0, memoMisses0 int64
+	if memo != nil {
+		memoHits0, memoMisses0 = memo.Stats()
 	}
 
 	start := time.Now()
@@ -197,7 +222,8 @@ func Run(ctx context.Context, vendor string, opts Options) (*Result, error) {
 
 	res.Duration = time.Since(start)
 	if memo != nil {
-		res.MemoHits, res.MemoMisses = memo.Stats()
+		hits, misses := memo.Stats()
+		res.MemoHits, res.MemoMisses = hits-memoHits0, misses-memoMisses0
 	}
 	return res, firstErr
 }

@@ -49,6 +49,11 @@ type options struct {
 	// Sweep knobs (RunSweep).
 	langs  []Language
 	noMemo bool
+
+	// Shared-infrastructure knobs (the accvd service).
+	progress func(TestResult)
+	cache    *compiler.Cache
+	memo     *core.MemoTable
 }
 
 func gather(opts []Option) options {
@@ -151,6 +156,52 @@ func WithTemplates(tpls ...*Template) Option {
 	return func(o *options) { o.templates = append([]*Template(nil), tpls...) }
 }
 
+// WithProgress streams per-test results as they complete: fn is invoked
+// once per finished test, concurrently from the scheduler's worker
+// goroutines (the callee synchronizes), before the suite result is
+// assembled. It is the mechanism behind accvd's live progress stream
+// (docs/SERVICE.md); results still merge into the SuiteResult in
+// template order regardless of callback order.
+func WithProgress(fn func(TestResult)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// CompileCache is the LRU-bounded compiled-program cache (keyed by
+// source + toolchain identity + vet + language; docs/PERFORMANCE.md).
+// Every Runner owns one implicitly; WithCompileCache substitutes a
+// caller-owned cache so many Runners — or many service requests — share
+// one compilation universe.
+type CompileCache = compiler.Cache
+
+// NewCompileCache returns an empty compile cache with the default
+// capacity (compiler.DefaultCacheCap entries, LRU-evicted past it).
+func NewCompileCache() *CompileCache { return compiler.NewCache() }
+
+// NewCompileCacheWithCap returns an empty compile cache bounded to at
+// most capacity compiled programs; non-positive capacities take the
+// default.
+func NewCompileCacheWithCap(capacity int) *CompileCache { return compiler.NewCacheWithCap(capacity) }
+
+// WithCompileCache makes the Runner (or RunSweep) use the given shared
+// cache instead of a private one. Sharing is always sound — toolchain
+// identity, vet mode, and language are in the key — and is how the accvd
+// service keeps one cross-request cache warm (docs/SERVICE.md).
+func WithCompileCache(c *CompileCache) Option { return func(o *options) { o.cache = c } }
+
+// MemoTable is the single-flight cross-version sweep memo
+// (docs/PERFORMANCE.md, "The cross-version sweep memo").
+type MemoTable = core.MemoTable
+
+// NewMemoTable returns an empty sweep memo table.
+func NewMemoTable() *MemoTable { return core.NewMemoTable() }
+
+// WithSweepMemo makes RunSweep use the given shared memo table instead
+// of a per-call one, so repeated or concurrent sweeps share executions:
+// fingerprints are salted with the effective run configuration, and
+// concurrent identical requests coalesce through the table's
+// single-flight entries. Runner construction ignores it.
+func WithSweepMemo(t *MemoTable) Option { return func(o *options) { o.memo = t } }
+
 // Runner validates compilers against a selected test set. Build one with
 // NewRunner; a Runner is immutable and safe for concurrent use.
 type Runner struct {
@@ -190,7 +241,11 @@ func newRunner(lang Language, all []*Template, opts []Option) (*Runner, error) {
 			tpls = all
 		}
 	}
-	r := &Runner{lang: lang, opts: o, templates: tpls, cache: compiler.NewCache()}
+	cache := o.cache
+	if cache == nil {
+		cache = compiler.NewCache()
+	}
+	r := &Runner{lang: lang, opts: o, templates: tpls, cache: cache}
 	// Validate the numeric surface now; the stand-in toolchain only
 	// satisfies the non-nil check, the caller's compiler arrives at Run.
 	if err := r.config(compiler.NewReference()).Validate(); err != nil {
@@ -214,6 +269,7 @@ func (r *Runner) config(tc Compiler) core.Config {
 		Obs:        r.opts.obs,
 		Engine:     r.opts.engine,
 		Cache:      r.cache,
+		Progress:   r.opts.progress,
 	}
 }
 

@@ -39,5 +39,7 @@ func RunSweep(ctx context.Context, vendor string, opts ...Option) (*SweepResult,
 		FailFast:    o.failFast,
 		Obs:         o.obs,
 		NoMemo:      o.noMemo,
+		Cache:       o.cache,
+		Memo:        o.memo,
 	})
 }
