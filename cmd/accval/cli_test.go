@@ -1,0 +1,170 @@
+// cli_test pins the subcommand redesign: the legacy flat-flag form must
+// stay byte-identical on stdout to the equivalent subcommand (the shim
+// only adds a stderr deprecation notice), and the new diff/vet verbs
+// must behave per their documented exit-status contract.
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accv"
+)
+
+// capture runs dispatch over argv and returns (stdout, stderr, status).
+func capture(t *testing.T, argv ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	status := dispatch(argv, &out, &errb)
+	return out.String(), errb.String(), status
+}
+
+// stripDurations blanks the report's wall-clock line — the only
+// non-deterministic bytes in a text report — so two runs compare equal.
+func stripDurations(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "Duration:") {
+			lines[i] = "Duration: X"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestLegacyRunStdoutByteIdentical(t *testing.T) {
+	flags := []string{"-compiler", "pgi", "-version", "13.2", "-family", "data", "-iterations", "1"}
+	legacyOut, legacyErr, legacyStatus := capture(t, flags...)
+	subOut, subErr, subStatus := capture(t, append([]string{"run"}, flags...)...)
+
+	if stripDurations(legacyOut) != stripDurations(subOut) {
+		t.Errorf("legacy stdout differs from `accval run` stdout:\n--- legacy ---\n%s\n--- run ---\n%s", legacyOut, subOut)
+	}
+	if legacyStatus != subStatus {
+		t.Errorf("exit status: legacy %d, run %d", legacyStatus, subStatus)
+	}
+	if !strings.Contains(legacyErr, "deprecated") {
+		t.Errorf("legacy stderr missing deprecation notice: %q", legacyErr)
+	}
+	if subErr != "" {
+		t.Errorf("`accval run` stderr not empty: %q", subErr)
+	}
+	if !strings.Contains(subOut, "pgi 13.2") {
+		t.Errorf("report does not mention the compiler: %q", subOut)
+	}
+}
+
+func TestLegacySweepStdoutByteIdentical(t *testing.T) {
+	flags := []string{"-compiler", "caps", "-family", "parallel", "-iterations", "1"}
+	legacyOut, legacyErr, legacyStatus := capture(t, append([]string{"-sweep"}, flags...)...)
+	subOut, _, subStatus := capture(t, append([]string{"sweep"}, flags...)...)
+
+	if legacyOut != subOut {
+		t.Errorf("legacy -sweep stdout differs from `accval sweep`:\n--- legacy ---\n%s\n--- sweep ---\n%s", legacyOut, subOut)
+	}
+	if legacyStatus != 0 || subStatus != 0 {
+		t.Errorf("exit status: legacy %d, sweep %d (want 0, 0)", legacyStatus, subStatus)
+	}
+	if !strings.Contains(legacyErr, "deprecated") {
+		t.Errorf("legacy stderr missing deprecation notice: %q", legacyErr)
+	}
+	if !strings.Contains(subOut, "Fig. 8 reproduction") {
+		t.Errorf("sweep table header missing: %q", subOut)
+	}
+}
+
+func TestLegacyListAndBugs(t *testing.T) {
+	listOut, _, status := capture(t, "-list")
+	if status != 0 || !strings.Contains(listOut, "parallel:") {
+		t.Errorf("-list: status %d, out %q", status, listOut)
+	}
+	bugsOut, _, status := capture(t, "-bugs", "-compiler", "pgi")
+	if status != 0 || !strings.Contains(bugsOut, "pgi bug database:") {
+		t.Errorf("-bugs: status %d, out %.80q", status, bugsOut)
+	}
+}
+
+func TestHelpListsSubcommands(t *testing.T) {
+	out, _, status := capture(t, "help")
+	if status != 0 {
+		t.Fatalf("help: status %d", status)
+	}
+	for _, verb := range []string{"run", "sweep", "vet", "diff"} {
+		if !strings.Contains(out, verb) {
+			t.Errorf("help output missing %q:\n%s", verb, out)
+		}
+	}
+}
+
+// snapFile writes a snapshot for the given records and returns its path.
+func snapFile(t *testing.T, name, version string, recs []accv.SnapshotRecord) string {
+	t.Helper()
+	s := &accv.Snapshot{Schema: 1, Compiler: "pgi", Version: version, Results: recs}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := accv.WriteSnapshot(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffCommandExitStatus(t *testing.T) {
+	pass := accv.SnapshotRecord{Name: "acc_parallel", Lang: "C", Family: "parallel", Outcome: "pass", FuncRuns: 3}
+	fail := pass
+	fail.Outcome, fail.FuncFails = "wrong_result", 3
+
+	a := snapFile(t, "a.json", "13.2", []accv.SnapshotRecord{pass})
+	b := snapFile(t, "b.json", "14.1", []accv.SnapshotRecord{fail})
+
+	out, _, status := capture(t, "diff", a, b)
+	if status != 1 {
+		t.Errorf("diff with a regression: status %d, want 1", status)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("diff output missing REGRESSION entry:\n%s", out)
+	}
+
+	// Same snapshots → no deltas → exit 0.
+	if _, _, status := capture(t, "diff", a, a); status != 0 {
+		t.Errorf("diff of identical snapshots: status %d, want 0", status)
+	}
+
+	// Known-flaky annotation downgrades the regression.
+	out, _, status = capture(t, "diff", "-known-flaky", "acc_parallel.C", a, b)
+	if status != 0 {
+		t.Errorf("diff with known-flaky: status %d, want 0", status)
+	}
+	if !strings.Contains(out, "FLAKY") {
+		t.Errorf("diff output missing FLAKY entry:\n%s", out)
+	}
+
+	// Usage errors exit 2.
+	if _, _, status := capture(t, "diff", a); status != 2 {
+		t.Errorf("diff with one arg: status %d, want 2", status)
+	}
+}
+
+func TestVetCommand(t *testing.T) {
+	clean := filepath.Join(t.TempDir(), "clean.c")
+	src := `int main() {
+  int a[8]; int i;
+  #pragma acc parallel loop copy(a)
+  for (i = 0; i < 8; i = i + 1) { a[i] = i; }
+  return 0;
+}`
+	if err := os.WriteFile(clean, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, errb, status := capture(t, "vet", clean); status != 0 {
+		t.Errorf("vet clean file: status %d, stdout %q, stderr %q", status, out, errb)
+	}
+	if _, _, status := capture(t, "vet"); status != 2 {
+		t.Errorf("vet with no args: status %d, want 2", status)
+	}
+}

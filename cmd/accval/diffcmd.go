@@ -1,0 +1,89 @@
+// The `accval diff` subcommand: classify per-template deltas between two
+// release snapshots (regression, fix, flaky, changed, new, removed).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"accv"
+)
+
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("accval diff", stderr)
+	format := fs.String("format", "text", "diff output format: text, json, or csv")
+	out := fs.String("o", "", "write the diff to a file instead of stdout")
+	knownFlaky := fs.String("known-flaky", "", "comma-separated template IDs (name.lang) to annotate as known flaky")
+	unchanged := fs.Bool("unchanged", false, "also list templates whose outcome did not change (text format)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: accval diff [flags] OLD.json NEW.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		return fail(stderr, fmt.Errorf("diff wants exactly two snapshot files, got %d args", fs.NArg()))
+	}
+	fm, err := accv.ParseDiffFormat(*format)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	a, err := readSnapshotFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	b, err := readSnapshotFile(fs.Arg(1))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var opts []accv.DiffOption
+	if *knownFlaky != "" {
+		opts = append(opts, accv.WithKnownFlaky(splitComma(*knownFlaky)...))
+	}
+	if *unchanged {
+		opts = append(opts, accv.WithUnchanged())
+	}
+	d := accv.Diff(a, b, opts...)
+	w := stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := accv.WriteDiff(w, d, fm); err != nil {
+		return fail(stderr, err)
+	}
+	if d.Regressions() > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readSnapshotFile(path string) (*accv.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := accv.ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,348 +1,78 @@
-// Command accval runs the OpenACC 1.0 validation suite against a simulated
-// compiler and reports the results — the paper's primary workflow.
+// Command accval runs the OpenACC 1.0 validation suite against a
+// simulated compiler and reports the results — the paper's primary
+// workflow — through a subcommand CLI:
 //
-//	accval -compiler pgi -version 13.2 -lang c
-//	accval -compiler caps -sweep            # Fig. 8-style version sweep
-//	accval -compiler cray -version 8.1.2 -format csv -o results.csv
+//	accval run   -compiler pgi -version 13.2 -lang c     # one suite run
+//	accval run   -compiler pgi -snapshot pgi-14.1.json   # + release snapshot
+//	accval sweep -compiler caps                          # Fig. 8 version sweep
+//	accval sweep -compiler caps -store ./results         # warm across processes
+//	accval vet   kernels.c saxpy.f90                     # static analysis only
+//	accval diff  pgi-13.2.json pgi-14.1.json             # cross-release deltas
+//
+// `accval help` prints the subcommand summary; every subcommand takes -h.
+// The historical flat-flag invocation (`accval -compiler pgi -sweep`)
+// still works through a legacy shim that prints a one-line deprecation
+// notice on stderr; its stdout is byte-identical to the equivalent
+// subcommand (pinned by cli_test.go).
+//
+// Exit status: 0 on success, 1 when the suite recorded failures (or the
+// diff recorded regressions), 2 on usage or input errors.
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
+	"io"
 	"os"
-	"time"
-
-	"accv"
 )
 
 func main() {
-	var (
-		compilerName = flag.String("compiler", "reference", "compiler to validate: caps, pgi, cray, reference")
-		version      = flag.String("version", "", "compiler version (default: newest simulated release)")
-		lang         = flag.String("lang", "c", "test language: c, fortran, or both")
-		family       = flag.String("family", "", "restrict to one feature family (e.g. parallel, data, loop)")
-		iterations   = flag.Int("iterations", 3, "repeat count M for the certainty statistics")
-		format       = flag.String("format", "text", "report format: text, csv, or html")
-		out          = flag.String("o", "", "write the report to a file instead of stdout")
-		bugReport    = flag.Bool("bugreport", false, "append the per-failure bug report with code snippets")
-		sweep        = flag.Bool("sweep", false, "run every simulated version of the compiler (pass-rate table)")
-		matrix       = flag.Bool("matrix", false, "print the feature × compiler pass/fail matrix (the table §VI omits)")
-		listFeatures = flag.Bool("list", false, "list registered test features and exit")
-		listBugs     = flag.Bool("bugs", false, "print the compiler's bug database (the ground truth behind Table I)")
-		traceOut     = flag.String("trace", "", "write the span trace (JSON) to a file, or - for stdout (docs/OBSERVABILITY.md)")
-		metricsOut   = flag.String("metrics", "", "write run metrics to a file, or - for stdout (docs/OBSERVABILITY.md)")
-		metricsFmt   = flag.String("metrics-format", "json", "metrics export format: json or prom")
-		jobs         = flag.Int("j", 0, "worker-pool width for parallel test execution (0: GOMAXPROCS, 1: sequential)")
-		timeout      = flag.Duration("timeout", 0, "per-iteration wall-clock timeout, e.g. 2s (0: engine default; each test also gets a context deadline covering all its iterations)")
-		failFast     = flag.Bool("fail-fast", false, "cancel the remaining suite after the first failure")
-		retries      = flag.Int("retry", 0, "re-run transiently-flaky failures up to N extra times (requires -timeout)")
-		vet          = flag.String("vet", "on", "accvet static-analysis policy: on (error findings fail the test), warn, or off")
-		engine       = flag.String("engine", "vm", "interpreter execution engine: vm (compiled bytecode) or tree (reference tree-walker)")
-	)
-	flag.Parse()
+	os.Exit(dispatch(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	// Observability: one observer spans every suite run of the invocation
-	// (the standard and -sweep paths; -matrix runs through a bare facade
-	// call and is not instrumented).
-	var observer *accv.Observer
-	if *traceOut != "" || *metricsOut != "" {
-		if *metricsFmt != "json" && *metricsFmt != "prom" {
-			fatal(fmt.Errorf("unknown metrics format %q (want json or prom)", *metricsFmt))
-		}
-		observer = accv.NewObserver()
-	}
-	// exportObs writes the trace and metrics files after the runs; it must
-	// run before any os.Exit.
-	exportObs := func() {
-		if observer == nil {
-			return
-		}
-		if *traceOut != "" {
-			writeTo(*traceOut, func(w *os.File) error { return observer.WriteTrace(w) })
-		}
-		if *metricsOut != "" {
-			writeTo(*metricsOut, func(w *os.File) error {
-				if *metricsFmt == "prom" {
-					return observer.WriteMetricsText(w)
-				}
-				return observer.WriteMetricsJSON(w)
-			})
-		}
-	}
+// subcommand is one routed verb; the table doubles as the help text's
+// source of truth.
+type subcommand struct {
+	name, summary string
+	run           func(args []string, stdout, stderr io.Writer) int
+}
 
-	if *listBugs {
-		db := accv.BugDatabase(*compilerName)
-		if db == nil {
-			fatal(fmt.Errorf("no bug database for %q (want caps, pgi, or cray)", *compilerName))
-		}
-		fmt.Printf("%s bug database: %d entries\n\n", *compilerName, len(db))
-		fmt.Printf("%-34s %-8s %-11s %-10s %s\n", "id", "lang", "introduced", "fixed-in", "title")
-		for _, b := range db {
-			intro, fixed := b.Introduced, b.FixedIn
-			if intro == "" {
-				intro = "(first)"
-			}
-			if fixed == "" {
-				fixed = "(never)"
-			}
-			fmt.Printf("%-34s %-8s %-11s %-10s %s\n", b.ID, b.Lang, intro, fixed, b.Title)
-		}
-		return
-	}
+var subcommands = []subcommand{
+	{"run", "validate one compiler release against the suite", cmdRun},
+	{"sweep", "validate every simulated release of a vendor (memoized; -store keeps it warm across processes)", cmdSweep},
+	{"vet", "run the accvet static analyzers over standalone sources", cmdVet},
+	{"diff", "classify per-template deltas between two release snapshots", cmdDiff},
+}
 
-	if *listFeatures {
-		for _, fam := range accv.Families() {
-			fmt.Printf("%s:\n", fam)
-			for _, t := range accv.AllTemplates() {
-				if t.Family == fam && t.Lang == accv.C {
-					fmt.Printf("  %-36s %s\n", t.Name, t.Description)
-				}
+// dispatch routes argv: a known subcommand verb runs it; anything else —
+// including the bare flat-flag form — falls through to the legacy shim
+// with a one-line deprecation notice on stderr, stdout byte-identical to
+// the subcommand form.
+func dispatch(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) > 0 {
+		for _, sc := range subcommands {
+			if argv[0] == sc.name {
+				return sc.run(argv[1:], stdout, stderr)
 			}
 		}
-		return
-	}
-
-	langs, err := parseLangs(*lang)
-	if err != nil {
-		fatal(err)
-	}
-
-	// The execution options shared by the standard and -sweep paths.
-	runOpts := []accv.Option{
-		accv.WithIterations(*iterations),
-		accv.WithObs(observer),
-		accv.WithParallelism(*jobs),
-		accv.WithTimeout(*timeout),
-	}
-	if *family != "" {
-		runOpts = append(runOpts, accv.WithFamily(*family))
-	}
-	if *failFast {
-		runOpts = append(runOpts, accv.WithFailFast())
-	}
-	if *retries > 0 {
-		runOpts = append(runOpts, accv.WithRetry(*retries, 50*time.Millisecond))
-	}
-	vetPolicy, err := parseVet(*vet)
-	if err != nil {
-		fatal(err)
-	}
-	runOpts = append(runOpts, accv.WithVet(vetPolicy))
-	eng, err := parseEngine(*engine)
-	if err != nil {
-		fatal(err)
-	}
-	runOpts = append(runOpts, accv.WithEngine(eng))
-
-	if *sweep {
-		runSweep(*compilerName, langs, runOpts)
-		exportObs()
-		return
-	}
-	if *matrix {
-		runMatrix(langs[0], *iterations, *family, *version)
-		return
-	}
-
-	ver := *version
-	if ver == "" {
-		if vs := accv.Versions(*compilerName); len(vs) > 0 {
-			ver = vs[len(vs)-1]
+		switch argv[0] {
+		case "help", "-help", "--help", "-h":
+			usage(stdout)
+			return 0
 		}
 	}
-	tc, err := accv.NewCompiler(*compilerName, ver)
-	if err != nil {
-		fatal(err)
-	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	fm, err := parseFormat(*format)
-	if err != nil {
-		fatal(err)
-	}
-	exit := 0
-	for _, l := range langs {
-		r, err := accv.NewRunner(l, runOpts...)
-		if err != nil {
-			fatal(err)
-		}
-		res := r.Run(tc)
-		if err := accv.WriteReport(w, res, fm); err != nil {
-			fatal(err)
-		}
-		if *bugReport {
-			fmt.Fprintln(w)
-			if err := accv.WriteBugReport(w, res); err != nil {
-				fatal(err)
-			}
-		}
-		if res.Failed() > 0 {
-			exit = 1
-		}
-	}
-	exportObs()
-	os.Exit(exit)
+	fmt.Fprintln(stderr, "accval: the flat-flag form is deprecated; use `accval run`, `accval sweep`, `accval vet`, or `accval diff` (same flags — see `accval help`)")
+	return cmdLegacy(argv, stdout, stderr)
 }
 
-// writeTo opens path ("-" means stdout) and applies f to it.
-func writeTo(path string, f func(*os.File) error) {
-	w := os.Stdout
-	if path != "-" {
-		var err error
-		w, err = os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		defer w.Close()
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: accval <command> [flags]\n\ncommands:\n")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  %-7s %s\n", sc.name, sc.summary)
 	}
-	if err := f(w); err != nil {
-		fatal(err)
-	}
+	fmt.Fprintf(w, "\nRun `accval <command> -h` for that command's flags.\n")
 }
 
-// runSweep prints the Fig. 8-style pass-rate table across every simulated
-// version of the vendor under the shared execution options. It runs on the
-// memoized sweep engine: -j spreads the worker budget across the
-// (version × lang) cells, and tests whose behavior is unchanged between
-// releases execute once (docs/PERFORMANCE.md). The rendered table is
-// byte-identical to the former per-version loop.
-func runSweep(vendor string, langs []accv.Language, opts []accv.Option) {
-	res, err := accv.RunSweep(context.Background(), vendor,
-		append(append([]accv.Option(nil), opts...), accv.WithLangs(langs...))...)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("Pass rate (%%) by %s version — Fig. 8 reproduction\n\n", vendor)
-	fmt.Printf("%-10s", "version")
-	for _, l := range res.Langs {
-		fmt.Printf("  %10s", l.String()+" test")
-	}
-	fmt.Println()
-	for vi, ver := range res.Versions {
-		fmt.Printf("%-10s", ver)
-		for li := range res.Langs {
-			fmt.Printf("  %9.1f%%", res.Cells[vi][li].PassRate())
-		}
-		fmt.Println()
-	}
-}
-
-// runMatrix prints the per-feature pass/fail table against the three vendor
-// compilers — the "tabular column" §VI describes but omits for space.
-func runMatrix(lang accv.Language, iterations int, family, version string) {
-	vendorNames := accv.Vendors()
-	var compilers []accv.Compiler
-	for _, v := range vendorNames {
-		ver := version
-		if ver == "" {
-			vs := accv.Versions(v)
-			ver = vs[len(vs)-1]
-		}
-		tc, err := accv.NewCompiler(v, ver)
-		if err != nil {
-			fatal(err)
-		}
-		compilers = append(compilers, tc)
-	}
-
-	s := accv.NewSuite(lang).Iterations(iterations)
-	if family != "" {
-		s = s.Family(family)
-	}
-	tpls := s.Templates()
-
-	fmt.Printf("Feature × compiler matrix (%s tests)\n\n", lang)
-	fmt.Printf("%-36s", "feature")
-	for _, tc := range compilers {
-		fmt.Printf("  %-14s", tc.Name()+" "+tc.Version())
-	}
-	fmt.Println()
-	for _, tpl := range tpls {
-		fmt.Printf("%-36s", tpl.Name)
-		for _, tc := range compilers {
-			res := accv.RunTest(tc, tpl, iterations)
-			cell := "pass"
-			if res.Outcome.Failed() {
-				cell = "FAIL(" + shortOutcome(res.Outcome.String()) + ")"
-			}
-			fmt.Printf("  %-14s", cell)
-		}
-		fmt.Println()
-	}
-}
-
-// shortOutcome abbreviates outcome names for matrix cells.
-func shortOutcome(s string) string {
-	switch s {
-	case "compilation error":
-		return "compile"
-	case "incorrect results":
-		return "wrong"
-	case "time out":
-		return "hang"
-	case "vet findings":
-		return "vet"
-	}
-	return s
-}
-
-// parseVet maps the -vet flag onto the facade's vet policies.
-func parseVet(s string) (accv.VetPolicy, error) {
-	switch s {
-	case "on", "", "true", "enforce":
-		return accv.VetEnforce, nil
-	case "warn":
-		return accv.VetWarnOnly, nil
-	case "off", "false":
-		return accv.VetOff, nil
-	}
-	return accv.VetEnforce, fmt.Errorf("unknown -vet policy %q (want on, warn, or off)", s)
-}
-
-// parseEngine maps the -engine flag onto the facade's execution engines.
-func parseEngine(s string) (accv.Engine, error) {
-	switch s {
-	case "vm", "":
-		return accv.EngineVM, nil
-	case "tree":
-		return accv.EngineTree, nil
-	}
-	return accv.EngineVM, fmt.Errorf("unknown -engine %q (want vm or tree)", s)
-}
-
-func parseLangs(s string) ([]accv.Language, error) {
-	switch s {
-	case "c":
-		return []accv.Language{accv.C}, nil
-	case "fortran", "f":
-		return []accv.Language{accv.Fortran}, nil
-	case "both", "all":
-		return []accv.Language{accv.C, accv.Fortran}, nil
-	}
-	return nil, fmt.Errorf("unknown language %q (want c, fortran, or both)", s)
-}
-
-func parseFormat(s string) (accv.ReportFormat, error) {
-	switch s {
-	case "text", "":
-		return accv.Text, nil
-	case "csv":
-		return accv.CSV, nil
-	case "html":
-		return accv.HTML, nil
-	}
-	return accv.Text, fmt.Errorf("unknown format %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "accval:", err)
-	os.Exit(2)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "accval:", err)
+	return 2
 }

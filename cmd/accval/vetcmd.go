@@ -1,0 +1,68 @@
+// The `accval vet` subcommand: the accvet static analyzers over
+// standalone sources, without running anything. It is a convenience
+// front end to the same analysis the suite's WithVet policy applies;
+// the full-featured linter (JSON output, analyzer selection) is the
+// standalone accvet command.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"accv"
+	"accv/internal/analysis"
+)
+
+func cmdVet(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("accval vet", stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: accval vet files...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	status := 0
+	for _, path := range fs.Args() {
+		lang, ok := vetLangOf(path)
+		if !ok {
+			return fail(stderr, fmt.Errorf("%s: unknown source extension (want .c, .f, .f90, or .f95)", path))
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		prog, err := accv.Parse(string(src), lang)
+		if err != nil {
+			return fail(stderr, fmt.Errorf("%s: %w", path, err))
+		}
+		findings := accv.AnalyzeProgram(prog)
+		if err := analysis.WriteText(stdout, path, findings); err != nil {
+			return fail(stderr, err)
+		}
+		for _, f := range findings {
+			if f.Sev == analysis.Error {
+				status = 1
+			}
+		}
+	}
+	return status
+}
+
+// vetLangOf picks the frontend by file extension, accvet's convention.
+func vetLangOf(path string) (accv.Language, bool) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".c":
+		return accv.C, true
+	case ".f", ".f90", ".f95":
+		return accv.Fortran, true
+	}
+	return accv.C, false
+}

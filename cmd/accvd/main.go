@@ -44,7 +44,11 @@ func run(argv []string) int {
 	}
 
 	logger := log.New(os.Stderr, "accvd: ", log.LstdFlags)
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		logger.Printf("startup: %v", err)
+		return 2
+	}
 	httpSrv := &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,62 @@
+package accv_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"accv"
+)
+
+// readSnap loads one bundled release snapshot from the golden corpus.
+func readSnap(t *testing.T, path string) *accv.Snapshot {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := accv.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDiffGoldenCorpus pins `accval diff` output byte-for-byte over the
+// bundled synthetic release pair, which covers every delta class:
+// regression, fix, flaky (intermittent and known-flaky), changed (new
+// outcome and swapped bug IDs), new, and removed. Regenerate the goldens
+// only for a deliberate format change.
+func TestDiffGoldenCorpus(t *testing.T) {
+	a := readSnap(t, "testdata/snapshots/pgi-13.2.json")
+	b := readSnap(t, "testdata/snapshots/pgi-14.1.json")
+	d := accv.Diff(a, b, accv.WithKnownFlaky("c_known.C"))
+
+	wantCounts := map[accv.DiffClass]int{
+		accv.DiffRegression: 1, accv.DiffFix: 1, accv.DiffFlaky: 2,
+		accv.DiffChanged: 2, accv.DiffNew: 1, accv.DiffRemoved: 1,
+	}
+	for cls, n := range wantCounts {
+		if d.Counts[cls] != n {
+			t.Errorf("corpus diff counts[%s] = %d, want %d", cls, d.Counts[cls], n)
+		}
+	}
+
+	for golden, format := range map[string]accv.DiffFormat{
+		"testdata/snapshots/golden-diff.txt": accv.DiffText,
+		"testdata/snapshots/golden-diff.csv": accv.DiffCSV,
+	} {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := accv.WriteDiff(&got, d, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s drifted:\n--- got ---\n%s\n--- want ---\n%s", golden, got.String(), want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package accv_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"accv"
+)
+
+// ExampleOpenStore opens a persistent result store and inspects it. The
+// directory is created (and schema-stamped) on first open; reopening a
+// directory stamped by a different schema version fails instead of
+// mis-decoding.
+func ExampleOpenStore() {
+	dir, err := os.MkdirTemp("", "accv-store")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := accv.OpenStore(dir, accv.WithStoreCap(1024))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("entries:", st.Len())
+	// Output:
+	// entries: 0
+}
+
+// ExampleWithResultStore threads a persistent store through a sweep: the
+// first sweep executes and writes every verdict through; the second —
+// here with the same handle, but equally from another process or after a
+// restart — serves entirely from disk.
+func ExampleWithResultStore() {
+	dir, err := os.MkdirTemp("", "accv-store")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := accv.OpenStore(dir)
+	if err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	opts := []accv.Option{
+		accv.WithFamily("wait"), accv.WithIterations(1),
+		accv.WithResultStore(st),
+	}
+	if _, err := accv.RunSweep(ctx, "pgi", opts...); err != nil {
+		panic(err)
+	}
+	warm, err := accv.RunSweep(ctx, "pgi", opts...)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("re-executed:", warm.MemoMisses)
+	fmt.Println("served from disk:", warm.StoreHits > 0)
+	// Output:
+	// re-executed: 0
+	// served from disk: true
+}
+
+// ExampleDiff classifies the per-template deltas between two release
+// snapshots — the library form of `accval diff`.
+func ExampleDiff() {
+	a := &accv.Snapshot{Schema: accv.SnapshotSchemaVersion, Compiler: "pgi", Version: "13.2",
+		Results: []accv.SnapshotRecord{
+			{Name: "acc_parallel", Lang: "C", Family: "parallel", Outcome: "pass", FuncRuns: 3},
+			{Name: "acc_reduction", Lang: "C", Family: "reduction", Outcome: "wrong_result", FuncRuns: 3, FuncFails: 3},
+		}}
+	b := &accv.Snapshot{Schema: accv.SnapshotSchemaVersion, Compiler: "pgi", Version: "14.1",
+		Results: []accv.SnapshotRecord{
+			{Name: "acc_parallel", Lang: "C", Family: "parallel", Outcome: "compile_error", FuncRuns: 0, FuncFails: 3},
+			{Name: "acc_reduction", Lang: "C", Family: "reduction", Outcome: "pass", FuncRuns: 3},
+		}}
+
+	d := accv.Diff(a, b)
+	if err := accv.WriteDiff(os.Stdout, d, accv.DiffText); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Release diff: pgi 13.2 -> pgi 14.1
+	//
+	// REGRESSION  acc_parallel.C                           pass -> compile_error
+	// FIX         acc_reduction.C                          wrong_result -> pass
+	//
+	// 1 regression, 1 fix; 0 unchanged
+}

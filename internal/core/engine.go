@@ -76,7 +76,7 @@ func runSuite(ctx context.Context, cfg Config, templates []*Template) (*SuiteRes
 	if workers > len(templates) {
 		workers = len(templates)
 	}
-	var memoHits, memoMisses atomic.Int64
+	var memoHits, memoMisses, storeHits atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -104,6 +104,20 @@ func runSuite(ctx context.Context, cfg Config, templates []*Template) (*SuiteRes
 							// Keep the accv_tests_total ≡ suite-size
 							// invariant: memoized tests still count, under
 							// the outcome their reused result carries.
+							cfg.Obs.Add("accv_tests_total", 1,
+								obs.L("lang", templates[i].Lang.String()),
+								obs.L("family", templates[i].Family),
+								obs.L("outcome", results[i].Outcome.MetricLabel()))
+						}
+					case memoStoreHit:
+						// Served from the persistent store: counted on
+						// its own series (the store itself emits
+						// accv_store_hits_total at load time), never as
+						// a memo hit or miss — the three series stay
+						// disjoint. The accv_tests_total ≡ suite-size
+						// invariant still holds.
+						storeHits.Add(1)
+						if cfg.Obs != nil {
 							cfg.Obs.Add("accv_tests_total", 1,
 								obs.L("lang", templates[i].Lang.String()),
 								obs.L("family", templates[i].Family),
@@ -138,6 +152,7 @@ func runSuite(ctx context.Context, cfg Config, templates []*Template) (*SuiteRes
 		Duration:   time.Since(start),
 		MemoHits:   int(memoHits.Load()),
 		MemoMisses: int(memoMisses.Load()),
+		StoreHits:  int(storeHits.Load()),
 	}
 	if cfg.Obs != nil {
 		suiteSpan.End()

@@ -17,6 +17,17 @@ import (
 	"accv/internal/obs"
 )
 
+// ResultStore is the memo table's persistence hook: a durable
+// content-addressed store of TestResults keyed by behavioral fingerprint
+// (internal/store implements it on disk). Load returns the stored result
+// for a fingerprint, if any; Save persists one. Both must be safe for
+// concurrent use; Save is fire-and-forget (the engine never blocks a
+// verdict on persistence errors).
+type ResultStore interface {
+	Load(fp string) (TestResult, bool)
+	Save(fp string, res TestResult)
+}
+
 // MemoTable is a shared, concurrency-safe result store keyed by
 // behavioral fingerprint. The zero value is not usable; call NewMemoTable.
 type MemoTable struct {
@@ -68,15 +79,23 @@ func cloneResult(res TestResult) TestResult {
 }
 
 // memoOutcome classifies how a test was served for the suite counters.
+// The classes are disjoint by construction — a result is served exactly
+// one way — which is what keeps accv_sweep_memo_{hits,misses}_total and
+// accv_store_hits_total disjoint series (docs/OBSERVABILITY.md).
 const (
-	memoOff  = iota // memoization not configured or template opted out
-	memoMiss        // executed and stored (or executed after a failed lead)
-	memoHit         // served from the table
+	memoOff      = iota // memoization not configured or template opted out
+	memoMiss            // executed and stored (or executed after a failed lead)
+	memoHit             // served from the in-memory table
+	memoStoreHit        // served from the persistent result store (disk)
 )
 
-// runMemoized wraps runTestAttempts with the memo table. Canceled results
-// are never stored — a canceled leader deletes its entry so a later
-// claimant re-runs the test instead of inheriting the cancellation.
+// runMemoized wraps runTestAttempts with the memo table and its optional
+// persistent backing store. A leader first consults cfg.Store — a disk
+// hit publishes into the in-memory table (so later claimants are memo
+// hits) without counting as a memo hit or miss itself — then executes on
+// a true miss and writes the verdict through. Canceled results are never
+// stored — a canceled leader deletes its entry so a later claimant
+// re-runs the test instead of inheriting the cancellation.
 func runMemoized(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, worker int) (TestResult, int) {
 	if cfg.Memo == nil || cfg.Fingerprint == nil {
 		return runTestAttempts(ctx, cfg, tpl, parent, worker), memoOff
@@ -90,14 +109,26 @@ func runMemoized(ctx context.Context, cfg Config, tpl *Template, parent *obs.Spa
 		t.mu.Lock()
 		e := t.m[fp]
 		if e == nil {
-			// Leader: run the test, publish, wake the waiters.
+			// Leader: serve from disk if possible, else run the test;
+			// either way publish and wake the waiters.
 			e = &memoEntry{done: make(chan struct{})}
 			t.m[fp] = e
 			t.mu.Unlock()
+			if cfg.Store != nil {
+				if res, ok := cfg.Store.Load(fp); ok && res.Outcome != Canceled {
+					e.res = cloneResult(res)
+					e.ok = true
+					close(e.done)
+					return res, memoStoreHit
+				}
+			}
 			res := runTestAttempts(ctx, cfg, tpl, parent, worker)
 			if res.Outcome != Canceled {
 				e.res = cloneResult(res)
 				e.ok = true
+				if cfg.Store != nil {
+					cfg.Store.Save(fp, e.res)
+				}
 			}
 			if !e.ok {
 				t.mu.Lock()

@@ -214,6 +214,13 @@ type Config struct {
 	// soundness: two templates/configs may share a fingerprint only if
 	// their executions are behaviorally identical.
 	Fingerprint func(tpl *Template) (fp string, ok bool)
+	// Store, when non-nil (and Memo and Fingerprint are set), backs the
+	// memo table with a persistent result store (internal/store): memo
+	// leaders warm from it before executing and write verdicts through to
+	// it, so sweeps start warm across processes and CI jobs
+	// (docs/STORE.md). Disk hits are accounted separately from memo hits
+	// (SuiteResult.StoreHits, accv_store_hits_total).
+	Store ResultStore
 }
 
 // withDefaults fills zero fields.
@@ -343,6 +350,10 @@ type SuiteResult struct {
 	// unset). They are scheduling telemetry, not results: the report
 	// renderers ignore them so memoized and naive runs stay byte-identical.
 	MemoHits, MemoMisses int
+	// StoreHits counts this run's tests served from the persistent result
+	// store (Config.Store) — disjoint from MemoHits/MemoMisses: a disk
+	// hit neither executed nor came from the in-memory table.
+	StoreHits int
 }
 
 // Total returns the number of tests.

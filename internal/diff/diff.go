@@ -1,0 +1,290 @@
+// Package diff is the cross-release regression tracker behind
+// `accval diff A B` and accvd's POST /v1/diff: it compares two release
+// snapshots — serialized per-template suite outcomes for one compiler
+// release — and classifies every per-template delta as a regression, fix,
+// flaky flip, outcome change, new test, or removed test. This is the
+// paper's suite turned longitudinal: the real-world workload (ECP SOLLVE
+// V&V status updates) re-runs the suite on every compiler release and
+// asks "what changed?", and the diff engine answers it deterministically
+// — entries sort by template ID, renders are byte-stable — so two CI jobs
+// diffing the same snapshots always agree. Snapshot files are JSON with a
+// stamped schema version; harness node-screening history can be folded in
+// (Options.KnownFlaky) to annotate deltas the production harness already
+// knows to be environment-dependent rather than release regressions.
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"accv/internal/core"
+)
+
+// SnapshotSchema stamps every snapshot file; a mismatched stamp refuses
+// to load rather than mis-decoding.
+const SnapshotSchema = 1
+
+// Snapshot is one release's suite outcome: the per-template records for
+// one compiler at one version. It is the unit `accval diff` compares.
+type Snapshot struct {
+	Schema   int    `json:"schema"`
+	Compiler string `json:"compiler"`
+	Version  string `json:"version"`
+	// CreatedUnix records when the snapshot was taken (informational;
+	// diffs ignore it so re-taken snapshots diff identically).
+	CreatedUnix int64    `json:"created_unix,omitempty"`
+	Results     []Record `json:"results"`
+}
+
+// Record is one template's outcome inside a snapshot — the stable,
+// human-readable subset of core.TestResult a longitudinal diff needs.
+type Record struct {
+	Name   string `json:"name"`
+	Lang   string `json:"lang"`
+	Family string `json:"family"`
+	// Outcome is the snake_case outcome label (core.Outcome.MetricLabel):
+	// pass, compile_error, wrong_result, crash, timeout, vet_fail,
+	// canceled.
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail,omitempty"`
+	// FuncRuns/FuncFails carry the §III functional statistics so the diff
+	// can recognize intermittency (flaky flips) without re-running.
+	FuncRuns  int      `json:"func_runs"`
+	FuncFails int      `json:"func_fails"`
+	BugIDs    []string `json:"bug_ids,omitempty"`
+}
+
+// ID returns the template identity records are matched by.
+func (r Record) ID() string { return r.Name + "." + r.Lang }
+
+// Passed reports whether the record's outcome is a pass.
+func (r Record) Passed() bool { return r.Outcome == "pass" }
+
+// Intermittent reports the §III flakiness signature: the functional
+// variant failed on some but not all iterations.
+func (r Record) Intermittent() bool {
+	return r.FuncRuns > 0 && r.FuncFails > 0 && r.FuncFails < r.FuncRuns
+}
+
+// FromSuite snapshots a completed suite run. Records come out sorted by
+// template ID so a snapshot's bytes are independent of scheduling.
+func FromSuite(res *core.SuiteResult) *Snapshot {
+	s := &Snapshot{
+		Schema:      SnapshotSchema,
+		Compiler:    res.Compiler,
+		Version:     res.Version,
+		CreatedUnix: time.Now().Unix(),
+	}
+	for i := range res.Results {
+		r := &res.Results[i]
+		s.Results = append(s.Results, Record{
+			Name: r.Name, Lang: r.Lang.String(), Family: r.Family,
+			Outcome: r.Outcome.MetricLabel(), Detail: r.Detail,
+			FuncRuns: r.FuncRuns, FuncFails: r.FuncFails,
+			BugIDs: append([]string(nil), r.BugIDs...),
+		})
+	}
+	sort.Slice(s.Results, func(i, j int) bool { return s.Results[i].ID() < s.Results[j].ID() })
+	return s
+}
+
+// Write serializes a snapshot (indented JSON, trailing newline — the
+// bundled testdata/snapshots files are in exactly this form).
+func Write(w io.Writer, s *Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Read deserializes a snapshot, refusing unknown schema stamps.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("snapshot: schema %d, this binary speaks %d", s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}
+
+// Class is a delta classification.
+type Class string
+
+// The delta classes, from most to least alarming. Every changed template
+// gets exactly one.
+const (
+	// Regression: passed in A, fails in B deterministically.
+	Regression Class = "regression"
+	// Fix: failed in A, passes in B.
+	Fix Class = "fix"
+	// Flaky: the pass/fail flip carries the §III intermittency signature
+	// (some-but-not-all functional iterations failed on the flipping
+	// side) or the template is in the harness's known-flaky screening
+	// history — an environment suspect, not a clean release delta.
+	Flaky Class = "flaky"
+	// Changed: failing on both sides but with a different outcome or
+	// implicated bug set (e.g. a compile error that became a crash).
+	Changed Class = "changed"
+	// New: present only in B (template added or newly selected).
+	New Class = "new"
+	// Removed: present only in A.
+	Removed Class = "removed"
+)
+
+// classOrder ranks classes for the summary line (text renderer).
+var classOrder = []Class{Regression, Fix, Flaky, Changed, New, Removed}
+
+// Entry is one classified per-template delta.
+type Entry struct {
+	ID     string `json:"id"`
+	Family string `json:"family"`
+	Class  Class  `json:"class"`
+	// OutcomeA/OutcomeB are the two outcome labels ("" for the absent
+	// side of a new/removed entry).
+	OutcomeA string `json:"outcome_a,omitempty"`
+	OutcomeB string `json:"outcome_b,omitempty"`
+	// DetailB carries B's failure detail for regressions and changes.
+	DetailB string `json:"detail_b,omitempty"`
+	// BugIDsB lists the bug-DB entries implicated on the B side.
+	BugIDsB []string `json:"bug_ids_b,omitempty"`
+	// KnownFlaky marks templates the harness screening history already
+	// flagged as node-dependent (Options.KnownFlaky).
+	KnownFlaky bool `json:"known_flaky,omitempty"`
+}
+
+// Options tunes a diff.
+type Options struct {
+	// KnownFlaky lists template IDs ("name.lang") the harness's
+	// node-screening history has seen fail inconsistently across nodes.
+	// A pass/fail flip on such a template classifies Flaky rather than
+	// Regression/Fix, and its entry is annotated KnownFlaky.
+	KnownFlaky []string
+	// IncludeUnchanged keeps unchanged templates in Result.Unchanged
+	// detail (the count is always reported).
+	IncludeUnchanged bool
+}
+
+// Result is a completed diff.
+type Result struct {
+	CompilerA string `json:"compiler_a"`
+	VersionA  string `json:"version_a"`
+	CompilerB string `json:"compiler_b"`
+	VersionB  string `json:"version_b"`
+	// Entries holds every classified delta, sorted by template ID.
+	Entries []Entry `json:"entries"`
+	// Unchanged is the number of templates present on both sides with an
+	// identical outcome.
+	Unchanged int `json:"unchanged"`
+	// Counts maps class → number of entries.
+	Counts map[Class]int `json:"counts"`
+}
+
+// Regressions reports the number of regression entries — the diff's
+// headline and `accval diff`'s exit-code driver.
+func (r *Result) Regressions() int { return r.Counts[Regression] }
+
+// Diff compares two snapshots. It is deterministic: same inputs, same
+// Result, byte-stable renders.
+func Diff(a, b *Snapshot, opts Options) *Result {
+	flaky := map[string]bool{}
+	for _, id := range opts.KnownFlaky {
+		flaky[id] = true
+	}
+	am := byID(a)
+	bm := byID(b)
+	res := &Result{
+		CompilerA: a.Compiler, VersionA: a.Version,
+		CompilerB: b.Compiler, VersionB: b.Version,
+		Counts: map[Class]int{},
+	}
+	ids := map[string]bool{}
+	for id := range am {
+		ids[id] = true
+	}
+	for id := range bm {
+		ids[id] = true
+	}
+	for id := range ids {
+		ra, inA := am[id]
+		rb, inB := bm[id]
+		var e Entry
+		switch {
+		case !inA:
+			e = Entry{ID: id, Family: rb.Family, Class: New, OutcomeB: rb.Outcome,
+				DetailB: rb.Detail, BugIDsB: rb.BugIDs}
+		case !inB:
+			e = Entry{ID: id, Family: ra.Family, Class: Removed, OutcomeA: ra.Outcome}
+		default:
+			cls, same := classify(ra, rb, flaky[id])
+			if same {
+				res.Unchanged++
+				continue
+			}
+			e = Entry{ID: id, Family: rb.Family, Class: cls,
+				OutcomeA: ra.Outcome, OutcomeB: rb.Outcome,
+				DetailB: rb.Detail, BugIDsB: rb.BugIDs}
+		}
+		e.KnownFlaky = flaky[id]
+		res.Entries = append(res.Entries, e)
+	}
+	sort.Slice(res.Entries, func(i, j int) bool { return res.Entries[i].ID < res.Entries[j].ID })
+	for _, e := range res.Entries {
+		res.Counts[e.Class]++
+	}
+	return res
+}
+
+// classify maps one shared template's (A, B) records onto a delta class,
+// or reports same=true for an identical outcome.
+func classify(a, b Record, knownFlaky bool) (cls Class, same bool) {
+	if a.Outcome == b.Outcome {
+		if !a.Passed() && !equalIDs(a.BugIDs, b.BugIDs) {
+			// Same failure mode, different implicated bugs: the release
+			// changed what is broken even though the label didn't.
+			return Changed, false
+		}
+		return "", true
+	}
+	switch {
+	case a.Passed() && !b.Passed():
+		if knownFlaky || b.Intermittent() {
+			return Flaky, false
+		}
+		return Regression, false
+	case !a.Passed() && b.Passed():
+		if knownFlaky || a.Intermittent() {
+			return Flaky, false
+		}
+		return Fix, false
+	default: // fail → different fail
+		return Changed, false
+	}
+}
+
+func equalIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func byID(s *Snapshot) map[string]Record {
+	m := make(map[string]Record, len(s.Results))
+	for _, r := range s.Results {
+		m[r.ID()] = r
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package diff
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// rec builds a snapshot record with the §III statistics spelled out.
+func rec(name, outcome string, runs, fails int, bugs ...string) Record {
+	return Record{Name: name, Lang: "C", Family: "synthetic", Outcome: outcome,
+		FuncRuns: runs, FuncFails: fails, BugIDs: bugs}
+}
+
+// twoReleases builds the synthetic release pair covering every delta
+// class exactly once (plus one unchanged template and a second flaky via
+// the known-flaky option).
+func twoReleases() (*Snapshot, *Snapshot) {
+	a := &Snapshot{Schema: SnapshotSchema, Compiler: "pgi", Version: "13.2", Results: []Record{
+		rec("a_fix", "compile_error", 0, 0),
+		rec("b_flaky", "pass", 3, 0),
+		rec("c_known", "pass", 3, 0),
+		rec("d_changed", "compile_error", 0, 0),
+		rec("e_bugswap", "wrong_result", 3, 3, "PGI-OLD"),
+		rec("g_regress", "pass", 3, 0),
+		rec("h_removed", "pass", 3, 0),
+		rec("i_same", "pass", 3, 0),
+	}}
+	breg := rec("g_regress", "compile_error", 0, 3)
+	breg.Detail = "pgi 14.1: internal compiler error"
+	bflaky := rec("b_flaky", "wrong_result", 3, 1) // some-but-not-all: intermittent
+	bflaky.Detail = "intermittent wrong answer"
+	b := &Snapshot{Schema: SnapshotSchema, Compiler: "pgi", Version: "14.1", Results: []Record{
+		rec("a_fix", "pass", 3, 0),
+		bflaky,
+		rec("c_known", "wrong_result", 3, 3), // deterministic, but known flaky
+		rec("d_changed", "timeout", 3, 3),
+		rec("e_bugswap", "wrong_result", 3, 3, "PGI-NEW"),
+		rec("f_new", "pass", 3, 0),
+		breg,
+		rec("i_same", "pass", 3, 0),
+	}}
+	return a, b
+}
+
+func TestDiffClassifiesEveryDeltaClass(t *testing.T) {
+	a, b := twoReleases()
+	d := Diff(a, b, Options{KnownFlaky: []string{"c_known.C"}})
+
+	wantClasses := map[string]Class{
+		"a_fix.C":     Fix,
+		"b_flaky.C":   Flaky,
+		"c_known.C":   Flaky,
+		"d_changed.C": Changed,
+		"e_bugswap.C": Changed,
+		"f_new.C":     New,
+		"g_regress.C": Regression,
+		"h_removed.C": Removed,
+	}
+	if len(d.Entries) != len(wantClasses) {
+		t.Fatalf("entries = %d, want %d: %+v", len(d.Entries), len(wantClasses), d.Entries)
+	}
+	for _, e := range d.Entries {
+		if e.Class != wantClasses[e.ID] {
+			t.Errorf("%s classified %s, want %s", e.ID, e.Class, wantClasses[e.ID])
+		}
+	}
+	if d.Unchanged != 1 {
+		t.Errorf("unchanged = %d, want 1 (i_same)", d.Unchanged)
+	}
+	if d.Regressions() != 1 {
+		t.Errorf("Regressions() = %d, want 1", d.Regressions())
+	}
+	wantCounts := map[Class]int{Regression: 1, Fix: 1, Flaky: 2, Changed: 2, New: 1, Removed: 1}
+	if !reflect.DeepEqual(d.Counts, wantCounts) {
+		t.Errorf("Counts = %v, want %v", d.Counts, wantCounts)
+	}
+	for _, e := range d.Entries {
+		if e.KnownFlaky != (e.ID == "c_known.C") {
+			t.Errorf("%s KnownFlaky = %v", e.ID, e.KnownFlaky)
+		}
+	}
+}
+
+// TestDiffEntriesSorted pins determinism: entries come out sorted by
+// template ID regardless of snapshot record order.
+func TestDiffEntriesSorted(t *testing.T) {
+	a, b := twoReleases()
+	// Reverse both record slices; the diff must not care.
+	for i, j := 0, len(a.Results)-1; i < j; i, j = i+1, j-1 {
+		a.Results[i], a.Results[j] = a.Results[j], a.Results[i]
+	}
+	for i, j := 0, len(b.Results)-1; i < j; i, j = i+1, j-1 {
+		b.Results[i], b.Results[j] = b.Results[j], b.Results[i]
+	}
+	d := Diff(a, b, Options{})
+	for i := 1; i < len(d.Entries); i++ {
+		if d.Entries[i-1].ID >= d.Entries[i].ID {
+			t.Fatalf("entries not sorted: %s before %s", d.Entries[i-1].ID, d.Entries[i].ID)
+		}
+	}
+}
+
+// TestRendersByteStable renders the same diff twice in every format and
+// requires identical bytes — the property CI smoke tests and golden
+// corpora rely on.
+func TestRendersByteStable(t *testing.T) {
+	a, b := twoReleases()
+	for _, f := range []Format{Text, JSON, CSV} {
+		var one, two bytes.Buffer
+		if err := WriteResult(&one, Diff(a, b, Options{KnownFlaky: []string{"c_known.C"}}), f); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteResult(&two, Diff(a, b, Options{KnownFlaky: []string{"c_known.C"}}), f); err != nil {
+			t.Fatal(err)
+		}
+		if one.String() != two.String() {
+			t.Errorf("format %v not byte-stable:\n%s\nvs\n%s", f, one.String(), two.String())
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a, _ := twoReleases()
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(f, a); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := Read(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("snapshot round trip:\ngot  %+v\nwant %+v", got, a)
+	}
+}
+
+func TestReadRefusesForeignSchema(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte(`{"schema":7,"results":[]}`))); err == nil {
+		t.Fatal("Read accepted schema 7")
+	}
+}
+
+func TestIntermittencySignature(t *testing.T) {
+	cases := []struct {
+		runs, fails int
+		want        bool
+	}{{3, 1, true}, {3, 2, true}, {3, 0, false}, {3, 3, false}, {0, 0, false}}
+	for _, c := range cases {
+		r := Record{FuncRuns: c.runs, FuncFails: c.fails}
+		if r.Intermittent() != c.want {
+			t.Errorf("Intermittent(%d/%d) = %v, want %v", c.fails, c.runs, !c.want, c.want)
+		}
+	}
+}

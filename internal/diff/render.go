@@ -1,0 +1,129 @@
+// The diff renderers: text (the operator-facing report), JSON (the
+// machine form accvd's /v1/diff returns), and CSV (spreadsheet import).
+// All three are byte-stable — entries are pre-sorted by template ID and
+// no timestamps or durations appear — so golden tests and CI smoke steps
+// can pin exact bytes.
+package diff
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects a diff renderer.
+type Format int
+
+// Formats.
+const (
+	// Text renders the aligned operator report.
+	Text Format = iota
+	// JSON renders the Result struct, indented.
+	JSON
+	// CSV renders one row per delta entry.
+	CSV
+)
+
+// ParseFormat maps a flag value onto a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text", "":
+		return Text, nil
+	case "json":
+		return JSON, nil
+	case "csv":
+		return CSV, nil
+	}
+	return Text, fmt.Errorf("unknown diff format %q (want text, json, or csv)", s)
+}
+
+// WriteResult renders a diff result in the selected format.
+func WriteResult(w io.Writer, r *Result, f Format) error {
+	switch f {
+	case JSON:
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	case CSV:
+		return writeCSV(w, r)
+	default:
+		return writeText(w, r)
+	}
+}
+
+func writeText(w io.Writer, r *Result) error {
+	head := func(c, v string) string { return strings.TrimSpace(c + " " + v) }
+	if _, err := fmt.Fprintf(w, "Release diff: %s -> %s\n\n",
+		head(r.CompilerA, r.VersionA), head(r.CompilerB, r.VersionB)); err != nil {
+		return err
+	}
+	for _, cls := range classOrder {
+		for _, e := range r.Entries {
+			if e.Class != cls {
+				continue
+			}
+			note := ""
+			if e.KnownFlaky {
+				note = "  [known flaky in screening history]"
+			}
+			transition := e.OutcomeA + " -> " + e.OutcomeB
+			switch cls {
+			case New:
+				transition = "-> " + e.OutcomeB
+			case Removed:
+				transition = e.OutcomeA + " ->"
+			}
+			if _, err := fmt.Fprintf(w, "%-11s %-40s %s%s\n",
+				strings.ToUpper(string(cls)), e.ID, transition, note); err != nil {
+				return err
+			}
+			if e.DetailB != "" && (cls == Regression || cls == Changed || cls == Flaky) {
+				if _, err := fmt.Fprintf(w, "            %s\n", e.DetailB); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(r.Entries) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	var parts []string
+	for _, cls := range classOrder {
+		if n := r.Counts[cls]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, cls))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no deltas")
+	}
+	_, err := fmt.Fprintf(w, "%s; %d unchanged\n", strings.Join(parts, ", "), r.Unchanged)
+	return err
+}
+
+func writeCSV(w io.Writer, r *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"class", "id", "family", "outcome_a", "outcome_b", "known_flaky", "bug_ids_b", "detail_b"}); err != nil {
+		return err
+	}
+	for _, e := range r.Entries {
+		flaky := "false"
+		if e.KnownFlaky {
+			flaky = "true"
+		}
+		if err := cw.Write([]string{string(e.Class), e.ID, e.Family,
+			e.OutcomeA, e.OutcomeB, flaky,
+			strings.Join(e.BugIDsB, ";"), e.DetailB}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 
@@ -338,6 +339,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// single-flight table, and concurrent identical sweeps coalesce
 		// per test execution.
 		opts = append(opts, accv.WithSweepMemo(s.memo))
+		if s.store != nil {
+			// The persistent store behind the memo: verdicts survive
+			// daemon restarts, so a freshly started accvd serves repeat
+			// sweeps from disk instead of re-executing (docs/STORE.md).
+			opts = append(opts, accv.WithResultStore(s.store))
+		}
 	} else {
 		opts = append(opts, accv.WithoutSweepMemo())
 	}
@@ -360,6 +367,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	resp := SweepResponse{
 		Vendor: res.Vendor, Versions: res.Versions,
 		MemoHits: res.MemoHits, MemoMisses: res.MemoMisses,
+		StoreHits:  res.StoreHits,
 		DurationMS: res.Duration.Milliseconds(),
 	}
 	for _, l := range res.Langs {
@@ -378,6 +386,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// handleDiff classifies the per-template deltas between two inline
+// release snapshots — the service form of `accval diff`. Diffing is pure
+// computation over the request body (no compilation, no execution), so it
+// is charged the flat compile cost.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	var req DiffRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.A == nil || req.B == nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "snapshots a and b must both be set")
+		return
+	}
+	for _, snap := range []*accv.Snapshot{req.A, req.B} {
+		if snap.Schema != accv.SnapshotSchemaVersion {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Sprintf("snapshot schema %d, this server speaks %d", snap.Schema, accv.SnapshotSchemaVersion))
+			return
+		}
+	}
+	release, ok := s.admit(w, r, compileOps)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var opts []accv.DiffOption
+	if len(req.KnownFlaky) > 0 {
+		opts = append(opts, accv.WithKnownFlaky(req.KnownFlaky...))
+	}
+	writeJSON(w, accv.Diff(req.A, req.B, opts...))
 }
 
 // coalesceKey canonicalizes a request into a flight key. The resolved

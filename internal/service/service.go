@@ -60,6 +60,14 @@ type Config struct {
 	// NoMemo disables the shared sweep memo (every sweep request then
 	// executes naively; the compile cache still applies).
 	NoMemo bool
+	// StoreDir, when set, backs sweep requests with the persistent
+	// result store rooted there (docs/STORE.md): sweeps warm from disk
+	// across daemon restarts and write every verdict through. Empty
+	// keeps persistence off; the in-memory memo still applies.
+	StoreDir string
+	// StoreCap bounds the persistent store's entry count (0: the store
+	// default of 65536; negative: unbounded). Ignored without StoreDir.
+	StoreCap int
 }
 
 // withDefaults fills zero fields.
@@ -84,6 +92,7 @@ type Server struct {
 	obs   *accv.Observer
 	cache *accv.CompileCache
 	memo  *accv.MemoTable
+	store *accv.ResultStore // nil without Config.StoreDir
 	adm   *core.Admission
 	mux   *http.ServeMux
 
@@ -97,8 +106,10 @@ type Server struct {
 	evReported atomic.Int64 // evictions already surfaced into the registry
 }
 
-// New builds a server over fresh shared state.
-func New(cfg Config) *Server {
+// New builds a server over fresh shared state. It fails only when
+// Config.StoreDir is set and the persistent result store there cannot be
+// opened (unwritable directory, foreign schema stamp).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -111,6 +122,14 @@ func New(cfg Config) *Server {
 		}),
 		suiteFlights: newFlightGroup(),
 	}
+	if cfg.StoreDir != "" {
+		st, err := accv.OpenStore(cfg.StoreDir,
+			accv.WithObs(s.obs), accv.WithStoreCap(cfg.StoreCap))
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
 	s.mux = http.NewServeMux()
 	for _, ep := range endpoints {
 		h := ep.handler
@@ -118,7 +137,7 @@ func New(cfg Config) *Server {
 			h(s, w, r)
 		}))
 	}
-	return s
+	return s, nil
 }
 
 // endpoint is one routed handler; the table is the single source of truth
@@ -138,6 +157,7 @@ var endpoints = []endpoint{
 	{"suite", "POST /v1/suite", (*Server).handleSuite},
 	{"suite_stream", "POST /v1/suite/stream", (*Server).handleSuiteStream},
 	{"sweep", "POST /v1/sweep", (*Server).handleSweep},
+	{"diff", "POST /v1/diff", (*Server).handleDiff},
 }
 
 // Endpoints lists the routed patterns ("METHOD /path"), in registration
@@ -166,6 +186,16 @@ func (s *Server) CacheStats() (hits, misses, evictions int64) {
 
 // MemoStats reports the shared sweep memo's lifetime hits and misses.
 func (s *Server) MemoStats() (hits, misses int64) { return s.memo.Stats() }
+
+// StoreStats reports the persistent result store's lifetime hits,
+// misses, evictions, and corrupt entries — all zero when the server runs
+// without Config.StoreDir.
+func (s *Server) StoreStats() (hits, misses, evictions, corrupt int64) {
+	if s.store == nil {
+		return 0, 0, 0, 0
+	}
+	return s.store.Stats()
+}
 
 // instrument wraps a handler with the request telemetry and the drain
 // gate: accvd_requests_total{endpoint,code},

@@ -1,0 +1,101 @@
+// Tests for the persistence additions: the store-backed sweep (verdicts
+// survive a daemon restart) and the POST /v1/diff endpoint.
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"accv"
+)
+
+// TestSweepStoreSurvivesRestart pins docs/STORE.md's headline behavior:
+// a second accvd process pointed at the same -store directory serves a
+// repeated sweep entirely from disk — zero executions.
+func TestSweepStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := SweepRequest{Vendor: "pgi", Family: "wait", Iterations: 1}
+
+	_, ts := newTestServer(t, Config{StoreDir: dir})
+	var first SweepResponse
+	if resp := postJSON(t, ts.URL+"/v1/sweep", req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d, want 200", resp.StatusCode)
+	}
+	if first.MemoMisses == 0 {
+		t.Fatalf("first sweep reported no executions: %+v", first)
+	}
+	if first.StoreHits != 0 {
+		t.Errorf("first sweep against an empty store reported %d disk hits", first.StoreHits)
+	}
+
+	// A fresh server over the same directory models a daemon restart:
+	// empty memo table, warm disk.
+	s2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	var second SweepResponse
+	if resp := postJSON(t, ts2.URL+"/v1/sweep", req, &second); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted sweep status = %d, want 200", resp.StatusCode)
+	}
+	if second.MemoMisses != 0 {
+		t.Errorf("restarted sweep executed %d tests, want 0 (warm store)", second.MemoMisses)
+	}
+	if second.StoreHits == 0 {
+		t.Errorf("restarted sweep reported no disk hits: %+v", second)
+	}
+	if hits, _, _, _ := s2.StoreStats(); hits == 0 {
+		t.Errorf("StoreStats hits = 0 after a warm sweep")
+	}
+	for vi := range first.Cells {
+		for li := range first.Cells[vi] {
+			if first.Cells[vi][li] != second.Cells[vi][li] {
+				t.Errorf("cell [%d][%d] differs across the restart: %+v vs %+v",
+					vi, li, first.Cells[vi][li], second.Cells[vi][li])
+			}
+		}
+	}
+}
+
+func diffSnapshot(version string, recs ...accv.SnapshotRecord) *accv.Snapshot {
+	return &accv.Snapshot{Schema: accv.SnapshotSchemaVersion, Compiler: "pgi", Version: version, Results: recs}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	pass := accv.SnapshotRecord{Name: "acc_parallel", Lang: "C", Family: "parallel", Outcome: "pass", FuncRuns: 3}
+	fail := pass
+	fail.Outcome, fail.FuncFails = "wrong_result", 3
+
+	var d DiffResponse
+	resp := postJSON(t, ts.URL+"/v1/diff", DiffRequest{
+		A: diffSnapshot("13.2", pass),
+		B: diffSnapshot("14.1", fail),
+	}, &d)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d, want 200", resp.StatusCode)
+	}
+	if d.Regressions() != 1 || len(d.Entries) != 1 || d.Entries[0].Class != accv.DiffRegression {
+		t.Errorf("diff misclassified a pass->fail flip: %+v", d)
+	}
+	if d.VersionA != "13.2" || d.VersionB != "14.1" {
+		t.Errorf("diff lost the version identities: %+v", d)
+	}
+
+	// Known-flaky IDs downgrade the flip.
+	var flaky DiffResponse
+	postJSON(t, ts.URL+"/v1/diff", DiffRequest{
+		A: diffSnapshot("13.2", pass), B: diffSnapshot("14.1", fail),
+		KnownFlaky: []string{"acc_parallel.C"},
+	}, &flaky)
+	if flaky.Regressions() != 0 || flaky.Entries[0].Class != accv.DiffFlaky || !flaky.Entries[0].KnownFlaky {
+		t.Errorf("known-flaky flip misclassified: %+v", flaky.Entries)
+	}
+
+	// Validation: missing sides and foreign schema stamps are 400s.
+	if resp := postJSON(t, ts.URL+"/v1/diff", DiffRequest{A: diffSnapshot("13.2")}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("diff with one snapshot: status %d, want 400", resp.StatusCode)
+	}
+	bad := diffSnapshot("13.2")
+	bad.Schema = 99
+	if resp := postJSON(t, ts.URL+"/v1/diff", DiffRequest{A: bad, B: diffSnapshot("14.1")}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("diff with schema 99: status %d, want 400", resp.StatusCode)
+	}
+}

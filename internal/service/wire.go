@@ -289,7 +289,10 @@ type SweepCell struct {
 }
 
 // SweepResponse is a completed sweep: cells in (version-major,
-// lang-minor) order plus this request's memo telemetry.
+// lang-minor) order plus this request's memo and store telemetry.
+// StoreHits counts tests served from the persistent result store
+// (always 0 when accvd runs without -store); it is disjoint from
+// MemoHits and MemoMisses.
 type SweepResponse struct {
 	Vendor     string        `json:"vendor"`
 	Versions   []string      `json:"versions"`
@@ -297,8 +300,23 @@ type SweepResponse struct {
 	Cells      [][]SweepCell `json:"cells"`
 	MemoHits   int64         `json:"memo_hits"`
 	MemoMisses int64         `json:"memo_misses"`
+	StoreHits  int64         `json:"store_hits"`
 	DurationMS int64         `json:"duration_ms"`
 }
+
+// DiffRequest compares two release snapshots (POST /v1/diff). The
+// snapshots travel inline, in exactly the JSON form `accval run
+// -snapshot` writes; known_flaky lists template IDs ("name.lang") whose
+// pass/fail flips should classify flaky rather than regression/fix.
+type DiffRequest struct {
+	A          *accv.Snapshot `json:"a"`
+	B          *accv.Snapshot `json:"b"`
+	KnownFlaky []string       `json:"known_flaky,omitempty"`
+}
+
+// DiffResponse is the classified release diff — the accv.ReleaseDiff
+// structure verbatim (entries sorted by template ID; counts per class).
+type DiffResponse = accv.ReleaseDiff
 
 // HealthResponse is the /healthz body.
 type HealthResponse struct {

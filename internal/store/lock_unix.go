@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on the store's lock file,
+// serializing writers (Put + eviction) across processes. The returned
+// function releases it. flock is advisory and re-entrant per fd, which is
+// exactly the single-writer-lease semantics docs/STORE.md promises; Get
+// never locks because renamed-in entry files are immutable.
+func lockDir(dir string) (func(), error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -66,6 +66,15 @@ type Options struct {
 	// identical executions ever collide, and concurrent identical sweeps
 	// coalesce through the table's single-flight entries.
 	Memo *core.MemoTable
+	// Store, when non-nil (and NoMemo is false), backs the memo with a
+	// persistent result store (internal/store): the sweep warms from it
+	// before executing anything and writes every verdict through, so
+	// repeated sweeps across processes and CI jobs start warm. Because
+	// fingerprints are salted with the effective run configuration, one
+	// store directory may serve sweeps with different options safely.
+	// Result.StoreHits reports this sweep's disk hits, disjoint from the
+	// memo counters (docs/STORE.md).
+	Store core.ResultStore
 }
 
 // Result is a completed sweep: the per-cell suite results in
@@ -81,7 +90,12 @@ type Result struct {
 	// MemoMisses is the number actually executed. Both are zero under
 	// NoMemo.
 	MemoHits, MemoMisses int64
-	Duration             time.Duration
+	// StoreHits is the number of tests served from the persistent result
+	// store (Options.Store) — executions some earlier process already
+	// paid for. Disjoint from MemoHits and MemoMisses; zero without a
+	// store.
+	StoreHits int64
+	Duration  time.Duration
 }
 
 // Run sweeps every simulated version of a vendor family ("caps", "pgi",
@@ -200,6 +214,7 @@ func Run(ctx context.Context, vendor string, opts Options) (*Result, error) {
 				if memo != nil {
 					cfg.Memo = memo
 					cfg.Fingerprint = fps.For(c.tc)
+					cfg.Store = opts.Store
 				}
 				templates := templatesFor(opts.Family, langs[c.li])
 				sr, err := core.RunSuiteContext(ctx, cfg, templates)
@@ -224,6 +239,16 @@ func Run(ctx context.Context, vendor string, opts Options) (*Result, error) {
 	if memo != nil {
 		hits, misses := memo.Stats()
 		res.MemoHits, res.MemoMisses = hits-memoHits0, misses-memoMisses0
+	}
+	// Disk hits are per-cell suite telemetry (shared stores carry other
+	// processes' traffic, so the cells — not the store's lifetime
+	// counters — are this sweep's share).
+	for vi := range res.Cells {
+		for li := range res.Cells[vi] {
+			if sr := res.Cells[vi][li]; sr != nil {
+				res.StoreHits += int64(sr.StoreHits)
+			}
+		}
 	}
 	return res, firstErr
 }

@@ -1,0 +1,96 @@
+// The deprecated pre-Runner surface, collected in one file so godoc
+// shows the v1 API (NewRunner + functional options, OpenStore, Diff)
+// uncluttered. Everything here is a thin shim over the Runner facade and
+// will not grow new capabilities; each symbol's deprecation notice points
+// at its replacement. The shims are pinned by api_test.go and stay
+// byte-identical in behavior to their historical selves.
+package accv
+
+import "accv/internal/core"
+
+// RunOption is the former name of Option.
+//
+// Deprecated: use Option.
+type RunOption = Option
+
+// Suite selects and runs validation tests with a mutating builder.
+//
+// Deprecated: use NewRunner with functional options; Suite remains as a
+// thin shim over it and will not grow new capabilities (parallelism,
+// retry, fail-fast, contexts, result stores are Runner-only).
+type Suite struct {
+	lang      Language
+	family    string
+	iter      int
+	templates []*Template
+	obs       *Observer
+}
+
+// NewSuite builds a suite over every registered OpenACC 1.0 template for
+// one language.
+//
+// Deprecated: use NewRunner.
+func NewSuite(lang Language) *Suite {
+	return &Suite{lang: lang, iter: 3, templates: core.ByLang(lang)}
+}
+
+// NewSuite20 builds a suite over the OpenACC 2.0 templates (the paper's
+// §IX future work). Run it against Reference20; a 1.0 compiler reports
+// every test as a compilation error, which is the correct "unsupported"
+// answer.
+//
+// Deprecated: use NewRunner20.
+func NewSuite20(lang Language) *Suite {
+	return &Suite{lang: lang, iter: 3, templates: core.ByLang20(lang)}
+}
+
+// Family restricts the suite to one feature family ("parallel", "data",
+// "loop", "reduction", "update", "declare", "runtime", ...), implementing
+// the paper's "feature selection" capability.
+//
+// Deprecated: use NewRunner with WithFamily.
+func (s *Suite) Family(name string) *Suite {
+	s.family = name
+	s.templates = core.ByFamily(name, s.lang)
+	return s
+}
+
+// Iterations sets M, the §III repeat count.
+//
+// Deprecated: use NewRunner with WithIterations.
+func (s *Suite) Iterations(m int) *Suite {
+	s.iter = m
+	return s
+}
+
+// Observe records spans and metrics for subsequent Run calls into o, per
+// the telemetry contract (docs/OBSERVABILITY.md). Nil restores the
+// default: observability off, at zero cost.
+//
+// Deprecated: use NewRunner with WithObs.
+func (s *Suite) Observe(o *Observer) *Suite {
+	s.obs = o
+	return s
+}
+
+// Templates returns the selected test cases.
+//
+// Deprecated: use Runner.Templates.
+func (s *Suite) Templates() []*Template { return append([]*Template(nil), s.templates...) }
+
+// Run validates the compiler against the selected tests. It delegates to
+// Runner with WithParallelism(1), preserving the historical sequential
+// execution order; invalid Iterations values panic.
+//
+// Deprecated: use Runner.Run or Runner.RunContext.
+func (s *Suite) Run(tc Compiler) *SuiteResult {
+	r, err := NewRunner(s.lang,
+		WithTemplates(s.templates...),
+		WithIterations(s.iter),
+		WithObs(s.obs),
+		WithParallelism(1))
+	if err != nil {
+		panic("accv: invalid suite configuration: " + err.Error())
+	}
+	return r.Run(tc)
+}

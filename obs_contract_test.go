@@ -40,6 +40,22 @@ func TestTelemetryContract(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// A store-backed sweep pair over a fresh directory: the cold pass
+	// drives accv_store_misses_total (and the entries gauge), the warm
+	// pass — through a fresh handle, as a restarted process would —
+	// drives accv_store_hits_total.
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		st, err := accv.OpenStore(dir, accv.WithObs(o))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := accv.RunSweep(context.Background(), "pgi",
+			accv.WithFamily("data"), accv.WithObs(o), accv.WithResultStore(st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	// A harness screening epoch plus a degradation query.
 	h := accv.NewHarness(2, accv.DefaultStacks()[:1])
 	h.Obs = o
@@ -91,6 +107,7 @@ func TestTelemetryContract(t *testing.T) {
 		"accv_present_lookups_total", "accv_queue_waits_total",
 		"accv_harness_screenings_total", "accv_compile_cache_misses_total",
 		"accv_sweep_memo_hits_total", "accv_sweep_memo_misses_total",
+		"accv_store_hits_total", "accv_store_misses_total",
 	} {
 		found := false
 		for _, p := range snap.Counters {

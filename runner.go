@@ -17,11 +17,6 @@ import (
 // and ignores the rest.
 type Option func(*options)
 
-// RunOption is the former name of Option.
-//
-// Deprecated: use Option.
-type RunOption = Option
-
 // options is the gathered option record. Zero values mean "use the
 // engine's default"; validation happens in NewRunner (suites) or is
 // inherited from the engine (single runs).
@@ -54,6 +49,10 @@ type options struct {
 	progress func(TestResult)
 	cache    *compiler.Cache
 	memo     *core.MemoTable
+
+	// Persistence knobs (OpenStore / WithResultStore; docs/STORE.md).
+	store    core.ResultStore
+	storeCap int
 }
 
 func gather(opts []Option) options {

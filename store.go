@@ -1,0 +1,199 @@
+// The persistence and regression-tracking facade: OpenStore gives callers
+// the content-addressed on-disk result store that keeps sweeps warm
+// across processes (WithResultStore threads it into RunSweep), and the
+// snapshot/Diff surface turns two release runs into a classified
+// regression report — the v1 API behind `accval diff` and accvd's
+// POST /v1/diff. See docs/STORE.md and docs/API.md.
+package accv
+
+import (
+	"io"
+	"sort"
+
+	"accv/internal/diff"
+	"accv/internal/store"
+)
+
+// ResultStore is the persistent, content-addressed result store: whole
+// test verdicts keyed by behavioral fingerprint, sharded on disk, written
+// atomically, LRU-bounded, and safe for concurrent writers across
+// processes (docs/STORE.md). Open one with OpenStore and thread it into
+// sweeps with WithResultStore; repeated sweeps then start warm — a
+// behaviorally-unchanged cell re-executes nothing.
+type ResultStore = store.Store
+
+// OpenStore opens (creating if needed) the result store rooted at dir.
+// It shares the Option vocabulary: WithObs wires the store's telemetry
+// (accv_store_{hits,misses,evictions,corrupt_entries}_total and the
+// accv_store_entries gauge), WithStoreCap bounds the entry count. A
+// directory stamped with a different schema version refuses to open;
+// corrupt entries inside a healthy store are skipped and counted, never
+// fatal.
+func OpenStore(dir string, opts ...Option) (*ResultStore, error) {
+	o := gather(opts)
+	return store.Open(dir, store.Options{MaxEntries: o.storeCap, Obs: o.obs})
+}
+
+// WithStoreCap bounds an OpenStore'd store to at most n entries,
+// LRU-evicted past it (0: the default 65536; negative: unbounded). Other
+// consumers of the option vocabulary ignore it.
+func WithStoreCap(n int) Option { return func(o *options) { o.storeCap = n } }
+
+// WithResultStore backs RunSweep's memo table with the given persistent
+// store: the sweep warms from it before executing anything (disk hits are
+// reported as SweepResult.StoreHits, disjoint from the memo counters) and
+// writes every verdict through, so the next sweep — in this process or
+// any other — starts warm. Fingerprints are salted with the effective run
+// configuration, so one store directory safely serves sweeps with
+// different options. Runner construction and single runs ignore it.
+func WithResultStore(s *ResultStore) Option {
+	return func(o *options) {
+		if s != nil {
+			o.store = s
+		}
+	}
+}
+
+// SnapshotSchemaVersion is the snapshot file-format stamp this build
+// reads and writes; ReadSnapshot refuses other stamps.
+const SnapshotSchemaVersion = diff.SnapshotSchema
+
+// Snapshot is one release's suite outcome: per-template records for one
+// compiler at one version, serializable as stamped JSON. Snapshots are
+// the unit Diff compares; `accval run -snapshot` and SnapshotOf produce
+// them.
+type Snapshot = diff.Snapshot
+
+// SnapshotRecord is one template's outcome inside a Snapshot.
+type SnapshotRecord = diff.Record
+
+// SnapshotOf snapshots a completed suite run, sorted by template ID so
+// the serialized bytes are independent of scheduling.
+func SnapshotOf(res *SuiteResult) *Snapshot { return diff.FromSuite(res) }
+
+// WriteSnapshot serializes a snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s *Snapshot) error { return diff.Write(w, s) }
+
+// ReadSnapshot deserializes a snapshot, refusing unknown schema stamps.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return diff.Read(r) }
+
+// ReleaseDiff is a classified cross-release comparison: every
+// per-template delta labeled regression, fix, flaky, changed, new, or
+// removed, with byte-stable renders (docs/API.md).
+type ReleaseDiff = diff.Result
+
+// DiffEntry is one classified per-template delta.
+type DiffEntry = diff.Entry
+
+// DiffClass labels a delta (diff.Regression, diff.Fix, ...).
+type DiffClass = diff.Class
+
+// Delta classes.
+const (
+	// DiffRegression: passed in A, fails in B deterministically.
+	DiffRegression = diff.Regression
+	// DiffFix: failed in A, passes in B.
+	DiffFix = diff.Fix
+	// DiffFlaky: the flip carries the §III intermittency signature or the
+	// template is known flaky from harness screening history.
+	DiffFlaky = diff.Flaky
+	// DiffChanged: failing on both sides with a different outcome or
+	// implicated bug set.
+	DiffChanged = diff.Changed
+	// DiffNew: present only in B.
+	DiffNew = diff.New
+	// DiffRemoved: present only in A.
+	DiffRemoved = diff.Removed
+)
+
+// DiffOption tunes a Diff call.
+type DiffOption func(*diff.Options)
+
+// WithUnchanged includes the unchanged templates in the diff's text
+// render (they are always counted in ReleaseDiff.Unchanged).
+func WithUnchanged() DiffOption {
+	return func(o *diff.Options) { o.IncludeUnchanged = true }
+}
+
+// WithKnownFlaky marks template IDs ("name.lang") as known flaky: a
+// pass/fail flip on them classifies DiffFlaky rather than
+// regression/fix, and their entries are annotated.
+func WithKnownFlaky(ids ...string) DiffOption {
+	return func(o *diff.Options) { o.KnownFlaky = append(o.KnownFlaky, ids...) }
+}
+
+// WithScreeningHistory folds harness node-screening history into a diff:
+// templates that failed on some nodes but not others of the same stack
+// and language are treated as known flaky (see WithKnownFlaky). This is
+// how production deployments keep node-dependent failures from being
+// misread as release regressions (docs/STORE.md).
+func WithScreeningHistory(history []Screening) DiffOption {
+	return func(o *diff.Options) { o.KnownFlaky = append(o.KnownFlaky, ScreeningFlaky(history)...) }
+}
+
+// ScreeningFlaky derives the known-flaky template set from harness
+// screening history: template IDs that failed in some but not all
+// screenings of the same (stack, lang) — inconsistency across nodes or
+// epochs is the §VII signature of an environment-dependent failure.
+func ScreeningFlaky(history []Screening) []string {
+	type group struct{ stack, lang string }
+	total := map[group]int{}
+	failed := map[group]map[string]int{}
+	for _, s := range history {
+		g := group{s.Stack, s.Lang.String()}
+		total[g]++
+		if failed[g] == nil {
+			failed[g] = map[string]int{}
+		}
+		for _, id := range s.Failed {
+			failed[g][id]++
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for g, m := range failed {
+		for id, n := range m {
+			if n < total[g] && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Diff compares two release snapshots and classifies every per-template
+// delta. It is deterministic — entries sort by template ID — so renders
+// are byte-stable.
+func Diff(a, b *Snapshot, opts ...DiffOption) *ReleaseDiff {
+	var o diff.Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return diff.Diff(a, b, o)
+}
+
+// DiffFormat selects a release-diff renderer.
+type DiffFormat = diff.Format
+
+// Diff formats.
+const (
+	// DiffText renders the aligned operator report.
+	DiffText = diff.Text
+	// DiffJSON renders the ReleaseDiff struct, indented.
+	DiffJSON = diff.JSON
+	// DiffCSV renders one row per delta entry.
+	DiffCSV = diff.CSV
+)
+
+// ParseDiffFormat maps a format name ("text", "json", "csv") onto its
+// DiffFormat — the `accval diff -format` vocabulary.
+func ParseDiffFormat(s string) (DiffFormat, error) { return diff.ParseFormat(s) }
+
+// WriteDiff renders a release diff (DiffText, DiffJSON, or DiffCSV).
+func WriteDiff(w io.Writer, r *ReleaseDiff, f DiffFormat) error {
+	return diff.WriteResult(w, r, f)
+}

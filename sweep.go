@@ -41,5 +41,6 @@ func RunSweep(ctx context.Context, vendor string, opts ...Option) (*SweepResult,
 		NoMemo:      o.noMemo,
 		Cache:       o.cache,
 		Memo:        o.memo,
+		Store:       o.store,
 	})
 }
