@@ -123,10 +123,10 @@ func TestFamiliesAndLookup(t *testing.T) {
 	if LookupTemplate("definitely_not_a_feature", C) != nil {
 		t.Error("unknown lookup must be nil")
 	}
-	if n := len(AllTemplates()); n != 214 {
-		t.Errorf("registry census: %d (206 OpenACC 1.0 + 8 OpenACC 2.0)", n)
+	if n := len(AllTemplates()); n != 218 {
+		t.Errorf("registry census: %d (210 OpenACC 1.0 + 8 OpenACC 2.0)", n)
 	}
-	if n := len(NewSuite(C).Templates()); n != 103 {
+	if n := len(NewSuite(C).Templates()); n != 105 {
 		t.Errorf("1.0 C suite: %d tests", n)
 	}
 	if n := len(NewSuite20(C).Templates()); n != 4 {

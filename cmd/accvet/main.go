@@ -1,11 +1,15 @@
 // Command accvet lints standalone OpenACC sources for data-movement and
 // loop hazards with the accv static analyzers (docs/ANALYSIS.md): stale
 // host reads, uninitialized device reads, dead data clauses, dependent
-// loops marked independent, reduction misuse, and async/wait mismatches.
+// loops marked independent, reduction misuse, async/wait mismatches, and
+// cross-lane races (write-write, read-write, missing private, shared
+// updates needing a reduction).
 //
 //	accvet file.c kernel.f90
 //	accvet ./testdata/...
 //	accvet -format json -analyzers ACV001,ACV004 src/
+//	accvet -format sarif src/ > findings.sarif
+//	accvet -lane-safety kernel.c
 //
 // The language is chosen by file extension (.c → C; .f, .f90, .f95 →
 // Fortran). Directory arguments are walked recursively; a trailing /...
@@ -43,10 +47,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		flags.PrintDefaults()
 	}
 	var (
-		format     = flags.String("format", "text", "output format: text or json")
+		format     = flags.String("format", "text", "output format: text, json, or sarif")
 		analyzers  = flags.String("analyzers", "", "comma-separated analyzer IDs or names to run (default: all)")
 		noSuppress = flags.Bool("no-suppress", false, "report findings hidden by accvet:ignore annotations too")
 		list       = flags.Bool("list", false, "list the registered analyzers and exit")
+		laneSafety = flags.Bool("lane-safety", false, "print the per-nest cross-lane safety oracle instead of findings")
 	)
 	if err := flags.Parse(argv); err != nil {
 		return 2
@@ -57,8 +62,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(stderr, "accvet: unknown format %q (want text or json)\n", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(stderr, "accvet: unknown format %q (want text, json, or sarif)\n", *format)
 		return 2
 	}
 	opts := analysis.Options{NoSuppress: *noSuppress}
@@ -106,13 +111,40 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "accvet: %s: %v\n", path, err)
 			return 2
 		}
+		if *laneSafety {
+			// The SPMD-safety oracle: one verdict per partitioned nest, the
+			// same data a compiler consumer reads from Executable.LaneSafety.
+			for _, s := range analysis.AnalyzeLaneSafety(prog) {
+				fmt.Fprintf(stdout, "%s:%d-%d: %s [%s] %s: %s\n",
+					path, s.Line, s.EndLine, s.Func, s.Levels, s.Construct, s.Verdict)
+				for _, b := range s.Blocking {
+					kind := "read"
+					if b.Write {
+						kind = "write"
+					}
+					fmt.Fprintf(stdout, "%s:%d:   blocking %s of %q: %s\n",
+						path, b.Line, kind, b.Var, b.Reason)
+				}
+			}
+			continue
+		}
 		rep := analysis.Analyze(prog, opts)
 		results = append(results, analysis.FileFindings{Name: path, Findings: rep.Findings})
 		if rep.Errors() > 0 {
 			status = 1
 		}
 	}
+	if *laneSafety {
+		return 0
+	}
 
+	if *format == "sarif" {
+		if err := analysis.WriteSARIF(stdout, results); err != nil {
+			fmt.Fprintln(stderr, "accvet:", err)
+			return 2
+		}
+		return status
+	}
 	if *format == "json" {
 		if err := analysis.WriteJSONFiles(stdout, results); err != nil {
 			fmt.Fprintln(stderr, "accvet:", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,8 @@ func TestBadCorpusFails(t *testing.T) {
 	if status != 1 {
 		t.Fatalf("exit = %d, want 1 (error findings)\nstderr: %s", status, errb.String())
 	}
-	for _, want := range []string{"ACV001", "ACV002", "ACV003", "ACV004", "ACV005", "ACV006"} {
+	for _, want := range []string{"ACV001", "ACV002", "ACV003", "ACV004", "ACV005",
+		"ACV006", "ACV007", "ACV008", "ACV009", "ACV010"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %s:\n%s", want, out.String())
 		}
@@ -53,6 +55,57 @@ func TestAnalyzerFilter(t *testing.T) {
 	status := run([]string{"-analyzers", "ACV001", corpus + "/bad/acv004.c"}, &out, &errb)
 	if status != 0 || out.String() != "" {
 		t.Errorf("exit = %d, output %q; want a clean run", status, out.String())
+	}
+}
+
+// TestSARIFGolden pins the -format sarif output byte-for-byte. Regenerate
+// with
+//
+//	go run ./cmd/accvet -format sarif testdata/analysis/bad/acv004.c \
+//	    testdata/analysis/bad/acv007.c > testdata/analysis/golden.sarif
+//
+// (from cmd/accvet, with ../../ prefixes) only for a deliberate format or
+// rule-metadata change.
+func TestSARIFGolden(t *testing.T) {
+	var out, errb strings.Builder
+	status := run([]string{"-format", "sarif", corpus + "/bad/acv004.c", corpus + "/bad/acv007.c"}, &out, &errb)
+	if status != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", status, errb.String())
+	}
+	want, err := os.ReadFile(corpus + "/golden.sarif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("SARIF output drifted from golden:\n--- got ---\n%s", out.String())
+	}
+	// The log must stay parseable and carry the full rule table.
+	var log map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("version = %v", log["version"])
+	}
+}
+
+func TestLaneSafetyFlag(t *testing.T) {
+	var out, errb strings.Builder
+	status := run([]string{"-lane-safety", corpus + "/bad/acv010.c"}, &out, &errb)
+	if status != 0 {
+		t.Fatalf("exit = %d, want 0 (oracle mode reports, it does not fail)\nstderr: %s", status, errb.String())
+	}
+	for _, want := range []string{"proven-dependent", "blocking write of \"sum\""} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("lane-safety output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if status := run([]string{"-lane-safety", corpus + "/fixed/acv007.c"}, &out, &errb); status != 0 {
+		t.Fatalf("exit = %d, want 0", status)
+	}
+	if !strings.Contains(out.String(), "proven-independent") {
+		t.Errorf("fixed corpus nest not proven independent:\n%s", out.String())
 	}
 }
 

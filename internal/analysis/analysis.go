@@ -47,7 +47,7 @@ func (s Severity) String() string {
 
 // Finding is one analyzer diagnostic.
 type Finding struct {
-	// ID is the stable analyzer identifier ("ACV001" ... "ACV006").
+	// ID is the stable analyzer identifier ("ACV001" ... "ACV010").
 	ID string
 	// Sev is the finding's severity.
 	Sev Severity
@@ -93,6 +93,14 @@ var registry = []Analyzer{
 		Doc: "reduction variable read or written outside the reduction operation"},
 	{ID: "ACV006", Name: "async-wait-mismatch", Sev: Error,
 		Doc: "host touches data of an async region or update before waiting"},
+	{ID: "ACV007", Name: "cross-lane-ww-race", Sev: Error,
+		Doc: "every lane of a partitioned loop stores a different value to the same location"},
+	{ID: "ACV008", Name: "cross-lane-rw-race", Sev: Error,
+		Doc: "partitioned loop exchanges array elements across lanes at a carried dependence distance"},
+	{ID: "ACV009", Name: "missing-private", Sev: Error,
+		Doc: "lane-shared scalar written every iteration of a partitioned loop (missing private clause)"},
+	{ID: "ACV010", Name: "shared-update-needs-reduction", Sev: Error,
+		Doc: "unsynchronized lane-shared read-modify-write that a reduction clause or atomic would fix"},
 }
 
 // Analyzers returns the registry, in ID order.

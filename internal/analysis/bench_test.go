@@ -48,7 +48,7 @@ func parsedCorpus(b *testing.B) []benchProg {
 	return progs
 }
 
-// BenchmarkAnalyzeSuite runs all six analyzers over each template.
+// BenchmarkAnalyzeSuite runs all ten analyzers over each template.
 func BenchmarkAnalyzeSuite(b *testing.B) {
 	progs := parsedCorpus(b)
 	b.Run("corpus", func(b *testing.B) {

@@ -126,6 +126,52 @@ func TestCorpusAnnotations(t *testing.T) {
 	}
 }
 
+// raceTemplateCrossFindings pins the race templates' cross variants: the
+// cross substitution removes exactly the synchronization the feature
+// provides, so the lane-race analyzers must fire on the cross source while
+// TestCorpusClean keeps the functional source silent. This is the static
+// half of the -race-check differential (docs/ANALYSIS.md).
+var raceTemplateCrossFindings = map[string]string{
+	"loop_gang_write_race":     "ACV007",
+	"loop_gang_reduction_race": "ACV010",
+}
+
+// TestRaceTemplateCrossVariants analyzes the cross variant of each race
+// template and asserts the pinned analyzer fires in both languages.
+func TestRaceTemplateCrossVariants(t *testing.T) {
+	for name, wantID := range raceTemplateCrossFindings {
+		for _, lang := range []ast.Lang{ast.LangC, ast.LangFortran} {
+			tpl := core.Lookup(name, lang)
+			if tpl == nil {
+				t.Fatalf("template %s missing for %v", name, lang)
+			}
+			_, cross, hasCross, err := tpl.Generate()
+			if err != nil || !hasCross {
+				t.Fatalf("%s: generate: %v (hasCross=%v)", tpl.ID(), err, hasCross)
+			}
+			var prog *ast.Program
+			if lang == ast.LangFortran {
+				prog, err = ffront.Parse(cross)
+			} else {
+				prog, err = cfront.Parse(cross)
+			}
+			if err != nil {
+				t.Fatalf("%s: parse cross: %v", tpl.ID(), err)
+			}
+			rep := analysis.Analyze(prog, analysis.Options{})
+			found := false
+			for _, f := range rep.Findings {
+				if f.ID == wantID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s cross variant: want %s, got %v", tpl.ID(), wantID, rep.Findings)
+			}
+		}
+	}
+}
+
 // TestCorpusSuppressionRoundTrip asserts every suppressed finding would
 // reappear with suppression disabled — annotations hide real findings,
 // they are not dead comments.

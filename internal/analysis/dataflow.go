@@ -39,6 +39,7 @@ func (p *pass) run() {
 	p.copyStatePass() // ACV001, ACV002, ACV006
 	p.loopHazards()   // ACV004, ACV005
 	p.clauseHazards() // ACV003
+	p.laneRace()      // ACV007–ACV010
 }
 
 // report records a finding against this function.

@@ -37,6 +37,14 @@ var goldenFindings = map[string][]string{
 	"bad/acv005.f90":   {"ACV005:14"},
 	"bad/acv006.c":     {"ACV006:22"},
 	"bad/acv006.f90":   {"ACV006:18"},
+	"bad/acv007.c":     {"ACV007:16"},
+	"bad/acv007.f90":   {"ACV007:10"},
+	"bad/acv008.c":     {"ACV008:17"},
+	"bad/acv008.f90":   {"ACV008:13"},
+	"bad/acv009.c":     {"ACV009:16"},
+	"bad/acv009.f90":   {"ACV009:10"},
+	"bad/acv010.c":     {"ACV010:18"},
+	"bad/acv010.f90":   {"ACV010:14"},
 	"fixed/acv001.c":   nil,
 	"fixed/acv001.f90": nil,
 	"fixed/acv002.c":   nil,
@@ -49,6 +57,14 @@ var goldenFindings = map[string][]string{
 	"fixed/acv005.f90": nil,
 	"fixed/acv006.c":   nil,
 	"fixed/acv006.f90": nil,
+	"fixed/acv007.c":   nil,
+	"fixed/acv007.f90": nil,
+	"fixed/acv008.c":   nil,
+	"fixed/acv008.f90": nil,
+	"fixed/acv009.c":   nil,
+	"fixed/acv009.f90": nil,
+	"fixed/acv010.c":   nil,
+	"fixed/acv010.f90": nil,
 }
 
 // parseGolden loads and parses one corpus file.

@@ -1,0 +1,344 @@
+package analysis
+
+// Parallelism-nest model: which loop induction variables are partitioned
+// across gangs/workers/vector lanes inside each compute construct, which
+// statements execute gang-redundantly, and which variables are lane-private.
+// The model feeds two consumers: the ACV007–ACV010 cross-lane race analyzers
+// (lanerace.go) and the exported LaneSafety oracle the compiler attaches to
+// every Executable so the SPMD lowerer and accvet share one verdict.
+
+import (
+	"sort"
+	"strings"
+
+	"accv/internal/ast"
+	"accv/internal/directive"
+)
+
+// LaneVerdict classifies a parallelism nest's cross-lane safety.
+type LaneVerdict int
+
+const (
+	// LaneUnknown means the analysis could not prove the nest either way;
+	// consumers must schedule conservatively (per-lane execution).
+	LaneUnknown LaneVerdict = iota
+	// LaneProvenIndependent means every shared access is provably
+	// lane-disjoint: the nest is safe to batch into one SPMD dispatch.
+	LaneProvenIndependent
+	// LaneProvenDependent means two lanes provably touch the same location
+	// with at least one write: the nest races.
+	LaneProvenDependent
+)
+
+// String names the verdict.
+func (v LaneVerdict) String() string {
+	switch v {
+	case LaneProvenIndependent:
+		return "proven-independent"
+	case LaneProvenDependent:
+		return "proven-dependent"
+	}
+	return "unknown"
+}
+
+// LaneAccess is one shared-memory access that decides (or blocks) a
+// verdict.
+type LaneAccess struct {
+	// Var is the variable the access touches.
+	Var string
+	// Line is the source line of the access.
+	Line int
+	// Write reports whether the access is a store.
+	Write bool
+	// Reason explains why the access blocks lane independence.
+	Reason string
+}
+
+// LaneSafety is the per-nest entry of the lane-safety oracle: one entry per
+// partitioned loop nest plus, for multi-gang parallel regions, one entry
+// for the gang-redundant remainder statements.
+type LaneSafety struct {
+	// Func is the enclosing procedure.
+	Func string
+	// Construct names the directive ("parallel loop", "loop", or
+	// "parallel region" for the redundant remainder).
+	Construct string
+	// Line is the directive's source line.
+	Line int
+	// EndLine is the last source line the entry covers.
+	EndLine int
+	// Levels lists the partitioned schedule levels ("gang vector"), or
+	// "region" for the gang-redundant remainder.
+	Levels string
+	// Verdict is the cross-lane safety classification.
+	Verdict LaneVerdict
+	// Blocking lists the accesses preventing LaneProvenIndependent
+	// (empty for proven-independent nests).
+	Blocking []LaneAccess
+}
+
+// AnalyzeLaneSafety computes the lane-safety oracle for every parallelism
+// nest in the program: partitioned loop nests inside compute constructs and
+// the gang-redundant remainders of multi-gang parallel regions. Entries are
+// sorted by source line.
+func AnalyzeLaneSafety(prog *ast.Program) []LaneSafety {
+	var out []LaneSafety
+	for _, fn := range prog.Funcs {
+		p := newPass(prog, fn)
+		p.buildSymbols()
+		for _, cm := range p.laneConstructs() {
+			judgeConstruct(cm)
+			out = append(out, cm.entries()...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// laneNest is one partitioned loop nest inside a compute construct.
+type laneNest struct {
+	ps     *ast.PragmaStmt
+	d      *directive.Directive
+	parent *laneNest // enclosing partitioned nest, nil at construct top
+	// levels are the partitioned schedule levels in gang/worker/vector
+	// order.
+	levels []string
+	// explicitLevel reports an explicit gang/worker/vector clause (bare
+	// loops are auto-partitioned by the reference compiler but other
+	// implementations may serialize them).
+	explicitLevel bool
+	independent   bool
+	// ivars are the collapse-consumed induction variables of this nest:
+	// the runtime gives every lane its own copy.
+	ivars map[string]bool
+	// accesses in this nest's subtree, including nested partitioned
+	// nests' bodies.
+	accesses []*laneAccess
+
+	verdict  LaneVerdict
+	blocking []LaneAccess
+}
+
+// hasSubGang reports whether the nest partitions below the gang level.
+func (n *laneNest) hasSubGang() bool {
+	for _, lv := range n.levels {
+		if lv == "worker" || lv == "vector" {
+			return true
+		}
+	}
+	return false
+}
+
+// chainFull returns the access's enclosing partitioned nests,
+// outermost-first.
+func (a *laneAccess) chainFull() []*laneNest {
+	var chain []*laneNest
+	for cur := a.nest; cur != nil; cur = cur.parent {
+		chain = append(chain, cur)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// constructModel is the parallelism model of one compute construct.
+type constructModel struct {
+	fn *ast.FuncDecl
+	ps *ast.PragmaStmt
+	d  *directive.Directive
+	// parallel marks parallel/parallel loop: gangs execute the whole body
+	// redundantly and concurrently. Kernels bodies are single-threaded
+	// between gang-partitioned loops.
+	parallel bool
+	// gangs is the constant num_gangs argument (0 when absent or
+	// non-constant; the runtime default is >1).
+	gangs         int64
+	line, endLine int
+	// nests are every partitioned loop nest in the construct, in source
+	// order.
+	nests []*laneNest
+	// remainder are the accesses outside any partitioned nest — executed
+	// once per gang in parallel regions.
+	remainder []*laneAccess
+	// remainder verdict (parallel constructs with >1 gang only).
+	remVerdict  LaneVerdict
+	remBlocking []LaneAccess
+	hasRemEntry bool
+	// reduction vars at construct level (lane-safe: per-lane partials).
+	red map[string]bool
+	// dataNames are the variables named in explicit data clauses on the
+	// construct: mapped to shared device memory even when scalar.
+	dataNames map[string]bool
+	// gangRed are reduction variables of gang-partitioned loop directives:
+	// the compiler maps them present_or_copy (shared) so the combined
+	// result lands in device memory.
+	gangRed map[string]bool
+}
+
+// multiGang reports whether the construct's gangs run concurrently.
+func (cm *constructModel) multiGang() bool {
+	return cm.parallel && cm.gangs != 1
+}
+
+// entries renders the construct's oracle entries.
+func (cm *constructModel) entries() []LaneSafety {
+	var out []LaneSafety
+	for _, n := range cm.nests {
+		out = append(out, LaneSafety{
+			Func:      cm.fn.Name,
+			Construct: n.d.Name.String(),
+			Line:      n.d.Line,
+			EndLine:   maxLine(n.ps),
+			Levels:    strings.Join(n.levels, " "),
+			Verdict:   n.verdict,
+			Blocking:  n.blocking,
+		})
+	}
+	if cm.hasRemEntry {
+		out = append(out, LaneSafety{
+			Func:      cm.fn.Name,
+			Construct: cm.d.Name.String() + " region",
+			Line:      cm.line,
+			EndLine:   cm.endLine,
+			Levels:    "region",
+			Verdict:   cm.remVerdict,
+			Blocking:  cm.remBlocking,
+		})
+	}
+	return out
+}
+
+// laneConstructs models every compute construct in the function.
+func (p *pass) laneConstructs() []*constructModel {
+	if p.fn.Body == nil {
+		return nil
+	}
+	var out []*constructModel
+	ast.Walk(p.fn.Body, func(n ast.Node) bool {
+		ps, ok := n.(*ast.PragmaStmt)
+		if !ok {
+			return true
+		}
+		d := directiveOf(ps)
+		if d == nil || !d.Name.IsCompute() {
+			return true
+		}
+		out = append(out, p.buildConstruct(ps, d))
+		return false // compute constructs do not nest in OpenACC 1.0
+	})
+	return out
+}
+
+// buildConstruct models one compute construct: its partitioned nests, the
+// remainder accesses, and the lane-private variable scopes.
+func (p *pass) buildConstruct(ps *ast.PragmaStmt, d *directive.Directive) *constructModel {
+	cm := &constructModel{
+		fn: p.fn, ps: ps, d: d,
+		parallel:  d.Name == directive.Parallel || d.Name == directive.ParallelLoop,
+		line:      d.Line,
+		endLine:   maxLine(ps),
+		red:       map[string]bool{},
+		dataNames: map[string]bool{},
+		gangRed:   map[string]bool{},
+	}
+	if cl := d.Get(directive.NumGangs); cl != nil {
+		if v, ok := evalConst(cl.Arg); ok {
+			cm.gangs = v
+		}
+	}
+	for _, cl := range d.Clauses {
+		if cl.Kind.IsData() {
+			for _, v := range cl.Vars {
+				cm.dataNames[v.Name] = true
+			}
+		}
+	}
+	w := &laneWalker{pass: p, cm: cm, priv: map[string]bool{}, gangLocal: map[string]bool{}}
+	for _, k := range []directive.ClauseKind{directive.Private, directive.FirstPrivate} {
+		for _, cl := range d.All(k) {
+			for _, v := range cl.Vars {
+				if cm.parallel {
+					w.gangLocal[v.Name] = true // one copy per gang
+				} else {
+					w.priv[v.Name] = true
+				}
+			}
+		}
+	}
+	for _, cl := range d.All(directive.Reduction) {
+		for _, v := range cl.Vars {
+			cm.red[v.Name] = true
+		}
+	}
+	w.red = copySet(cm.red)
+	w.ivars = map[string]bool{}
+	w.guard = map[string]bool{}
+	collectGangRed := func(ld *directive.Directive) {
+		levels, _ := loopPartition(ld)
+		for _, lv := range levels {
+			if lv != "gang" {
+				continue
+			}
+			for _, cl := range ld.All(directive.Reduction) {
+				for _, v := range cl.Vars {
+					cm.gangRed[v.Name] = true
+				}
+			}
+			break
+		}
+	}
+	if d.Name.IsCombined() {
+		collectGangRed(d)
+	} else {
+		ast.Walk(ps.Body, func(n ast.Node) bool {
+			if ips, ok := n.(*ast.PragmaStmt); ok {
+				if ld := directiveOf(ips); ld != nil && ld.Name == directive.Loop {
+					collectGangRed(ld)
+				}
+			}
+			return true
+		})
+	}
+	if d.Name.IsCombined() {
+		// The combined form's body is the loop itself.
+		w.enterNest(ps, d)
+	} else {
+		w.stmt(ps.Body)
+	}
+	return cm
+}
+
+// loopPartition resolves a loop directive's schedule levels exactly as the
+// compiler's sema does: seq excludes partitioning, explicit clauses OR in,
+// and a bare loop partitions across gangs.
+func loopPartition(d *directive.Directive) (levels []string, explicit bool) {
+	if d.Has(directive.Seq) {
+		return nil, false
+	}
+	if d.Has(directive.Gang) {
+		levels = append(levels, "gang")
+	}
+	if d.Has(directive.Worker) {
+		levels = append(levels, "worker")
+	}
+	if d.Has(directive.Vector) {
+		levels = append(levels, "vector")
+	}
+	if len(levels) > 0 {
+		return levels, true
+	}
+	return []string{"gang"}, false
+}
+
+// maxLine finds the last source line a statement subtree covers.
+func maxLine(s ast.Stmt) int {
+	max := ast.LineOf(s)
+	ast.Walk(s, func(n ast.Node) bool {
+		if l := ast.LineOf(n); l > max {
+			max = l
+		}
+		return true
+	})
+	return max
+}

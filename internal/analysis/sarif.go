@@ -1,0 +1,129 @@
+package analysis
+
+// SARIF 2.1.0 rendering: the interchange form CI systems and code hosts
+// ingest natively (GitHub code scanning, Azure DevOps, VS Code SARIF
+// viewers). One run per invocation; every registered analyzer appears as a
+// rule so rule metadata is stable regardless of which analyzers fired, and
+// each finding becomes a result referencing its rule by index.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The subset of the SARIF 2.1.0 object model accvet emits. Field order in
+// the marshaled output follows struct order, which keeps the golden file
+// byte-stable.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultConfig    sarifConfig  `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps a finding severity to the SARIF level vocabulary.
+func sarifLevel(s Severity) string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// WriteSARIF renders the findings of several files as one SARIF 2.1.0 log.
+// The rule table always lists every registered analyzer, in registry
+// order, so rule indices are stable across runs and corpora.
+func WriteSARIF(w io.Writer, files []FileFindings) error {
+	var rules []sarifRule
+	index := map[string]int{}
+	for i, a := range Analyzers() {
+		index[a.ID] = i
+		rules = append(rules, sarifRule{
+			ID:               a.ID,
+			Name:             a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+			DefaultConfig:    sarifConfig{Level: sarifLevel(a.Sev)},
+		})
+	}
+	results := []sarifResult{}
+	for _, ff := range files {
+		for _, f := range ff.Findings {
+			results = append(results, sarifResult{
+				RuleID:    f.ID,
+				RuleIndex: index[f.ID],
+				Level:     sarifLevel(f.Sev),
+				Message:   sarifMessage{Text: f.Message},
+				Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: ff.Name},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Col},
+				}}},
+			})
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "accvet", InformationURI: "accv/docs/ANALYSIS.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,167 @@
+package analysis_test
+
+// Suppression-comment contract for the lane-race analyzers: an
+// `accvet:ignore` comment with an analyzer-ID list silences exactly the
+// listed IDs at its line (and the line below), leaves every other
+// analyzer's findings standing, and counts what it hid in
+// Report.Suppressed. The blanket form (no IDs) still silences everything.
+
+import (
+	"testing"
+
+	"accv/internal/analysis"
+	"accv/internal/ast"
+	"accv/internal/cfront"
+	"accv/internal/ffront"
+)
+
+// suppressSrcC has two independent lane-race hazards: a cross-lane
+// write-write race on a[0] (ACV007) and an unreduced shared accumulator
+// (ACV010). Only the ACV007 line carries an ignore comment, listing just
+// that ID.
+const suppressSrcC = `
+int acc_test()
+{
+    int i, sum;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    sum = 0;
+    #pragma acc parallel copy(a[0:16], sum)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            a[0] = i; /* accvet:ignore ACV007 -- intentional last-writer-wins */
+        }
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            sum = sum + a[i];
+        }
+    }
+    return (sum == 120);
+}
+`
+
+const suppressSrcF = `program acc_testcase
+  implicit none
+  integer :: i, sum
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i - 1
+  end do
+  sum = 0
+  !$acc parallel copy(a(1:16), sum)
+  !$acc loop gang
+  do i = 1, 16
+    a(1) = i  !$acc$ignore ACV007 -- intentional last-writer-wins
+  end do
+  !$acc loop gang
+  do i = 1, 16
+    sum = sum + a(i)
+  end do
+  !$acc end parallel
+end program acc_testcase
+`
+
+// analyzeSrc parses and analyzes one source in the given language.
+func analyzeSrc(t *testing.T, lang ast.Lang, src string, opts analysis.Options) analysis.Report {
+	t.Helper()
+	var prog *ast.Program
+	var err error
+	if lang == ast.LangFortran {
+		prog, err = ffront.Parse(src)
+	} else {
+		prog, err = cfront.Parse(src)
+	}
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return analysis.Analyze(prog, opts)
+}
+
+func ids(findings []analysis.Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range findings {
+		m[f.ID]++
+	}
+	return m
+}
+
+func TestSuppressIDListSelective(t *testing.T) {
+	for _, tc := range []struct {
+		lang ast.Lang
+		src  string
+	}{
+		{ast.LangC, suppressSrcC},
+		{ast.LangFortran, suppressSrcF},
+	} {
+		t.Run(tc.lang.String(), func(t *testing.T) {
+			rep := analyzeSrc(t, tc.lang, tc.src, analysis.Options{})
+			got := ids(rep.Findings)
+			if got["ACV007"] != 0 {
+				t.Errorf("ACV007 must be suppressed by its ID list: %v", rep.Findings)
+			}
+			if got["ACV010"] == 0 {
+				t.Errorf("ACV010 must survive an ACV007-only ignore: %v", rep.Findings)
+			}
+			if rep.Suppressed == 0 {
+				t.Error("suppressed findings must be counted")
+			}
+			// With suppression disabled the hidden finding reappears.
+			raw := analyzeSrc(t, tc.lang, tc.src, analysis.Options{NoSuppress: true})
+			if ids(raw.Findings)["ACV007"] == 0 {
+				t.Errorf("NoSuppress must expose the ignored ACV007: %v", raw.Findings)
+			}
+		})
+	}
+}
+
+// TestSuppressWrongIDDoesNothing pins that listing a different analyzer's
+// ID does not silence the finding on that line.
+func TestSuppressWrongIDDoesNothing(t *testing.T) {
+	src := `
+int acc_test()
+{
+    int i;
+    int a[16];
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            a[0] = i; /* accvet:ignore ACV008 -- wrong ID on purpose */
+        }
+    }
+    return (a[0] == 15);
+}
+`
+	rep := analyzeSrc(t, ast.LangC, src, analysis.Options{})
+	if ids(rep.Findings)["ACV007"] == 0 {
+		t.Errorf("an ACV008 list must not hide ACV007: %v", rep.Findings)
+	}
+}
+
+// TestSuppressBlanketCoversLaneAnalyzers pins that the ID-less form still
+// silences the new analyzers, exactly like the data-movement ones.
+func TestSuppressBlanketCoversLaneAnalyzers(t *testing.T) {
+	src := `
+int acc_test()
+{
+    int i;
+    int a[16];
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            a[0] = i; /* accvet:ignore -- last-writer-wins is the point */
+        }
+    }
+    return (a[0] == 15);
+}
+`
+	rep := analyzeSrc(t, ast.LangC, src, analysis.Options{})
+	if len(rep.Findings) != 0 {
+		t.Errorf("blanket ignore must silence everything: %v", rep.Findings)
+	}
+	if rep.Suppressed == 0 {
+		t.Error("blanket ignore must still count what it hid")
+	}
+}

@@ -105,6 +105,47 @@ func TestTypePredicates(t *testing.T) {
 	}
 }
 
+func TestIgnoreIDList(t *testing.T) {
+	// The nolint convention: IDs separated by spaces or commas, everything
+	// after "--" is justification text, no IDs means "suppress all".
+	ig := NewIgnore(4, " acv007, ACV010 -- intentional race, see docs")
+	if len(ig.IDs) != 2 || ig.IDs[0] != "ACV007" || ig.IDs[1] != "ACV010" {
+		t.Fatalf("parsed IDs = %v", ig.IDs)
+	}
+	if !ig.Matches("ACV007") || !ig.Matches("ACV010") {
+		t.Error("listed IDs must match")
+	}
+	if ig.Matches("ACV008") {
+		t.Error("unlisted ID must not match")
+	}
+	blanket := NewIgnore(4, " -- reason only")
+	if len(blanket.IDs) != 0 || !blanket.Matches("ACV009") {
+		t.Errorf("justification-only comment must suppress all: %v", blanket.IDs)
+	}
+}
+
+func TestProgramSuppressedHonorsIDs(t *testing.T) {
+	p := &Program{Ignores: []Ignore{
+		{Line: 10, IDs: []string{"ACV007"}},
+		{Line: 20}, // blanket
+	}}
+	// The comment covers its own line and the following line.
+	for _, line := range []int{10, 11} {
+		if !p.Suppressed("ACV007", line) {
+			t.Errorf("ACV007 at line %d must be suppressed", line)
+		}
+		if p.Suppressed("ACV010", line) {
+			t.Errorf("ACV010 at line %d must not be suppressed by an ACV007 list", line)
+		}
+	}
+	if p.Suppressed("ACV007", 12) {
+		t.Error("line 12 is out of the comment's reach")
+	}
+	if !p.Suppressed("ACV010", 21) {
+		t.Error("blanket ignore must suppress any analyzer")
+	}
+}
+
 func TestProgramLookup(t *testing.T) {
 	p := &Program{Funcs: []*FuncDecl{{Name: "a"}, {Name: "b"}}, Entry: "b"}
 	if p.Lookup("a") == nil || p.Lookup("zz") != nil {

@@ -294,6 +294,12 @@ type Executable struct {
 	// when Opts.Vet is VetOff). They are advisory metadata: the harness
 	// decides whether error-severity findings fail a test.
 	Findings []analysis.Finding
+	// LaneSafety is the per-nest cross-lane safety oracle (nil when
+	// Opts.Vet is VetOff): one verdict per partitioned loop nest plus the
+	// gang-redundant remainders of multi-gang parallel regions. The SPMD
+	// lowerer batches only LaneProvenIndependent nests; accvet surfaces
+	// the same verdicts via -lane-safety.
+	LaneSafety []analysis.LaneSafety
 	// Code is the bytecode lowering of the program's procedure bodies,
 	// produced once here and reused by every run (docs/PERFORMANCE.md).
 	Code *bytecode.Module
@@ -384,6 +390,7 @@ func Compile(prog *ast.Program, opts Options) (*Executable, []Diagnostic, error)
 	if opts.Vet == VetOn {
 		rep := analysis.Analyze(prog, analysis.Options{})
 		s.exe.Findings = rep.Findings
+		s.exe.LaneSafety = analysis.AnalyzeLaneSafety(prog)
 	}
 	s.exe.Code = bytecode.LowerProgram(prog)
 	return s.exe, s.diags, nil

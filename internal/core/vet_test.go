@@ -72,6 +72,50 @@ func TestVetEnforceFailsHazardousTest(t *testing.T) {
 	}
 }
 
+// laneRaceTemplate triggers ACV010 (error severity): a gang loop
+// read-modify-writes a region-shared accumulator with no reduction clause.
+func laneRaceTemplate() *Template {
+	return &Template{
+		Name: "vet_lane_race", Lang: ast.LangC, Family: "vet", Description: "intentionally racy",
+		NoCross: true,
+		Source: `    int i, sum;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    sum = 0;
+    #pragma acc parallel copyin(a[0:16]) copy(sum)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            sum = sum + a[i];
+        }
+    }
+    return (sum == 120);
+`,
+	}
+}
+
+// TestVetFindingsMetricAnalyzerLabel pins the analyzer-label contract of
+// accv_vet_findings_total across the registry's range: the lane-race
+// analyzers (ACV007–ACV010) emit under their own IDs, exactly like the
+// data-movement ones (docs/OBSERVABILITY.md).
+func TestVetFindingsMetricAnalyzerLabel(t *testing.T) {
+	o := obs.NewObserver()
+	res := RunTest(vetCfg(VetEnforce, o), laneRaceTemplate())
+	if res.Outcome != VetFail {
+		t.Fatalf("outcome = %v, want VetFail (detail %q)", res.Outcome, res.Detail)
+	}
+	snap := o.Metrics.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "accv_vet_findings_total" && c.Labels["analyzer"] == "ACV010" && c.Labels["severity"] == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("accv_vet_findings_total{analyzer=ACV010,severity=error} not emitted: %+v", snap.Counters)
+	}
+}
+
 func TestVetWarnOnlyRecordsWithoutFailing(t *testing.T) {
 	res := RunTest(vetCfg(VetWarnOnly, nil), hazardousTemplate())
 	if res.Outcome == VetFail {

@@ -26,6 +26,7 @@ func (c *execCtx) eval(e ast.Expr) (mem.Value, error) {
 		if err != nil {
 			return mem.Value{}, errf(x, "%v", err)
 		}
+		c.noteRead(buf, idx, ast.LineOf(x))
 		return v, nil
 	case *ast.CallExpr:
 		return c.call(x)
@@ -75,6 +76,7 @@ func (c *execCtx) evalIdent(x *ast.Ident) (mem.Value, error) {
 		if err != nil {
 			return mem.Value{}, errf(x, "%v", err)
 		}
+		c.noteRead(v.Buf, 0, ast.LineOf(x))
 		return val, nil
 	}
 	if v, ok := runtimeConstants[x.Name]; ok {
@@ -197,6 +199,7 @@ func (c *execCtx) evalUnary(x *ast.UnaryExpr) (mem.Value, error) {
 		if err != nil {
 			return mem.Value{}, errf(x, "%v", err)
 		}
+		c.noteRead(v.P.Buf, v.P.Off, ast.LineOf(x))
 		return out, nil
 	}
 	return mem.Value{}, errf(x, "unsupported unary operator %q", x.Op)

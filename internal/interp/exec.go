@@ -35,6 +35,11 @@ type execCtx struct {
 	// iteration, so this skips the module map lookup on the hot path.
 	memoStmt ast.Stmt
 	memoProc *bytecode.Proc
+	// raceInv/raceSub are the -race-check lane coordinates (loop invocation
+	// id and sub-lane index); zero outside partitioned loop lanes. Child
+	// contexts inherit them through struct copies.
+	raceInv int64
+	raceSub int64
 }
 
 // space is the memory space new declarations live in.
@@ -309,12 +314,17 @@ func (c *execCtx) assignTo(lhs ast.Expr, op string, rhs mem.Value, at ast.Node) 
 		if err != nil {
 			return errf(at, "%v", err)
 		}
+		c.noteRead(buf, idx, ast.LineOf(at)) // the compound's RMW load
 		rhs, err = binaryOp(op[:1], old, rhs, at)
 		if err != nil {
 			return err
 		}
 	}
 	c.maybeYield()
+	if c.raceTracked(buf) {
+		old, _ := buf.Load(idx) // pre-store value, for the changed-bits filter
+		c.noteWrite(buf, idx, ast.LineOf(at), old, rhs)
+	}
 	if err := buf.Store(idx, rhs); err != nil {
 		return errf(at, "%v", err)
 	}

@@ -69,6 +69,12 @@ type RunConfig struct {
 	// EngineVM silently degrades to tree-walking for programs the compiler
 	// did not lower (Executable.Code == nil).
 	Engine Engine
+	// RaceCheck shadow-tracks device-memory accesses per lane and records
+	// cross-lane conflicts in Result.Races. It forces the tree engine (the
+	// VM batches lane state and cannot attribute individual accesses) and
+	// slows execution considerably; it is a validation mode, not a
+	// production one (docs/ANALYSIS.md).
+	RaceCheck bool
 }
 
 // Result is the outcome of a run.
@@ -97,6 +103,9 @@ type Result struct {
 	// QueueWaits counts async queue wait operations — the
 	// accv_queue_waits_total series.
 	QueueWaits int64
+	// Races holds the cross-lane conflicts observed when RunConfig.RaceCheck
+	// was set; nil otherwise. Sorted by variable, then line.
+	Races []Race
 	// Err is a runtime error (out-of-bounds, not-present, crash, budget or
 	// deadline exceeded). Exit is meaningless when Err != nil.
 	Err error
@@ -139,8 +148,11 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 		out:    &out,
 		sink:   cfg.Stdout,
 	}
-	if cfg.Engine == EngineVM {
+	if cfg.Engine == EngineVM && !cfg.RaceCheck {
 		in.code = exe.Code
+	}
+	if cfg.RaceCheck {
+		in.rc = newRaceTracker()
 	}
 	if cfg.Timeout > 0 {
 		timer := time.AfterFunc(cfg.Timeout, func() { in.requestStop(ErrDeadline) })
@@ -218,6 +230,9 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 	res.PresentHits = dev.Stats.PresentHits.Load() - hitsBefore
 	res.PresentMisses = dev.Stats.PresentMisses.Load() - missesBefore
 	res.QueueWaits = dev.Stats.QueueWaits.Load() - waitsBefore
+	if in.rc != nil {
+		res.Races = in.rc.races()
+	}
 	return res
 }
 
@@ -248,6 +263,8 @@ type Interp struct {
 	// code is the lowered bytecode module when the VM engine is active;
 	// nil means every statement tree-walks.
 	code *bytecode.Module
+	// rc is the cross-lane race tracker; nil unless RunConfig.RaceCheck.
+	rc *raceTracker
 
 	ops atomic.Int64
 	// hostPend batches the host goroutine's statement charges so host code

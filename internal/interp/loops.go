@@ -233,6 +233,9 @@ func (c *execCtx) execLoop(p *ast.PragmaStmt, plan *compiler.LoopPlan) error {
 		// gang-partitioned loop fans out to gang goroutines here.
 		dev := c.in.plat.Current()
 		var maxOps atomic.Int64
+		if c.in.rc != nil {
+			c.in.rc.barrier() // gangs of this loop are ordered after prior work
+		}
 		err := dev.Launch(nil, k.gangs, func(g int) (err error) {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -248,6 +251,9 @@ func (c *execCtx) execLoop(p *ast.PragmaStmt, plan *compiler.LoopPlan) error {
 			k2.kernelsMode = false
 			k2.ops = 0
 			k2.rng ^= uint64(g+1) * 0x94d049bb133111eb
+			if c.in.rc != nil {
+				k2.raceGang = c.in.rc.id()
+			}
 			cc := *c
 			cc.kernel = &k2
 			if err := cc.runLoopLanes(plan, loops, body, true, hasWorker); err != nil {
@@ -256,6 +262,9 @@ func (c *execCtx) execLoop(p *ast.PragmaStmt, plan *compiler.LoopPlan) error {
 			atomicMax(&maxOps, k2.ops)
 			return nil
 		})
+		if c.in.rc != nil {
+			c.in.rc.barrier() // the fan-out joins before the walker continues
+		}
 		k.ops += maxOps.Load()
 		return err
 	}
@@ -322,6 +331,13 @@ func (c *execCtx) runLoopLanes(plan *compiler.LoopPlan, loops []loopDesc, body a
 	}
 
 	in := c.in
+	// Under -race-check every invocation of a partitioned loop gets a fresh
+	// id; lanes of one invocation are concurrent, distinct invocations in
+	// the same gang are sequential.
+	var raceInv int64
+	if in.rc != nil {
+		raceInv = in.rc.id()
+	}
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
@@ -375,6 +391,8 @@ func (c *execCtx) runLoopLanes(plan *compiler.LoopPlan, loops []loopDesc, body a
 				return lanes[v]
 			}
 			l := &laneState{ctx: &execCtx{in: in, env: NewEnv(wenv), kernel: &lk}}
+			l.ctx.raceInv = raceInv
+			l.ctx.raceSub = w*V + v + 1 // worker×vector sub-lane, nonzero
 			for pi, tmpl := range privTemplates {
 				l.ctx.env.Bind(makePrivate(tmpl, nil, int64(lk.rng)^(v*31+int64(pi))))
 			}

@@ -1,0 +1,244 @@
+package interp
+
+// Dynamic cross-lane race checking (-race-check mode).
+//
+// When RunConfig.RaceCheck is set the interpreter shadow-tracks every
+// device-memory word an accelerator lane touches through the statement
+// evaluator. Each access carries a lane identity tuple and the tracker
+// flags pairs of accesses that the execution model permits to run
+// concurrently:
+//
+//   - two writes of *different* values to the same word (a lost update), or
+//   - a read concurrent with a write that *changed* the word.
+//
+// The benign-same-value and unchanged-bits filters deliberately
+// under-report: the checker's contract is that every dynamic race must be
+// matched by a static LaneSafety verdict of proven-dependent or unknown
+// (zero false negatives for the static analysis), so the dynamic side only
+// reports conflicts whose effect is observable.
+//
+// Lane identity. A lane is identified by (epoch, gang, inv, sub):
+//
+//   epoch - barrier generation. A global counter bumped around every
+//           device launch; accesses in different epochs are ordered by a
+//           barrier and never race.
+//   gang  - unique id per gang *instance* (per launch). Gangs of one
+//           launch run concurrently with no intra-region barrier.
+//   inv   - unique id per partitioned-loop invocation within a gang.
+//           Different invocations in the same gang run sequentially.
+//   sub   - worker*vlen+lane index within one invocation. Same inv,
+//           different sub means concurrent worker/vector lanes.
+//
+// Two accesses may race iff they are in the same epoch and either come
+// from different gang instances, or from the same loop invocation of one
+// gang on different sub-lanes. Host accesses (no kernel context) and the
+// runtime's own bookkeeping stores (reduction combines, data transfers,
+// private-copy seeding) are not tracked; those are synchronization points
+// by construction.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"accv/internal/mem"
+)
+
+// Race describes one dynamically observed cross-lane conflict.
+type Race struct {
+	Var       string // buffer name the conflicting accesses hit
+	Kind      string // "write-write" or "read-write"
+	WriteLine int    // source line of the (later) conflicting write
+	OtherLine int    // source line of the earlier access it conflicts with
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on %q: line %d conflicts with line %d",
+		r.Kind, r.Var, r.WriteLine, r.OtherLine)
+}
+
+// laneID is the concurrency-relevant part of an access's identity.
+type laneID struct {
+	gang, inv, sub int64
+}
+
+// concurrentLanes reports whether two same-epoch accesses may execute
+// concurrently under the OpenACC execution model.
+func concurrentLanes(a, b laneID) bool {
+	if a.gang != b.gang {
+		return true
+	}
+	return a.inv == b.inv && a.sub != b.sub
+}
+
+// wordKey addresses one tracked device-memory word.
+type wordKey struct {
+	buf *mem.Buffer
+	idx int
+}
+
+// maxReaders bounds the per-word reader ring; a handful of distinct lanes
+// is enough to witness any read-write conflict the corpus can produce.
+const maxReaders = 8
+
+type readerRec struct {
+	lane  laneID
+	epoch int64
+	line  int
+}
+
+type writeRec struct {
+	have    bool
+	lane    laneID
+	epoch   int64
+	line    int
+	changed bool // the store altered the word's bits
+	val     mem.Value
+}
+
+type wordState struct {
+	w       writeRec
+	readers []readerRec
+}
+
+// raceTracker is the shared shadow state for one interpreter run.
+type raceTracker struct {
+	epoch  atomic.Int64 // current barrier generation
+	nextID atomic.Int64 // source of gang/invocation ids
+
+	mu    sync.Mutex
+	words map[wordKey]*wordState
+	seen  map[Race]bool
+	found []Race
+}
+
+func newRaceTracker() *raceTracker {
+	return &raceTracker{
+		words: make(map[wordKey]*wordState),
+		seen:  make(map[Race]bool),
+	}
+}
+
+// id hands out a fresh nonzero identity for a gang instance or a loop
+// invocation.
+func (rc *raceTracker) id() int64 { return rc.nextID.Add(1) }
+
+// barrier marks a synchronization point: accesses before and after it can
+// no longer race. Called around device launches.
+func (rc *raceTracker) barrier() { rc.epoch.Add(1) }
+
+// raceCap bounds the recorded race list; a racy program hits the same
+// conflict on every iteration and one witness per line pair is plenty.
+const raceCap = 256
+
+func (rc *raceTracker) report(kind, name string, writeLine, otherLine int) {
+	r := Race{Var: name, Kind: kind, WriteLine: writeLine, OtherLine: otherLine}
+	if rc.seen[r] || len(rc.found) >= raceCap {
+		return
+	}
+	rc.seen[r] = true
+	rc.found = append(rc.found, r)
+}
+
+// races returns the collected conflicts ordered by variable then line.
+func (rc *raceTracker) races() []Race {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := append([]Race(nil), rc.found...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		if out[i].WriteLine != out[j].WriteLine {
+			return out[i].WriteLine < out[j].WriteLine
+		}
+		return out[i].OtherLine < out[j].OtherLine
+	})
+	return out
+}
+
+func valueEq(a, b mem.Value) bool { return a == b }
+
+// read records a lane loading one device word and flags it against a
+// concurrent earlier write that changed the word.
+func (rc *raceTracker) read(buf *mem.Buffer, idx int, lane laneID, line int) {
+	epoch := rc.epoch.Load()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	k := wordKey{buf, idx}
+	ws := rc.words[k]
+	if ws == nil {
+		ws = &wordState{}
+		rc.words[k] = ws
+	}
+	if ws.w.have && ws.w.epoch == epoch && ws.w.changed && concurrentLanes(lane, ws.w.lane) {
+		rc.report("read-write", buf.Name, ws.w.line, line)
+	}
+	// Remember the reader so a later concurrent write can be flagged too.
+	for i := range ws.readers {
+		if ws.readers[i].lane == lane {
+			ws.readers[i] = readerRec{lane, epoch, line}
+			return
+		}
+	}
+	if len(ws.readers) >= maxReaders {
+		copy(ws.readers, ws.readers[1:])
+		ws.readers = ws.readers[:maxReaders-1]
+	}
+	ws.readers = append(ws.readers, readerRec{lane, epoch, line})
+}
+
+// write records a lane storing one device word. old is the word's value
+// immediately before the store.
+func (rc *raceTracker) write(buf *mem.Buffer, idx int, lane laneID, line int, old, val mem.Value) {
+	epoch := rc.epoch.Load()
+	changed := !valueEq(old, val)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	k := wordKey{buf, idx}
+	ws := rc.words[k]
+	if ws == nil {
+		ws = &wordState{}
+		rc.words[k] = ws
+	}
+	if ws.w.have && ws.w.epoch == epoch && concurrentLanes(lane, ws.w.lane) && !valueEq(ws.w.val, val) {
+		rc.report("write-write", buf.Name, line, ws.w.line)
+	}
+	if changed {
+		for _, r := range ws.readers {
+			if r.epoch == epoch && concurrentLanes(lane, r.lane) {
+				rc.report("read-write", buf.Name, line, r.line)
+			}
+		}
+	}
+	ws.w = writeRec{have: true, lane: lane, epoch: epoch, line: line, changed: changed, val: val}
+}
+
+// laneID assembles this context's identity tuple for the tracker.
+func (c *execCtx) laneID() laneID {
+	return laneID{gang: c.kernel.raceGang, inv: c.raceInv, sub: c.raceSub}
+}
+
+// raceTracked reports whether an access through this context to buf should
+// be shadow-tracked: race-check mode on, executing inside a kernel, and
+// the target lives in (or is mirrored into) device-visible memory.
+func (c *execCtx) raceTracked(buf *mem.Buffer) bool {
+	return c.in.rc != nil && c.kernel != nil && !c.hostFallback && buf != nil
+}
+
+// noteRead shadow-records a device-word load performed by a lane.
+func (c *execCtx) noteRead(buf *mem.Buffer, idx, line int) {
+	if !c.raceTracked(buf) {
+		return
+	}
+	c.in.rc.read(buf, idx, c.laneID(), line)
+}
+
+// noteWrite shadow-records a device-word store performed by a lane.
+func (c *execCtx) noteWrite(buf *mem.Buffer, idx, line int, old, val mem.Value) {
+	if !c.raceTracked(buf) {
+		return
+	}
+	c.in.rc.write(buf, idx, c.laneID(), line, old, val)
+}

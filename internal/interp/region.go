@@ -21,6 +21,9 @@ type kernelState struct {
 	rng             uint64
 	ops             int64
 	pend            int64 // ops not yet charged to the shared budget
+	// raceGang is the gang instance's unique id under -race-check; zero
+	// when the tracker is off. Gang instances of one launch race freely.
+	raceGang int64
 }
 
 // maybeYield injects a scheduler yield with probability 1/8, driven by a
@@ -525,6 +528,9 @@ func (c *execCtx) execCompute(p *ast.PragmaStmt, r *compiler.Region) error {
 				kernelsMode: kernelsMode,
 				rng:         uint64(seed)*0x9e3779b97f4a7c15 + uint64(g+1)*0xbf58476d1ce4e5b9,
 			}
+			if in.rc != nil {
+				k.raceGang = in.rc.id()
+			}
 			kc := &execCtx{in: in, env: genv, kernel: k}
 			if combinedPlan != nil {
 				err2 := kc.execLoop(p, combinedPlan)
@@ -546,6 +552,9 @@ func (c *execCtx) execCompute(p *ast.PragmaStmt, r *compiler.Region) error {
 			// fan out to gangs internally.
 			launchGangs = 1
 		}
+		if in.rc != nil {
+			in.rc.barrier() // launch edge: host work cannot race the kernel
+		}
 		kerr := dev.Launch(nil, launchGangs, func(g int) error {
 			if kernelsMode {
 				// Gang 0 walks the body; loop directives spawn the gangs.
@@ -553,6 +562,9 @@ func (c *execCtx) execCompute(p *ast.PragmaStmt, r *compiler.Region) error {
 			}
 			return gangFn(g)
 		})
+		if in.rc != nil {
+			in.rc.barrier() // join edge: later regions are ordered after this one
+		}
 
 		dev.AddCycles(int64(float64(maxOps.Load()) * dev.Cfg.Backend.CycleScale))
 

@@ -1,0 +1,95 @@
+package templates
+
+// Cross-lane race templates: the functional variants are correctly
+// synchronized (unique element per lane, or a reduction clause protecting
+// the shared accumulator); the cross variants remove exactly that
+// protection, producing a genuinely racy program. They back the ACV007 /
+// ACV010 analyzers and the -race-check differential contract
+// (docs/ANALYSIS.md): the static oracle must stay silent on the
+// functional source and must refuse to certify the cross source, and the
+// dynamic tracker must observe the cross race under reference semantics.
+// Against the bugged vendors the functional variants also catch the
+// dropped reduction-combine miscompilation at runtime.
+
+func init() {
+	// --- ACV007: every lane must own its store target ----------------------
+	reg("loop_gang_write_race", "loop",
+		"each gang lane stores to its own array element; collapsing the "+
+			"subscript to a single element is a cross-lane write-write race",
+		`    int n = 64;
+    int i, errors;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = 0;
+    #pragma acc parallel copy(a[0:n]) num_gangs(8)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < n; i++) {
+            <acctest:alt cross="a[0] = 3*i + 7;">a[i] = 3*i + 7;</acctest:alt>
+        }
+    }
+    errors = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] != 3*i + 7) errors++;
+    }
+    return (errors == 0);
+`)
+	regF("loop_gang_write_race", "loop",
+		"each gang lane stores to its own array element; collapsing the "+
+			"subscript to a single element is a cross-lane write-write race",
+		`  integer :: n, i, errors
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel copy(a(1:n)) num_gangs(8)
+  !$acc loop gang
+  do i = 1, n
+    <acctest:alt cross="a(1) = 3*(i - 1) + 7">a(i) = 3*(i - 1) + 7</acctest:alt>
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, n
+    if (a(i) /= 3*(i - 1) + 7) errors = errors + 1
+  end do
+  if (errors == 0) test_result = 1
+`)
+
+	// --- ACV010: a shared accumulator needs the reduction clause -----------
+	reg("loop_gang_reduction_race", "reduction",
+		"the reduction clause privatizes and combines the region-shared "+
+			"accumulator; dropping it leaves an unsynchronized read-modify-write",
+		`    int n = 64;
+    int i;
+    int sum;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i + 1;
+    sum = 0;
+    #pragma acc parallel copyin(a[0:n]) copy(sum) num_gangs(8)
+    {
+        <acctest:directive cross="#pragma acc loop gang">#pragma acc loop gang reduction(+:sum)</acctest:directive>
+        for (i = 0; i < n; i++) {
+            sum = sum + a[i];
+        }
+    }
+    return (sum == 2080);
+`)
+	regF("loop_gang_reduction_race", "reduction",
+		"the reduction clause privatizes and combines the region-shared "+
+			"accumulator; dropping it leaves an unsynchronized read-modify-write",
+		`  integer :: n, i, sum
+  integer :: a(64)
+  n = 64
+  do i = 1, n
+    a(i) = i
+  end do
+  sum = 0
+  !$acc parallel copyin(a(1:n)) copy(sum) num_gangs(8)
+  <acctest:directive cross="!$acc loop gang">!$acc loop gang reduction(+:sum)</acctest:directive>
+  do i = 1, n
+    sum = sum + a(i)
+  end do
+  !$acc end parallel
+  if (sum == 2080) test_result = 1
+`)
+}

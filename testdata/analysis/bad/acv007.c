@@ -1,0 +1,20 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV007: every lane of the gang loop stores a different value to the
+   same element a[0]. */
+int acc_test()
+{
+    int i;
+    int a[16];
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            a[0] = i;
+        }
+    }
+    return (a[0] == 15);
+}

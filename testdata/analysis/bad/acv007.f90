@@ -1,0 +1,13 @@
+program acc_testcase
+  implicit none
+  ! ACV007: every lane of the gang loop stores a different value to the
+  ! same element a(1).
+  integer :: i
+  integer :: a(16)
+  !$acc parallel copy(a(1:16))
+  !$acc loop gang
+  do i = 1, 16
+    a(1) = i
+  end do
+  !$acc end parallel
+end program acc_testcase

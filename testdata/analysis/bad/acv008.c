@@ -1,0 +1,25 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV008: iteration i writes a[i] that iteration i+1 reads as a[i-1];
+   the gang partition puts those iterations on different lanes. */
+int acc_test()
+{
+    int i, errors;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = 1;
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop gang
+        for (i = 1; i < 16; i++) {
+            a[i] = a[i-1] + 1;
+        }
+    }
+    errors = 0;
+    for (i = 0; i < 16; i++) {
+        if (a[i] != i + 1) errors++;
+    }
+    return (errors == 0);
+}

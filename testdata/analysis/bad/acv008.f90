@@ -1,0 +1,20 @@
+program acc_testcase
+  implicit none
+  ! ACV008: iteration i writes a(i) that iteration i+1 reads as a(i-1);
+  ! the gang partition puts those iterations on different lanes.
+  integer :: i, errors
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = 1
+  end do
+  !$acc parallel copy(a(1:16))
+  !$acc loop gang
+  do i = 2, 16
+    a(i) = a(i-1) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 1, 16
+    if (a(i) /= i) errors = errors + 1
+  end do
+end program acc_testcase

@@ -1,0 +1,21 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV009: the copy clause maps t lane-shared, but every lane of the
+   gang loop writes its own value and reads it back. */
+int acc_test()
+{
+    int i, t;
+    int a[16];
+    #pragma acc parallel copy(a[0:16]) copy(t)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            t = i * 3;
+            a[i] = t + 1;
+        }
+    }
+    return (a[15] == 46);
+}

@@ -1,0 +1,14 @@
+program acc_testcase
+  implicit none
+  ! ACV009: the copy clause maps t lane-shared, but every lane of the
+  ! gang loop writes its own value and reads it back.
+  integer :: i, t
+  integer :: a(16)
+  !$acc parallel copy(a(1:16)) copy(t)
+  !$acc loop gang
+  do i = 1, 16
+    t = i * 3
+    a(i) = t + 1
+  end do
+  !$acc end parallel
+end program acc_testcase

@@ -1,0 +1,22 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* ACV010: every lane of the gang loop read-modify-writes the shared
+   accumulator; reduction(+:sum) would privatize and combine it. */
+int acc_test()
+{
+    int i, sum;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    sum = 0;
+    #pragma acc parallel copyin(a[0:16]) copy(sum)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            sum = sum + a[i];
+        }
+    }
+    return (sum == 120);
+}

@@ -1,0 +1,17 @@
+program acc_testcase
+  implicit none
+  ! ACV010: every lane of the gang loop read-modify-writes the shared
+  ! accumulator; reduction(+:sum) would privatize and combine it.
+  integer :: i, sum
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i - 1
+  end do
+  sum = 0
+  !$acc parallel copyin(a(1:16)) copy(sum)
+  !$acc loop gang
+  do i = 1, 16
+    sum = sum + a(i)
+  end do
+  !$acc end parallel
+end program acc_testcase

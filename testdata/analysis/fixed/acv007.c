@@ -1,0 +1,20 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* Fixed: the subscript is partitioned by the loop variable, so every
+   lane stores to its own element. */
+int acc_test()
+{
+    int i;
+    int a[16];
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop gang
+        for (i = 0; i < 16; i++) {
+            a[i] = i;
+        }
+    }
+    return (a[15] == 15);
+}

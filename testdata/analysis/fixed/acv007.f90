@@ -1,0 +1,13 @@
+program acc_testcase
+  implicit none
+  ! Fixed: the subscript is partitioned by the loop variable, so every
+  ! lane stores to its own element.
+  integer :: i
+  integer :: a(16)
+  !$acc parallel copy(a(1:16))
+  !$acc loop gang
+  do i = 1, 16
+    a(i) = i
+  end do
+  !$acc end parallel
+end program acc_testcase

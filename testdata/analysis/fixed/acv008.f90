@@ -1,0 +1,20 @@
+program acc_testcase
+  implicit none
+  ! Fixed: every iteration touches only its own element, so lanes never
+  ! exchange data.
+  integer :: i, errors
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = 1
+  end do
+  !$acc parallel copy(a(1:16))
+  !$acc loop gang
+  do i = 2, 16
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  errors = 0
+  do i = 2, 16
+    if (a(i) /= 2) errors = errors + 1
+  end do
+end program acc_testcase

@@ -1,0 +1,21 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* Fixed: the private clause gives every lane its own copy of the
+   temporary. */
+int acc_test()
+{
+    int i, t;
+    int a[16];
+    #pragma acc parallel copy(a[0:16])
+    {
+        #pragma acc loop gang private(t)
+        for (i = 0; i < 16; i++) {
+            t = i * 3;
+            a[i] = t + 1;
+        }
+    }
+    return (a[15] == 46);
+}

@@ -1,0 +1,14 @@
+program acc_testcase
+  implicit none
+  ! Fixed: the private clause gives every lane its own copy of the
+  ! temporary.
+  integer :: i, t
+  integer :: a(16)
+  !$acc parallel copy(a(1:16))
+  !$acc loop gang private(t)
+  do i = 1, 16
+    t = i * 3
+    a(i) = t + 1
+  end do
+  !$acc end parallel
+end program acc_testcase

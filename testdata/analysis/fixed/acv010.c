@@ -1,0 +1,22 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+#include <openacc.h>
+
+/* Fixed: the reduction clause keeps per-lane partials and combines them
+   after the loop. */
+int acc_test()
+{
+    int i, sum;
+    int a[16];
+    for (i = 0; i < 16; i++) a[i] = i;
+    sum = 0;
+    #pragma acc parallel copyin(a[0:16])
+    {
+        #pragma acc loop gang reduction(+:sum)
+        for (i = 0; i < 16; i++) {
+            sum = sum + a[i];
+        }
+    }
+    return (sum == 120);
+}

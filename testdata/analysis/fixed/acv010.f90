@@ -1,0 +1,17 @@
+program acc_testcase
+  implicit none
+  ! Fixed: the reduction clause keeps per-lane partials and combines them
+  ! after the loop.
+  integer :: i, sum
+  integer :: a(16)
+  do i = 1, 16
+    a(i) = i - 1
+  end do
+  sum = 0
+  !$acc parallel copyin(a(1:16))
+  !$acc loop gang reduction(+:sum)
+  do i = 1, 16
+    sum = sum + a(i)
+  end do
+  !$acc end parallel
+end program acc_testcase
