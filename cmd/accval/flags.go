@@ -54,7 +54,7 @@ func (f *cliFlags) registerCommon(fs *flag.FlagSet) {
 	fs.BoolVar(&f.failFast, "fail-fast", false, "cancel the remaining suite after the first failure")
 	fs.IntVar(&f.retries, "retry", 0, "re-run transiently-flaky failures up to N extra times (requires -timeout)")
 	fs.StringVar(&f.vet, "vet", "on", "accvet static-analysis policy: on (error findings fail the test), warn, or off")
-	fs.StringVar(&f.engine, "engine", "vm", "interpreter execution engine: vm (compiled bytecode) or tree (reference tree-walker)")
+	fs.StringVar(&f.engine, "engine", "vm", "interpreter execution engine: vm (compiled bytecode), tree (reference tree-walker), or spmd (lane-batched lockstep where the oracle proves it)")
 }
 
 // registerReport installs the report-output flags (run and legacy).
@@ -176,8 +176,11 @@ func parseEngine(s string) (accv.Engine, error) {
 		return accv.EngineVM, nil
 	case "tree":
 		return accv.EngineTree, nil
+	case "spmd":
+		return accv.EngineSPMD, nil
 	}
-	return accv.EngineVM, fmt.Errorf("unknown -engine %q (want vm or tree)", s)
+	var zero accv.Engine
+	return zero, fmt.Errorf("unknown -engine %q (want vm, tree, or spmd)", s)
 }
 
 func parseLangs(s string) ([]accv.Language, error) {

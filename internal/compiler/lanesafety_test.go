@@ -72,14 +72,18 @@ func TestExecutableLaneSafety(t *testing.T) {
 	}
 }
 
-// TestLaneSafetyVetOff: with analysis off the compile path, the oracle is
-// absent and a consumer must treat every nest as unproven.
+// TestLaneSafetyVetOff: the oracle is computed whatever the vet policy —
+// the SPMD engine keys batching off it, and engine selection must not
+// change meaning with -vet off. Only the findings are gated by the policy.
 func TestLaneSafetyVetOff(t *testing.T) {
 	exe, diags, err := compileC(t, laneSafetySrc, Options{Vet: VetOff})
 	if err != nil {
 		t.Fatalf("compile: %v (diags %v)", err, diags)
 	}
-	if exe.LaneSafety != nil {
-		t.Fatalf("VetOff compilation has LaneSafety %v, want nil", exe.LaneSafety)
+	if len(exe.LaneSafety) == 0 {
+		t.Fatal("VetOff compilation has no LaneSafety; the SPMD oracle must not depend on the vet policy")
+	}
+	if len(exe.Batch) == 0 {
+		t.Fatal("VetOff compilation batch-lowered nothing; the proven nest should batch")
 	}
 }

@@ -744,6 +744,15 @@ func (cfg Config) runOnce(ctx context.Context, exe *compiler.Executable, tpl *Te
 		cfg.Obs.Add("accv_present_lookups_total", r.PresentHits, obs.L("result", "hit"))
 		cfg.Obs.Add("accv_present_lookups_total", r.PresentMisses, obs.L("result", "miss"))
 		cfg.Obs.Add("accv_queue_waits_total", r.QueueWaits)
+		if r.SpmdBatchedNests > 0 {
+			cfg.Obs.Add("accv_spmd_batched_nests_total", r.SpmdBatchedNests)
+		}
+		if r.SpmdMaskedStores > 0 {
+			cfg.Obs.Add("accv_spmd_masked_stores_total", r.SpmdMaskedStores)
+		}
+		for reason, n := range r.SpmdFallbacks {
+			cfg.Obs.Add("accv_spmd_fallback_nests_total", n, obs.L("reason", reason))
+		}
 	}
 	switch {
 	case r.Err == interp.ErrCanceled:

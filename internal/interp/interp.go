@@ -34,11 +34,21 @@ const (
 	// EngineTree walks the AST for everything — the reference semantics the
 	// VM is differentially tested against.
 	EngineTree
+	// EngineSPMD is the VM plus lane batching: loop nests the LaneSafety
+	// oracle proves independent execute all lanes of a gang in one
+	// lockstep dispatch loop over lane-batched storage, with an execution
+	// mask for divergent control flow. Nests the batch lowerer declines
+	// fall back to the goroutine-per-lane path, so results are identical
+	// to the other engines by construction (docs/PERFORMANCE.md).
+	EngineSPMD
 )
 
 func (e Engine) String() string {
-	if e == EngineTree {
+	switch e {
+	case EngineTree:
 		return "tree"
+	case EngineSPMD:
+		return "spmd"
 	}
 	return "vm"
 }
@@ -106,6 +116,16 @@ type Result struct {
 	// Races holds the cross-lane conflicts observed when RunConfig.RaceCheck
 	// was set; nil otherwise. Sorted by variable, then line.
 	Races []Race
+	// SpmdBatchedNests counts nest executions the SPMD engine ran through
+	// the lane-batched dispatch loop (one count per gang per region
+	// entry); zero under the other engines.
+	SpmdBatchedNests int64
+	// SpmdMaskedStores counts store instructions the SPMD engine executed
+	// under a partial mask (divergent control flow).
+	SpmdMaskedStores int64
+	// SpmdFallbacks counts nest executions that fell back to the
+	// goroutine-per-lane path, keyed by decline reason; nil when none.
+	SpmdFallbacks map[string]int64
 	// Err is a runtime error (out-of-bounds, not-present, crash, budget or
 	// deadline exceeded). Exit is meaningless when Err != nil.
 	Err error
@@ -148,9 +168,11 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 		out:    &out,
 		sink:   cfg.Stdout,
 	}
-	if cfg.Engine == EngineVM && !cfg.RaceCheck {
+	if (cfg.Engine == EngineVM || cfg.Engine == EngineSPMD) && !cfg.RaceCheck {
 		in.code = exe.Code
 	}
+	// RaceCheck needs per-lane attribution, which batching removes.
+	in.spmd = cfg.Engine == EngineSPMD && !cfg.RaceCheck
 	if cfg.RaceCheck {
 		in.rc = newRaceTracker()
 	}
@@ -233,6 +255,16 @@ func Run(exe *compiler.Executable, cfg RunConfig) Result {
 	if in.rc != nil {
 		res.Races = in.rc.races()
 	}
+	res.SpmdBatchedNests = in.spmdBatched.Load()
+	res.SpmdMaskedStores = in.spmdMasked.Load()
+	in.spmdMu.Lock()
+	if len(in.spmdFallbacks) > 0 {
+		res.SpmdFallbacks = make(map[string]int64, len(in.spmdFallbacks))
+		for k, v := range in.spmdFallbacks {
+			res.SpmdFallbacks[k] = v
+		}
+	}
+	in.spmdMu.Unlock()
 	return res
 }
 
@@ -265,6 +297,14 @@ type Interp struct {
 	code *bytecode.Module
 	// rc is the cross-lane race tracker; nil unless RunConfig.RaceCheck.
 	rc *raceTracker
+	// spmd enables lane-batched nest execution (EngineSPMD without
+	// RaceCheck). The batched/fallback/masked counters feed the
+	// accv_spmd_* telemetry series through Result.
+	spmd        bool
+	spmdBatched atomic.Int64
+	spmdMasked  atomic.Int64
+	spmdMu        sync.Mutex
+	spmdFallbacks map[string]int64
 
 	ops atomic.Int64
 	// hostPend batches the host goroutine's statement charges so host code
@@ -298,6 +338,16 @@ func (in *Interp) step(n int64) {
 			panic(stopSignal{*p})
 		}
 	}
+}
+
+// noteFallback records one nest execution that declined lane batching.
+func (in *Interp) noteFallback(reason string) {
+	in.spmdMu.Lock()
+	if in.spmdFallbacks == nil {
+		in.spmdFallbacks = map[string]int64{}
+	}
+	in.spmdFallbacks[reason]++
+	in.spmdMu.Unlock()
 }
 
 // requestStop asks the run to abort with the given sentinel at the next

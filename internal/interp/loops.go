@@ -256,7 +256,7 @@ func (c *execCtx) execLoop(p *ast.PragmaStmt, plan *compiler.LoopPlan) error {
 			}
 			cc := *c
 			cc.kernel = &k2
-			if err := cc.runLoopLanes(plan, loops, body, true, hasWorker); err != nil {
+			if err := cc.runLoopLanes(p, plan, loops, body, true, hasWorker); err != nil {
 				return err
 			}
 			atomicMax(&maxOps, k2.ops)
@@ -268,7 +268,14 @@ func (c *execCtx) execLoop(p *ast.PragmaStmt, plan *compiler.LoopPlan) error {
 		k.ops += maxOps.Load()
 		return err
 	}
-	return c.runLoopLanes(plan, loops, body, hasGang, hasWorker)
+	return c.runLoopLanes(p, plan, loops, body, hasGang, hasWorker)
+}
+
+// redVar pairs a reduction operator with the enclosing binding its
+// per-worker partials combine into.
+type redVar struct {
+	op   string
+	host *VarInfo
 }
 
 // runLoopLanes distributes the collapsed iteration space across the
@@ -278,7 +285,7 @@ func (c *execCtx) execLoop(p *ast.PragmaStmt, plan *compiler.LoopPlan) error {
 // environment but executes sequentially on the worker's goroutine
 // (exactly-once execution is preserved; vector width feeds the timing
 // model).
-func (c *execCtx) runLoopLanes(plan *compiler.LoopPlan, loops []loopDesc, body ast.Stmt, hasGang, hasWorker bool) error {
+func (c *execCtx) runLoopLanes(p *ast.PragmaStmt, plan *compiler.LoopPlan, loops []loopDesc, body ast.Stmt, hasGang, hasWorker bool) error {
 	k := c.kernel
 	total := int64(1)
 	for _, d := range loops {
@@ -307,10 +314,6 @@ func (c *execCtx) runLoopLanes(plan *compiler.LoopPlan, loops []loopDesc, body a
 	redundant := plan.Redundant
 
 	// Resolve private and reduction variable templates in this context.
-	type redVar struct {
-		op   string
-		host *VarInfo // enclosing binding the partials combine into
-	}
 	var reds []redVar
 	for _, red := range plan.Reduction {
 		for _, ref := range red.Vars {
@@ -343,6 +346,21 @@ func (c *execCtx) runLoopLanes(plan *compiler.LoopPlan, loops []loopDesc, body a
 	var firstErr error
 	var maxOps atomic.Int64
 	partials := make([][]mem.Value, W)
+
+	// SPMD engine: run the whole lane set in one batched dispatch when the
+	// compile-time lowering and the runtime gates both admit the nest.
+	batched := false
+	if in.spmd {
+		if bp, reason := c.batchFor(p, plan, loops); bp == nil {
+			in.noteFallback(reason)
+		} else if nLanes := total/G + boolTo64(gi < total%G); nLanes > spmdMaxLanes {
+			in.noteFallback("lane-count")
+		} else {
+			batched = true
+			in.spmdBatched.Add(1)
+			firstErr = c.runBatch(bp, loops, total, G, gi, W, hasGang, hasWorker, reds, partials)
+		}
+	}
 
 	worker := func(w int64) {
 		defer wg.Done()
@@ -464,19 +482,21 @@ func (c *execCtx) runLoopLanes(plan *compiler.LoopPlan, loops []loopDesc, body a
 		atomicMax(&maxOps, lk.ops)
 	}
 
-	for w := int64(0); w < W; w++ {
-		wg.Add(1)
-		if W == 1 {
-			worker(w) // avoid goroutine churn for unpartitioned workers
-		} else {
-			go worker(w)
+	if !batched {
+		for w := int64(0); w < W; w++ {
+			wg.Add(1)
+			if W == 1 {
+				worker(w) // avoid goroutine churn for unpartitioned workers
+			} else {
+				go worker(w)
+			}
 		}
+		wg.Wait()
+		// Worker lanes ran in parallel: charge the slowest lane. With the PGI
+		// mapping (worker ignored) W==1 and all iterations land on one lane,
+		// which is exactly the §II performance observation.
+		k.ops += maxOps.Load()
 	}
-	wg.Wait()
-	// Worker lanes ran in parallel: charge the slowest lane. With the PGI
-	// mapping (worker ignored) W==1 and all iterations land on one lane,
-	// which is exactly the §II performance observation.
-	k.ops += maxOps.Load()
 	if firstErr != nil {
 		return firstErr
 	}

@@ -1,0 +1,827 @@
+package interp
+
+// SPMD lane-batched nest execution (EngineSPMD). A nest the compiler
+// batch-lowered (Executable.Batch) and the runtime gates admit executes all
+// of this gang's lanes in one dispatch loop over lane-indexed storage
+// instead of goroutine-per-lane: uniform values compute once per batch
+// step, varying values live in flat per-lane slices, and divergent control
+// flow narrows an execution mask instead of branching per lane
+// (docs/PERFORMANCE.md, "SPMD lane batching").
+//
+// Parity contract with the goroutine path: identical memory effects,
+// identical runtime-error messages (raised for the lowest failing lane),
+// identical reduction partials (per-worker accumulators folded in
+// ascending lane order), and identical per-worker op accounting — the
+// batch charges each statement once per active lane into the same
+// worker-attributed counters, flushing the shared budget in the same
+// 64-op chunks. The in-kernel yield scheduler is skipped: batched nests
+// are proven lane-independent, so interleaving is unobservable.
+
+import (
+	"fmt"
+
+	"accv/internal/ast"
+	"accv/internal/bytecode"
+	"accv/internal/compiler"
+	"accv/internal/mem"
+	"accv/internal/rt"
+)
+
+// spmdMaxLanes bounds per-batch lane storage; larger gangs fall back to
+// the goroutine path rather than allocating unbounded register files.
+const spmdMaxLanes = 1 << 16
+
+// batchFor returns the nest's batch lowering when every runtime gate
+// admits it, or nil and the fallback reason. The compile-time decline
+// reasons are stored in the executable; the runtime re-checks the plan
+// flags because vendor bug effects mutate plans after compilation.
+func (c *execCtx) batchFor(p *ast.PragmaStmt, plan *compiler.LoopPlan, loops []loopDesc) (*bytecode.BatchProc, string) {
+	bp := c.in.exe.Batch[p]
+	if bp == nil {
+		if r := c.in.exe.BatchDecline[p]; r != "" {
+			return nil, r
+		}
+		return nil, "no-oracle-entry"
+	}
+	if plan.Redundant || plan.NoCombine || plan.PartialLanes || plan.CollapseSwap ||
+		plan.Gang0Only || plan.DropPlan || len(plan.Private) > 0 ||
+		(c.in.hooks().CollapseOuterOnly && plan.Collapse > 1) {
+		return nil, "bug-hook"
+	}
+	if c.env.HasDeviceViews() {
+		return nil, "device-views"
+	}
+	if len(loops) != len(bp.IvNames) {
+		return nil, "nest-shape"
+	}
+	for i, d := range loops {
+		if d.varName != bp.IvNames[i] {
+			return nil, "nest-shape"
+		}
+	}
+	return bp, ""
+}
+
+// bval is one batch register: a uniform value or a lane-indexed slice.
+type bval struct {
+	uni bool
+	u   mem.Value
+	v   []mem.Value
+}
+
+func (r *bval) at(l int32) mem.Value {
+	if r.uni {
+		return r.u
+	}
+	return r.v[l]
+}
+
+// maskFrame saves the mask across one divergent construct.
+type maskFrame struct {
+	saved []int32
+	els   []int32 // complement lanes, for BMaskElse
+}
+
+type batchExec struct {
+	c  *execCtx
+	bp *bytecode.BatchProc
+	nl int32 // lane count
+
+	active []int32
+	frames []maskFrame
+
+	regs  []bval
+	slots [][]mem.Value
+
+	// Outer-slot resolution caches, mirroring the VM's per-frame caches.
+	loads []vmLoad
+	targs []*VarInfo
+
+	// workerOf attributes each lane's op charges; nil when W == 1.
+	workerOf     []int32
+	opsW, pendW  []int64
+	redAcc       [][]mem.Value
+	maskedStores int64
+}
+
+// runBatch executes the nest's whole lane set for this gang. It fills
+// partials (per worker, reduction order) on success and returns the first
+// lane error otherwise, adding the slowest worker's op count to the kernel
+// exactly as the goroutine path does.
+func (c *execCtx) runBatch(bp *bytecode.BatchProc, loops []loopDesc, total, G, gi, W int64, hasGang, hasWorker bool, reds []redVar, partials [][]mem.Value) (err error) {
+	k := c.kernel
+	// Enumerate this gang's lanes in ascending iteration order.
+	var lanes []int64
+	for t := int64(0); t < total; t++ {
+		if hasGang && t%G != gi {
+			continue
+		}
+		lanes = append(lanes, t)
+	}
+	nl := int32(len(lanes))
+	b := &batchExec{
+		c: c, bp: bp, nl: nl,
+		regs:  make([]bval, bp.NumRegs),
+		loads: make([]vmLoad, len(bp.OuterNames)),
+		targs: make([]*VarInfo, len(bp.OuterNames)),
+		opsW:  make([]int64, W),
+		pendW: make([]int64, W),
+	}
+	for w := int64(0); w < W; w++ {
+		b.pendW[w] = k.pend // each goroutine worker copies the gang's residual
+	}
+	b.redAcc = make([][]mem.Value, W)
+	for w := int64(0); w < W; w++ {
+		acc := make([]mem.Value, len(reds))
+		for i, rv := range reds {
+			acc[i] = reductionIdentity(rv.op, rv.host.Kind)
+		}
+		b.redAcc[w] = acc
+	}
+	if nl > 0 {
+		if hasWorker && W > 1 {
+			b.workerOf = make([]int32, nl)
+			for l, t := range lanes {
+				b.workerOf[l] = int32((t / G) % W)
+			}
+		}
+		b.active = make([]int32, nl)
+		for l := range b.active {
+			b.active[l] = int32(l)
+		}
+		backing := make([]mem.Value, len(bp.SlotKinds)*int(nl))
+		b.slots = make([][]mem.Value, len(bp.SlotKinds))
+		for s := range b.slots {
+			b.slots[s] = backing[s*int(nl) : (s+1)*int(nl)]
+		}
+		// Seed the induction-variable slots: lane l is iteration lanes[l],
+		// decomposed innermost-fastest exactly like the goroutine path.
+		for l, t := range lanes {
+			rem := t
+			for i := len(loops) - 1; i >= 0; i-- {
+				d := loops[i]
+				idx := rem % d.count
+				rem /= d.count
+				b.slots[bp.IvSlots[i]][l] = mem.Int(d.start + idx*d.step)
+			}
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				if s, ok := rec.(stopSignal); ok {
+					err = s.err
+				} else {
+					err = &RuntimeError{Msg: fmt.Sprintf("internal fault in kernel: %v", rec)}
+				}
+			}
+		}()
+		if err := b.run(); err != nil {
+			// Mirror an erroring goroutine worker: no ops published, no
+			// partials, the nest aborts with the lane error.
+			return err
+		}
+	}
+	maxOps := int64(0)
+	for w := int64(0); w < W; w++ {
+		if b.opsW[w] > maxOps {
+			maxOps = b.opsW[w]
+		}
+		partials[w] = b.redAcc[w]
+	}
+	k.ops += maxOps
+	c.in.spmdMasked.Add(b.maskedStores)
+	return nil
+}
+
+// tick charges one op per active lane to its worker, flushing the shared
+// budget counter in the same 64-op chunks the per-lane path produces.
+func (b *batchExec) tick() {
+	if b.workerOf == nil {
+		n := int64(len(b.active))
+		b.opsW[0] += n
+		p := b.pendW[0] + n
+		if p >= 64 {
+			q := p &^ 63
+			b.c.in.step(q)
+			p &= 63
+		}
+		b.pendW[0] = p
+	} else {
+		for _, l := range b.active {
+			w := b.workerOf[l]
+			b.opsW[w]++
+			b.pendW[w]++
+			if b.pendW[w] >= 64 {
+				b.c.in.step(b.pendW[w])
+				b.pendW[w] = 0
+			}
+		}
+	}
+}
+
+// vreg makes register r varying and returns its lane slice.
+func (b *batchExec) vreg(r int32) []mem.Value {
+	rv := &b.regs[r]
+	if rv.v == nil {
+		rv.v = make([]mem.Value, b.nl)
+	}
+	rv.uni = false
+	return rv.v
+}
+
+func (b *batchExec) setU(r int32, v mem.Value) {
+	rv := &b.regs[r]
+	rv.uni, rv.u = true, v
+}
+
+// outerVar resolves an outer slot to its VarInfo (store-side cache).
+func (b *batchExec) outerVar(slot int32, line int32) (*VarInfo, error) {
+	if v := b.targs[slot]; v != nil {
+		return v, nil
+	}
+	name := b.bp.OuterNames[slot]
+	v, ok := b.c.env.Lookup(name)
+	if !ok {
+		return nil, vmErrf(line, "undeclared variable %q", name)
+	}
+	b.targs[slot] = v
+	return v, nil
+}
+
+// scalarTarget is outerVar plus the VM's scalar-store checks.
+func (b *batchExec) scalarTarget(slot int32, line int32) (*VarInfo, error) {
+	v, err := b.outerVar(slot, line)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsArray() {
+		return nil, vmErrf(line, "cannot assign to array %q without a subscript", v.Name)
+	}
+	if err := b.c.checkSpaceAt(v, int(line)); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// convSlot converts a value to a lane slot's kind, exactly as a
+// mem.Buffer store of that element kind would.
+func convSlot(k mem.Kind, v mem.Value) mem.Value {
+	switch k {
+	case mem.KF32:
+		return mem.F32(v.AsFloat()) // always re-rounds, like Buffer.bits
+	case mem.KF64:
+		if v.K == mem.KF64 {
+			return v
+		}
+		return mem.F64(v.AsFloat())
+	default:
+		if v.K == mem.KInt {
+			return v
+		}
+		return mem.Int(v.AsInt())
+	}
+}
+
+func zeroOf(k mem.Kind) mem.Value {
+	switch k {
+	case mem.KF32:
+		return mem.F32(0)
+	case mem.KF64:
+		return mem.F64(0)
+	default:
+		return mem.Int(0)
+	}
+}
+
+// idxBase resolves an outer slot for subscripted access, mirroring
+// vmIndexTarget's per-target work: the pointer-variable indirection (the
+// pointer value is uniform inside a batched nest — stores to it batch
+// uniformly or decline) and the space check. Per-lane offsets are computed
+// by the caller.
+func (b *batchExec) idxBase(slot, idxN, line int32) (v *VarInfo, pbuf *mem.Buffer, poff int, err error) {
+	v, err = b.outerVar(slot, line)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if v.IsPtr && !v.IsArray() {
+		pv, lerr := v.Buf.Load(0)
+		if lerr != nil {
+			return nil, nil, 0, vmErrf(line, "%v", lerr)
+		}
+		if pv.K != mem.KPtr || pv.P.IsNil() {
+			return nil, nil, 0, vmErrf(line, "subscript of null pointer %q", v.Name)
+		}
+		if idxN != 1 {
+			return nil, nil, 0, vmErrf(line, "pointer subscript must be one-dimensional")
+		}
+		if err := b.c.checkDerefAt(pv.P.Buf, int(line)); err != nil {
+			return nil, nil, 0, err
+		}
+		return v, pv.P.Buf, pv.P.Off, nil
+	}
+	if err := b.c.checkSpaceAt(v, int(line)); err != nil {
+		return nil, nil, 0, err
+	}
+	if int(idxN) != len(v.Dims) {
+		return nil, nil, 0, vmErrf(line, "%s has %d dimensions, indexed with %d subscripts", v.Name, len(v.Dims), idxN)
+	}
+	return v, nil, 0, nil
+}
+
+// laneOff computes one lane's flat element offset with the VM's bounds
+// checks and error messages.
+func (b *batchExec) laneOff(v *VarInfo, pbuf *mem.Buffer, poff int, idxBase, idxN int32, l int32, line int32) (*mem.Buffer, int, error) {
+	if pbuf != nil {
+		return pbuf, poff + int(b.regs[idxBase].at(l).AsInt()), nil
+	}
+	flat := 0
+	for d := int32(0); d < idxN; d++ {
+		i := b.regs[idxBase+d].at(l).AsInt()
+		lo := 0
+		if int(d) < len(v.Lower) {
+			lo = v.Lower[d]
+		}
+		rel := int(i) - lo
+		if rel < 0 || rel >= v.Dims[d] {
+			return nil, 0, vmErrf(line, "index %d out of range [%d,%d) in dimension %d of %s", i, lo, lo+v.Dims[d], d+1, v.Name)
+		}
+		flat = flat*v.Dims[d] + rel
+	}
+	return v.Buf, flat - v.Bias, nil
+}
+
+func truth(v mem.Value) bool { return v.Truth() }
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// run is the batch dispatch loop.
+func (b *batchExec) run() error {
+	code := b.bp.Code
+	consts := b.bp.Consts
+	pc := 0
+	for {
+		ins := &code[pc]
+		switch ins.Op {
+		case bytecode.BNop:
+
+		case bytecode.BTick:
+			b.tick()
+
+		case bytecode.BConst:
+			b.setU(ins.A, consts[ins.B])
+
+		case bytecode.BLoadU:
+			lc := &b.loads[ins.B]
+			switch lc.state {
+			case vmScalar:
+			case vmArray, vmValue:
+				b.setU(ins.A, lc.val)
+				pc++
+				continue
+			default:
+				name := b.bp.OuterNames[ins.B]
+				if v, ok := b.c.env.Lookup(name); ok {
+					if v.IsArray() {
+						*lc = vmLoad{state: vmArray, v: v, val: mem.PtrVal(mem.Ptr{Buf: v.Buf, Off: -v.Bias})}
+						b.setU(ins.A, lc.val)
+						pc++
+						continue
+					}
+					*lc = vmLoad{state: vmScalar, v: v, w: v.Buf.Word0()}
+				} else if v, ok := runtimeConstants[name]; ok {
+					*lc = vmLoad{state: vmValue, val: v}
+					b.setU(ins.A, v)
+					pc++
+					continue
+				} else {
+					return vmErrf(ins.Line, "undeclared variable %q", name)
+				}
+			}
+			if err := b.c.checkSpaceAt(lc.v, int(ins.Line)); err != nil {
+				return err
+			}
+			var val mem.Value
+			if lc.w != nil {
+				lc.v.Buf.LoadWordInto(lc.w, &val)
+			} else {
+				v, err := lc.v.Buf.Load(0)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				val = v
+			}
+			b.setU(ins.A, val)
+
+		case bytecode.BStoreU:
+			v, err := b.scalarTarget(ins.A, ins.Line)
+			if err != nil {
+				return err
+			}
+			val := b.regs[ins.B].u
+			if w := v.Buf.Word0(); w != nil {
+				v.Buf.StoreWord(w, val)
+				break
+			}
+			if err := v.Buf.Store(0, val); err != nil {
+				return vmErrf(ins.Line, "%v", err)
+			}
+
+		case bytecode.BAugU:
+			v, err := b.scalarTarget(ins.A, ins.Line)
+			if err != nil {
+				return err
+			}
+			var old mem.Value
+			if w := v.Buf.Word0(); w != nil {
+				old = v.Buf.LoadWord(w)
+			} else {
+				old, err = v.Buf.Load(0)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+			}
+			nv, err := rt.BinOp(ast.OpKind(ins.D), old, b.regs[ins.B].u)
+			if err != nil {
+				return vmErrf(ins.Line, "%v", err)
+			}
+			if w := v.Buf.Word0(); w != nil {
+				v.Buf.StoreWord(w, nv)
+				break
+			}
+			if err := v.Buf.Store(0, nv); err != nil {
+				return vmErrf(ins.Line, "%v", err)
+			}
+
+		case bytecode.BLoadL:
+			src := b.slots[ins.B]
+			dst := b.vreg(ins.A)
+			if int32(len(b.active)) == b.nl {
+				copy(dst, src)
+			} else {
+				for _, l := range b.active {
+					dst[l] = src[l]
+				}
+			}
+
+		case bytecode.BStoreL:
+			b.noteStore()
+			kind := b.bp.SlotKinds[ins.A]
+			dst := b.slots[ins.A]
+			src := b.regs[ins.B]
+			if src.uni {
+				cv := convSlot(kind, src.u)
+				for _, l := range b.active {
+					dst[l] = cv
+				}
+			} else {
+				for _, l := range b.active {
+					dst[l] = convSlot(kind, src.v[l])
+				}
+			}
+
+		case bytecode.BAugL:
+			b.noteStore()
+			kind := b.bp.SlotKinds[ins.A]
+			dst := b.slots[ins.A]
+			src := b.regs[ins.B]
+			op := ast.OpKind(ins.D)
+			for _, l := range b.active {
+				nv, err := rt.BinOp(op, dst[l], src.at(l))
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				dst[l] = convSlot(kind, nv)
+			}
+
+		case bytecode.BDecl:
+			b.noteStore()
+			kind := mem.Kind(ins.C)
+			dst := b.slots[ins.A]
+			if ins.B < 0 {
+				z := zeroOf(kind)
+				for _, l := range b.active {
+					dst[l] = z
+				}
+			} else {
+				src := b.regs[ins.B]
+				for _, l := range b.active {
+					dst[l] = convSlot(kind, src.at(l))
+				}
+			}
+
+		case bytecode.BLoadIdx:
+			v, pbuf, poff, err := b.idxBase(ins.B, ins.D, ins.Line)
+			if err != nil {
+				return err
+			}
+			dst := b.vreg(ins.A)
+			for _, l := range b.active {
+				buf, off, err := b.laneOff(v, pbuf, poff, ins.C, ins.D, l, ins.Line)
+				if err != nil {
+					return err
+				}
+				val, err := buf.Load(off)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				dst[l] = val
+			}
+
+		case bytecode.BStoreIdx:
+			b.noteStore()
+			v, pbuf, poff, err := b.idxBase(ins.A, ins.C, ins.Line)
+			if err != nil {
+				return err
+			}
+			src := b.regs[ins.D]
+			for _, l := range b.active {
+				buf, off, err := b.laneOff(v, pbuf, poff, ins.B, ins.C, l, ins.Line)
+				if err != nil {
+					return err
+				}
+				if err := buf.Store(off, src.at(l)); err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+			}
+
+		case bytecode.BAugIdx:
+			b.noteStore()
+			v, pbuf, poff, err := b.idxBase(ins.A, ins.C, ins.Line)
+			if err != nil {
+				return err
+			}
+			src := b.regs[ins.D]
+			op := ast.OpKind(ins.E)
+			for _, l := range b.active {
+				buf, off, err := b.laneOff(v, pbuf, poff, ins.B, ins.C, l, ins.Line)
+				if err != nil {
+					return err
+				}
+				old, err := buf.Load(off)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				nv, err := rt.BinOp(op, old, src.at(l))
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				if err := buf.Store(off, nv); err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+			}
+
+		case bytecode.BBin:
+			x, y := b.regs[ins.B], b.regs[ins.C]
+			op := ast.OpKind(ins.D)
+			if x.uni && y.uni {
+				v, err := rt.BinOp(op, x.u, y.u)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				b.setU(ins.A, v)
+				break
+			}
+			dst := b.vreg(ins.A)
+			for _, l := range b.active {
+				xv, yv := x.at(l), y.at(l)
+				if xv.K == mem.KInt && yv.K == mem.KInt {
+					if vmIntBin(op, xv.I, yv.I, &dst[l]) {
+						continue
+					}
+				} else if xv.K == mem.KF64 && yv.K == mem.KF64 {
+					if vmF64Bin(op, xv.F, yv.F, &dst[l]) {
+						continue
+					}
+				}
+				v, err := rt.BinOp(op, xv, yv)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				dst[l] = v
+			}
+
+		case bytecode.BUn:
+			x := b.regs[ins.B]
+			op := ast.OpKind(ins.D)
+			if x.uni {
+				v, err := rt.UnOp(op, x.u)
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				b.setU(ins.A, v)
+				break
+			}
+			dst := b.vreg(ins.A)
+			for _, l := range b.active {
+				v, err := rt.UnOp(op, x.v[l])
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				dst[l] = v
+			}
+
+		case bytecode.BBool:
+			x := b.regs[ins.A]
+			if x.uni {
+				b.setU(ins.A, mem.Bool(x.u.Truth()))
+				break
+			}
+			dst := b.vreg(ins.A)
+			for _, l := range b.active {
+				dst[l] = mem.Bool(x.v[l].Truth())
+			}
+
+		case bytecode.BAndMerge:
+			x, y := b.regs[ins.B], b.regs[ins.C]
+			if x.uni && !truth(x.u) {
+				b.setU(ins.A, mem.Int(0))
+				break
+			}
+			if x.uni && y.uni {
+				b.setU(ins.A, mem.Bool(truth(y.u)))
+				break
+			}
+			dst := b.vreg(ins.A)
+			for _, l := range b.active {
+				if truth(x.at(l)) {
+					dst[l] = mem.Bool(truth(y.at(l)))
+				} else {
+					dst[l] = mem.Int(0)
+				}
+			}
+
+		case bytecode.BOrMerge:
+			x, y := b.regs[ins.B], b.regs[ins.C]
+			if x.uni && truth(x.u) {
+				b.setU(ins.A, mem.Int(1))
+				break
+			}
+			if x.uni && y.uni {
+				b.setU(ins.A, mem.Bool(truth(y.u)))
+				break
+			}
+			dst := b.vreg(ins.A)
+			for _, l := range b.active {
+				if truth(x.at(l)) {
+					dst[l] = mem.Int(1)
+				} else {
+					dst[l] = mem.Bool(truth(y.at(l)))
+				}
+			}
+
+		case bytecode.BJump:
+			pc = int(ins.A)
+			continue
+		case bytecode.BJumpEmpty:
+			if len(b.active) == 0 {
+				pc = int(ins.A)
+				continue
+			}
+		case bytecode.BJumpUFalse:
+			if !truth(b.regs[ins.A].u) {
+				pc = int(ins.B)
+				continue
+			}
+
+		case bytecode.BMaskPush:
+			x := b.regs[ins.A]
+			var tr, fa []int32
+			for _, l := range b.active {
+				if truth(x.at(l)) {
+					tr = append(tr, l)
+				} else {
+					fa = append(fa, l)
+				}
+			}
+			b.frames = append(b.frames, maskFrame{saved: b.active, els: fa})
+			b.active = tr
+
+		case bytecode.BMaskInv:
+			x := b.regs[ins.A]
+			var tr, fa []int32
+			for _, l := range b.active {
+				if truth(x.at(l)) {
+					tr = append(tr, l)
+				} else {
+					fa = append(fa, l)
+				}
+			}
+			b.frames = append(b.frames, maskFrame{saved: b.active, els: tr})
+			b.active = fa
+
+		case bytecode.BMaskElse:
+			b.active = b.frames[len(b.frames)-1].els
+
+		case bytecode.BMaskPop:
+			b.active = b.frames[len(b.frames)-1].saved
+			b.frames = b.frames[:len(b.frames)-1]
+
+		case bytecode.BMaskLoop:
+			b.frames = append(b.frames, maskFrame{saved: b.active})
+
+		case bytecode.BMaskNarrow:
+			x := b.regs[ins.A]
+			var keep []int32
+			for _, l := range b.active {
+				if truth(x.at(l)) {
+					keep = append(keep, l)
+				}
+			}
+			b.active = keep
+
+		case bytecode.BRed:
+			src := b.regs[ins.B]
+			op := ast.OpKind(ins.D)
+			acc := b.redAcc
+			ri := ins.A
+			for _, l := range b.active {
+				w := int32(0)
+				if b.workerOf != nil {
+					w = b.workerOf[l]
+				}
+				nv, err := rt.BinOp(op, acc[w][ri], src.at(l))
+				if err != nil {
+					return vmErrf(ins.Line, "%v", err)
+				}
+				acc[w][ri] = nv
+			}
+
+		case bytecode.BDoInit:
+			cnt, lim, stp := b.slots[ins.A], b.slots[ins.A+1], b.slots[ins.A+2]
+			from, to, step := b.regs[ins.B], b.regs[ins.B+1], b.regs[ins.B+2]
+			for _, l := range b.active {
+				cnt[l] = mem.Int(from.at(l).AsInt())
+				lim[l] = mem.Int(to.at(l).AsInt())
+				sv := step.at(l).AsInt()
+				if sv == 0 {
+					return vmErrf(ins.Line, "do loop with zero step")
+				}
+				stp[l] = mem.Int(sv)
+			}
+
+		case bytecode.BDoCond:
+			cnt, lim, stp := b.slots[ins.A], b.slots[ins.A+1], b.slots[ins.A+2]
+			var keep []int32
+			for _, l := range b.active {
+				s := stp[l].I
+				if (s > 0 && cnt[l].I <= lim[l].I) || (s < 0 && cnt[l].I >= lim[l].I) {
+					keep = append(keep, l)
+				}
+			}
+			b.active = keep
+
+		case bytecode.BDoIv:
+			iv, cnt := b.slots[ins.A], b.slots[ins.B]
+			for _, l := range b.active {
+				iv[l] = cnt[l]
+			}
+
+		case bytecode.BDoNext:
+			cnt, stp := b.slots[ins.A], b.slots[ins.A+2]
+			for _, l := range b.active {
+				cnt[l] = mem.Int(cnt[l].I + stp[l].I)
+			}
+
+		case bytecode.BDoUZero:
+			from := b.regs[ins.A].u.AsInt()
+			to := b.regs[ins.A+1].u.AsInt()
+			step := b.regs[ins.A+2].u.AsInt()
+			if step == 0 {
+				return vmErrf(ins.Line, "do loop with zero step")
+			}
+			b.setU(ins.A, mem.Int(from))
+			b.setU(ins.A+1, mem.Int(to))
+			b.setU(ins.A+2, mem.Int(step))
+
+		case bytecode.BDoUCond:
+			cnt := b.regs[ins.A].u.I
+			to := b.regs[ins.A+1].u.I
+			step := b.regs[ins.A+2].u.I
+			if !((step > 0 && cnt <= to) || (step < 0 && cnt >= to)) {
+				pc = int(ins.B)
+				continue
+			}
+		case bytecode.BDoUNext:
+			b.setU(ins.A, mem.Int(b.regs[ins.A].u.I+b.regs[ins.A+2].u.I))
+
+		case bytecode.BEndBatch:
+			return nil
+
+		default:
+			return vmErrf(ins.Line, "spmd: bad opcode %d", ins.Op)
+		}
+		pc++
+	}
+}
+
+// noteStore counts stores executed under a partial mask (the
+// accv_spmd_masked_stores_total series).
+func (b *batchExec) noteStore() {
+	if int32(len(b.active)) != b.nl {
+		b.maskedStores++
+	}
+}

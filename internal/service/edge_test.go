@@ -305,3 +305,63 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestEngineSelection pins the engine field of the run and suite
+// endpoints: "spmd" is accepted end-to-end (the single-program path and
+// the suite path both thread it through to the interpreter), and an
+// unknown engine is refused with a structured 400 naming the valid set —
+// not silently executed on the default engine.
+func TestEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var run RunResponse
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{Source: figure1Source, Engine: "spmd"}, &run)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run engine=spmd status = %d, want 200", resp.StatusCode)
+	}
+	if run.Exit != 1 || run.Error != "" {
+		t.Fatalf("run engine=spmd = %+v, want exit 1 with no error", run)
+	}
+
+	var suite SuiteResponse
+	resp = postJSON(t, ts.URL+"/v1/suite", SuiteRequest{Family: "data", Iterations: 1, Engine: "spmd"}, &suite)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite engine=spmd status = %d, want 200", resp.StatusCode)
+	}
+	if suite.Total == 0 || suite.Report == "" {
+		t.Fatalf("suite engine=spmd = %+v, want a populated report", suite)
+	}
+
+	for _, tc := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/run", RunRequest{Source: figure1Source, Engine: "warp"}},
+		{"/v1/suite", SuiteRequest{Engine: "warp"}},
+	} {
+		body, err := json.Marshal(tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s engine=warp: status = %d, want 400 (body: %s)", tc.path, resp.StatusCode, raw)
+			continue
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("%s engine=warp: response is not the error envelope: %v", tc.path, err)
+		}
+		if env.Error.Code != codeBadRequest {
+			t.Errorf("%s engine=warp: error code = %q, want %q", tc.path, env.Error.Code, codeBadRequest)
+		}
+		if !strings.Contains(env.Error.Message, "want vm, tree, or spmd") {
+			t.Errorf("%s engine=warp: error message %q does not name the valid engines", tc.path, env.Error.Message)
+		}
+	}
+}

@@ -116,6 +116,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeUnknownCompiler, err.Error())
 		return
 	}
+	engine, err := parseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
 	budget := req.MaxOps
 	if budget == 0 {
 		budget = defaultRunOps
@@ -128,6 +133,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	opts := []accv.Option{
 		accv.WithSeed(req.Seed),
+		accv.WithEngine(engine),
 		accv.WithCompileCache(s.cache),
 		accv.WithObs(s.obs),
 	}

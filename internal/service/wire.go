@@ -105,8 +105,11 @@ func parseEngine(s string) (accv.Engine, error) {
 		return accv.EngineVM, nil
 	case "tree":
 		return accv.EngineTree, nil
+	case "spmd":
+		return accv.EngineSPMD, nil
 	}
-	return accv.EngineVM, fmt.Errorf("unknown engine %q (want vm or tree)", s)
+	var zero accv.Engine
+	return zero, fmt.Errorf("unknown engine %q (want vm, tree, or spmd)", s)
 }
 
 // parseFormat mirrors accval's -format flag values.
@@ -212,6 +215,7 @@ type RunRequest struct {
 	MaxOps    int64             `json:"max_ops,omitempty"`
 	TimeoutMS int64             `json:"timeout_ms,omitempty"`
 	Env       map[string]string `json:"env,omitempty"`
+	Engine    string            `json:"engine,omitempty"`
 }
 
 // RunResponse mirrors accv.RunResult.

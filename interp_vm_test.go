@@ -1,11 +1,12 @@
 package accv
 
-// Differential tests for the two execution engines: the bytecode VM
-// (default) must be observationally identical to the reference tree-walking
-// interpreter on the complete template corpus — same outcomes, same
-// details, same cross-test statistics, byte-for-byte identical rendered
-// reports. The VM earns its speed only by doing exactly what the
-// tree-walker does (docs/PERFORMANCE.md); this suite is the enforcement.
+// Differential tests for the execution engines: the bytecode VM (default)
+// and the SPMD lane-batched engine must be observationally identical to
+// the reference tree-walking interpreter on the complete template corpus —
+// same outcomes, same details, same cross-test statistics, byte-for-byte
+// identical rendered reports. The VM and the batcher earn their speed only
+// by doing exactly what the tree-walker does (docs/PERFORMANCE.md); this
+// suite is the enforcement.
 
 import (
 	"bytes"
@@ -57,19 +58,20 @@ func firstDiff(a, b []byte) string {
 			bv = bl[i]
 		}
 		if !bytes.Equal(av, bv) {
-			return fmt.Sprintf("line %d:\n  tree: %s\n  vm:   %s", i+1, av, bv)
+			return fmt.Sprintf("line %d:\n  tree:  %s\n  other: %s", i+1, av, bv)
 		}
 	}
 	return "(no differing line?)"
 }
 
-// TestEngineDifferentialReports runs every registered template through both
-// engines and requires byte-identical suite reports. Coverage spans both
-// languages on the reference compiler plus a heavily-bugged vendor release,
-// so miscompiled plans and vendor hooks go through the VM too. If the two
-// engines disagree, the tree-walker is re-run once: a tree-vs-tree
-// mismatch means the corpus itself went schedule-nondeterministic on this
-// machine (not an engine defect), and the comparison is skipped.
+// TestEngineDifferentialReports runs every registered template through all
+// three engines and requires byte-identical suite reports. Coverage spans
+// both languages on the reference compiler plus a heavily-bugged vendor
+// release, so miscompiled plans and vendor hooks go through the VM and the
+// SPMD batcher too. If an engine disagrees with the tree-walker, the
+// tree-walker is re-run once: a tree-vs-tree mismatch means the corpus
+// itself went schedule-nondeterministic on this machine (not an engine
+// defect), and the comparison is skipped.
 func TestEngineDifferentialReports(t *testing.T) {
 	pgi, err := NewCompiler("pgi", "13.2")
 	if err != nil {
@@ -85,21 +87,23 @@ func TestEngineDifferentialReports(t *testing.T) {
 		{"reference-fortran", Fortran, Reference(), false},
 		{"pgi13.2-c", C, pgi, false},
 		// The OpenACC 2.0 future-work set, so all 214 registered templates
-		// (206 1.0 + 8 2.0) go through both engines.
+		// (206 1.0 + 8 2.0) go through every engine.
 		{"reference20-c", C, Reference20(), true},
 		{"reference20-fortran", Fortran, Reference20(), true},
 	}
 	for _, tt := range cases {
 		t.Run(tt.name, func(t *testing.T) {
 			tree := engineReport(t, tt.lang, tt.tc, EngineTree, tt.spec20)
-			vm := engineReport(t, tt.lang, tt.tc, EngineVM, tt.spec20)
-			if bytes.Equal(tree, vm) {
-				return
+			for _, e := range []Engine{EngineVM, EngineSPMD} {
+				got := engineReport(t, tt.lang, tt.tc, e, tt.spec20)
+				if bytes.Equal(tree, got) {
+					continue
+				}
+				if again := engineReport(t, tt.lang, tt.tc, EngineTree, tt.spec20); !bytes.Equal(tree, again) {
+					t.Skipf("suite is schedule-nondeterministic on this machine (tree-vs-tree differs); cannot byte-compare engines")
+				}
+				t.Errorf("engine %v diverged from the tree-walker; first difference at %s", e, firstDiff(tree, got))
 			}
-			if again := engineReport(t, tt.lang, tt.tc, EngineTree, tt.spec20); !bytes.Equal(tree, again) {
-				t.Skipf("suite is schedule-nondeterministic on this machine (tree-vs-tree differs); cannot byte-compare engines")
-			}
-			t.Errorf("engines produced different reports; first difference at %s", firstDiff(tree, vm))
 		})
 	}
 }

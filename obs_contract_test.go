@@ -56,6 +56,43 @@ func TestTelemetryContract(t *testing.T) {
 		}
 	}
 
+	// A suite run under the SPMD engine: drives the batched-nest counter
+	// and — via the corpus's racy cross variants and unproven nests — the
+	// per-reason fallback counter.
+	spmdRunner, err := accv.NewRunner(accv.C,
+		accv.WithEngine(accv.EngineSPMD), accv.WithIterations(1), accv.WithObs(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmdRunner.Run(accv.Reference())
+
+	// A single divergent-store kernel under the SPMD engine: the varying
+	// branch executes under a partial execution mask, driving
+	// accv_spmd_masked_stores_total (no registry template diverges inside
+	// a batched nest, so the contract needs its own workload).
+	divergent := `
+int acc_test()
+{
+    int n = 64;
+    int i;
+    int a[64];
+    for (i = 0; i < n; i++) a[i] = i;
+    #pragma acc parallel copy(a[0:n]) num_gangs(2)
+    {
+        #pragma acc loop gang
+        for (i = 0; i < n; i++) {
+            if (a[i] > 31)
+                a[i] = a[i] * 2;
+        }
+    }
+    return (a[63] == 126);
+}
+`
+	if res, err := accv.CompileAndRun(divergent, accv.C, accv.Reference(),
+		accv.WithEngine(accv.EngineSPMD), accv.WithObs(o)); err != nil || res.Err != nil || res.Exit != 1 {
+		t.Fatalf("divergent spmd kernel: err=%v runtime=%v exit=%d", err, res.Err, res.Exit)
+	}
+
 	// A harness screening epoch plus a degradation query.
 	h := accv.NewHarness(2, accv.DefaultStacks()[:1])
 	h.Obs = o
@@ -108,6 +145,8 @@ func TestTelemetryContract(t *testing.T) {
 		"accv_harness_screenings_total", "accv_compile_cache_misses_total",
 		"accv_sweep_memo_hits_total", "accv_sweep_memo_misses_total",
 		"accv_store_hits_total", "accv_store_misses_total",
+		"accv_spmd_batched_nests_total", "accv_spmd_fallback_nests_total",
+		"accv_spmd_masked_stores_total",
 	} {
 		found := false
 		for _, p := range snap.Counters {

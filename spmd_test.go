@@ -1,0 +1,190 @@
+package accv
+
+// Tests for the SPMD lane-batched engine's oracle gating. Batching is
+// admitted per nest by the LaneSafety oracle: proven-independent nests run
+// lockstep over lane-batched storage; proven-dependent and unknown nests —
+// including the deliberately racy templates — must decline with a stable
+// reason and fall back to the goroutine path, producing results identical
+// to the other engines. A separate check keeps the gate from going
+// vacuous: across the corpus, batched nests must dominate declines, and a
+// real suite run under EngineSPMD must report batched nests through the
+// accv_spmd_* counters.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"accv/internal/core"
+)
+
+// findTemplate locates a registered 1.0 template by name.
+func findTemplate(t *testing.T, lang Language, name string) *core.Template {
+	t.Helper()
+	for _, tpl := range core.ByLang(lang) {
+		if tpl.Name == name {
+			return tpl
+		}
+	}
+	t.Fatalf("template %q not registered for %v", name, lang)
+	return nil
+}
+
+// TestSPMDOracleGatedFallback pins the batch decision for nests the oracle
+// cannot prove independent: the racy templates' cross variants (a
+// collapsed subscript and a dropped reduction clause — proven cross-lane
+// dependences) and functional templates the oracle classifies dependent or
+// unknown. Each must compile with zero batched nests and the expected
+// decline reason, and the SPMD engine must still produce the same result
+// as the VM via the per-nest fallback.
+func TestSPMDOracleGatedFallback(t *testing.T) {
+	cases := []struct {
+		tpl    string
+		langs  []Language
+		cross  bool // run the bug-witness variant instead of the functional one
+		reason string
+	}{
+		{"loop_gang_write_race", []Language{C, Fortran}, true, "oracle-dependent"},
+		{"loop_gang_reduction_race", []Language{C, Fortran}, true, "oracle-dependent"},
+		{"loop_independent", []Language{C, Fortran}, false, "oracle-dependent"},
+		{"loop_reduction_float_add", []Language{C}, false, "oracle-unknown"},
+	}
+	for _, tt := range cases {
+		for _, lang := range tt.langs {
+			name := tt.tpl + "/" + lang.String()
+			if tt.cross {
+				name += "/cross"
+			}
+			t.Run(name, func(t *testing.T) {
+				tpl := findTemplate(t, lang, tt.tpl)
+				functional, cross, hasCross, err := tpl.Generate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := functional
+				if tt.cross {
+					if !hasCross {
+						t.Fatalf("template %q has no cross variant", tt.tpl)
+					}
+					src = cross
+				}
+				prog, err := Parse(src, lang)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exe, _, err := Reference().Compile(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(exe.Batch) != 0 {
+					t.Errorf("oracle-unproven nest was batch-lowered (%d nests)", len(exe.Batch))
+				}
+				if len(exe.BatchDecline) == 0 {
+					t.Fatal("no decline reason recorded")
+				}
+				for _, reason := range exe.BatchDecline {
+					if reason != tt.reason {
+						t.Errorf("decline reason = %q, want %q", reason, tt.reason)
+					}
+				}
+				// The fallback must be invisible in results. Racy cross
+				// variants can be schedule-nondeterministic by design, so a
+				// mismatch is only an engine defect if the VM agrees with
+				// itself across runs.
+				vm := runEngine(t, src, lang, EngineVM)
+				spmd := runEngine(t, src, lang, EngineSPMD)
+				if vm != spmd {
+					if again := runEngine(t, src, lang, EngineVM); vm != again {
+						t.Skipf("template is schedule-nondeterministic on this machine; cannot compare engines")
+					}
+					t.Errorf("engines disagree: vm=%+v spmd=%+v", vm, spmd)
+				}
+			})
+		}
+	}
+}
+
+type engineOutcome struct {
+	Exit   int64
+	Output string
+	ErrMsg string
+}
+
+func runEngine(t *testing.T, src string, lang Language, e Engine) engineOutcome {
+	t.Helper()
+	res, err := CompileAndRun(src, lang, Reference(), WithEngine(e), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := engineOutcome{Exit: res.Exit, Output: res.Output}
+	if res.Err != nil {
+		o.ErrMsg = res.Err.Error()
+	}
+	return o
+}
+
+// TestSPMDBatchingNotVacuous guards the oracle gate against silently
+// declining everything: the differential suite would still pass with the
+// batcher never engaged. Across the reference corpus the compile-time
+// lowering must batch far more nests than it declines, and an actual suite
+// run under EngineSPMD must surface nonzero accv_spmd_batched_nests_total
+// alongside the expected fallback reasons.
+func TestSPMDBatchingNotVacuous(t *testing.T) {
+	batched, declined := 0, 0
+	for _, lang := range []Language{C, Fortran} {
+		for _, tpl := range core.ByLang(lang) {
+			src, _, _, err := tpl.Generate()
+			if err != nil {
+				t.Fatalf("%s: generate: %v", tpl.Name, err)
+			}
+			prog, err := Parse(src, lang)
+			if err != nil {
+				t.Fatalf("%s: parse: %v", tpl.Name, err)
+			}
+			exe, _, err := Reference().Compile(prog)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", tpl.Name, err)
+			}
+			batched += len(exe.Batch)
+			declined += len(exe.BatchDecline)
+		}
+	}
+	t.Logf("corpus: %d nests batch-lowered, %d declined", batched, declined)
+	if batched == 0 {
+		t.Fatal("no nest in the corpus batch-lowered; the SPMD engine is vacuous")
+	}
+	if batched <= declined {
+		t.Errorf("batch lowering declined more nests (%d) than it lowered (%d)", declined, batched)
+	}
+
+	// Runtime: a suite run on the loop family must batch nests and record
+	// the racy template's fallback.
+	o := NewObserver()
+	r, err := NewRunner(C, WithEngine(EngineSPMD), WithFamily("loop"), WithIterations(1), WithObs(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(Reference())
+	var buf bytes.Buffer
+	if err := o.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]float64{}
+	fallbackReasons := map[string]float64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] += c.Value
+		if c.Name == "accv_spmd_fallback_nests_total" {
+			fallbackReasons[c.Labels["reason"]] += c.Value
+		}
+	}
+	if counters["accv_spmd_batched_nests_total"] == 0 {
+		t.Error("suite run under EngineSPMD batched zero nests")
+	}
+	if fallbackReasons["oracle-dependent"] == 0 {
+		t.Error("racy cross variants recorded no oracle-dependent fallbacks")
+	}
+}
