@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"accv/internal/ast"
+	"accv/internal/benchhost"
 	"accv/internal/compiler"
 	"accv/internal/core"
 	"accv/internal/device"
@@ -214,6 +215,7 @@ func benchSuiteWorkers(b *testing.B, workers int, engine interp.Engine) {
 	tc, _ := vendors.New("reference", "")
 	tpls := core.ByLang(ast.LangC)
 	b.ResetTimer()
+	benchhost.LogIfLimited(b, workers)
 	for i := 0; i < b.N; i++ {
 		res := core.RunSuite(core.Config{Toolchain: tc, Iterations: 1, Workers: workers, Engine: engine}, tpls)
 		if res.Failed() != 0 {

@@ -34,6 +34,11 @@ type cliFlags struct {
 	store       string
 	storeCap    int
 	snapshotDir string
+	// sweep sharding (docs/PERFORMANCE.md, "Sharded sweeps").
+	shards        int
+	workers       string
+	shardDeadline time.Duration
+	shardRetries  int
 	// legacy-shim selectors.
 	sweep, matrix, list, bugs bool
 }
@@ -69,6 +74,16 @@ func (f *cliFlags) registerStore(fs *flag.FlagSet) {
 	fs.StringVar(&f.store, "store", "", "persistent result-store directory: warm from and write through it (docs/STORE.md)")
 	fs.IntVar(&f.storeCap, "store-cap", 0, "result-store entry cap, LRU-evicted past it (0: default 65536, negative: unbounded)")
 	fs.StringVar(&f.snapshotDir, "snapshot-dir", "", "write one release snapshot per swept (version, lang) into this directory (for accval diff)")
+}
+
+// registerShard installs the sweep-sharding flags: fan the sweep out
+// across forked worker processes or remote accvd instances, all sharing
+// the -store directory (docs/PERFORMANCE.md, "Sharded sweeps").
+func (f *cliFlags) registerShard(fs *flag.FlagSet) {
+	fs.IntVar(&f.shards, "shards", 0, "fan the sweep out across N forked accval worker processes (0: run in-process)")
+	fs.StringVar(&f.workers, "workers", "", "comma-separated accvd base URLs to dispatch sweep units to (overrides -shards)")
+	fs.DurationVar(&f.shardDeadline, "shard-deadline", 0, "per-unit deadline before a sharded unit is re-queued (0: none)")
+	fs.IntVar(&f.shardRetries, "shard-retries", 3, "re-dispatch budget per sharded unit before the sweep fails")
 }
 
 // newFlagSet returns a ContinueOnError flag set writing usage to stderr.

@@ -58,6 +58,10 @@ func dispatch(argv []string, stdout, stderr io.Writer) int {
 		case "help", "-help", "--help", "-h":
 			usage(stdout)
 			return 0
+		case "shard-worker":
+			// Hidden: the stdio worker `accval sweep -shards N` forks;
+			// not in the subcommand table because it is not for humans.
+			return cmdShardWorker(argv[1:], stdout, stderr)
 		}
 	}
 	fmt.Fprintln(stderr, "accval: the flat-flag form is deprecated; use `accval run`, `accval sweep`, `accval vet`, or `accval diff` (same flags — see `accval help`)")

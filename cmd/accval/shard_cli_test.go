@@ -1,0 +1,79 @@
+// The sharded-sweep CLI acceptance: `accval sweep -shards N` must write
+// byte-identical stdout to the in-process `accval sweep`, for every
+// vendor and both languages, through real forked worker subprocesses
+// (this test binary re-execed into the stdio worker loop).
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const shardHelperEnv = "ACCVAL_SHARD_WORKER_HELPER"
+
+// TestAccvalShardWorkerHelper is not a test: it is the worker subprocess
+// the sharded sweep tests fork — the same loop `accval shard-worker`
+// runs. Guarded by shardHelperEnv so a normal test run skips it.
+func TestAccvalShardWorkerHelper(t *testing.T) {
+	if os.Getenv(shardHelperEnv) != "1" {
+		t.Skip("stdio worker re-exec helper; spawned by the sharded sweep tests")
+	}
+	os.Exit(cmdShardWorker(nil, os.Stdout, os.Stderr))
+}
+
+// useTestShardWorkers points the sharded sweep path's fork target at this
+// test binary's helper for the duration of one test.
+func useTestShardWorkers(t *testing.T) {
+	t.Helper()
+	restoreArgv, restoreEnv := shardWorkerArgv, shardWorkerEnv
+	shardWorkerArgv = func() ([]string, error) {
+		return []string{os.Args[0], "-test.run=^TestAccvalShardWorkerHelper$", "-test.count=1"}, nil
+	}
+	shardWorkerEnv = func() []string { return append(os.Environ(), shardHelperEnv+"=1") }
+	t.Cleanup(func() { shardWorkerArgv, shardWorkerEnv = restoreArgv, restoreEnv })
+}
+
+func TestShardedSweepStdoutByteIdentical(t *testing.T) {
+	useTestShardWorkers(t)
+	for _, vendor := range []string{"caps", "pgi", "cray"} {
+		flags := []string{"sweep", "-compiler", vendor, "-lang", "both", "-iterations", "1"}
+		wantOut, _, wantStatus := capture(t, flags...)
+		gotOut, gotErr, gotStatus := capture(t, append(flags, "-shards", "2")...)
+		if gotOut != wantOut {
+			t.Errorf("%s: sharded stdout differs from in-process sweep:\n--- in-process ---\n%s\n--- sharded ---\n%s",
+				vendor, wantOut, gotOut)
+		}
+		if gotStatus != wantStatus {
+			t.Errorf("%s: exit status: sharded %d, in-process %d", vendor, gotStatus, wantStatus)
+		}
+		if gotErr != "" {
+			t.Errorf("%s: sharded stderr not empty: %q", vendor, gotErr)
+		}
+	}
+}
+
+// TestShardedSweepSharesStore pins the store-sharing contract: a sharded
+// sweep over a store directory leaves entries an unsharded sweep then
+// serves wholly from disk (zero executions), and stdout stays identical.
+func TestShardedSweepSharesStore(t *testing.T) {
+	useTestShardWorkers(t)
+	dir := t.TempDir()
+	flags := []string{"sweep", "-compiler", "pgi", "-family", "data", "-iterations", "1", "-store", dir}
+	coldOut, _, coldStatus := capture(t, append(flags, "-shards", "2")...)
+	if coldStatus != 0 {
+		t.Fatalf("cold sharded sweep exited %d", coldStatus)
+	}
+	warmOut, warmErr, warmStatus := capture(t, flags...)
+	if warmStatus != 0 {
+		t.Fatalf("warm sweep exited %d", warmStatus)
+	}
+	if warmOut != coldOut {
+		t.Errorf("warm in-process stdout differs from cold sharded stdout:\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+	}
+	// The warm run's store telemetry must report zero executions: every
+	// verdict came off the disk the sharded workers populated.
+	if want := " 0 executions this sweep\n"; !strings.Contains(warmErr, want) {
+		t.Errorf("warm sweep stderr %q does not report zero executions", warmErr)
+	}
+}

@@ -1,0 +1,119 @@
+// The sharded sweep path (`accval sweep -shards N` / `-workers URLS`)
+// and the hidden `accval shard-worker` verb the forked workers run. The
+// coordinator lives in internal/shard; this file only maps flags onto it
+// and funnels the merged result through the same finishSweep renderer as
+// the in-process sweep, so sharded stdout is byte-identical
+// (docs/PERFORMANCE.md, "Sharded sweeps").
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"accv"
+	"accv/internal/shard"
+)
+
+// shardWorkerArgv yields the argv forked shard workers run; the CLI
+// tests substitute the test binary's re-exec helper.
+var shardWorkerArgv = func() ([]string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	return []string{exe, "shard-worker"}, nil
+}
+
+// shardWorkerEnv yields the forked workers' environment (nil: inherit).
+var shardWorkerEnv = func() []string { return nil }
+
+// execShardedSweep fans the sweep out across worker processes (or remote
+// accvd instances) and renders the merged result.
+func execShardedSweep(f *cliFlags, langs []accv.Language, observer *accv.Observer, stdout, stderr io.Writer) int {
+	spec := shard.Spec{
+		Family:     f.family,
+		Iterations: f.iterations,
+		TimeoutMS:  f.timeout.Milliseconds(),
+		Vet:        f.vet,
+		Engine:     f.engine,
+		FailFast:   f.failFast,
+		StoreDir:   f.store,
+		StoreCap:   f.storeCap,
+	}
+	if f.retries > 0 {
+		spec.RetryAttempts = f.retries
+		spec.RetryBackoffMS = 50
+	}
+
+	var (
+		workers []shard.Worker
+		factory shard.Factory
+	)
+	if f.workers != "" {
+		for _, base := range strings.Split(f.workers, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				continue
+			}
+			workers = append(workers, shard.NewHTTPWorker(base, nil))
+		}
+		if len(workers) == 0 {
+			return fail(stderr, fmt.Errorf("-workers %q names no worker URLs", f.workers))
+		}
+		// Remote daemons size their own inner parallelism per request;
+		// leave Spec.Parallelism at the workers' default.
+	} else {
+		argv, err := shardWorkerArgv()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		env := shardWorkerEnv()
+		for i := 0; i < f.shards; i++ {
+			workers = append(workers, shard.NewProcWorker(argv, env))
+		}
+		factory = shard.ProcFactory(argv, env)
+		// Split the -j budget across the forked workers (each is its own
+		// process, so the default budget is GOMAXPROCS, same as the
+		// in-process sweep's).
+		jobs := f.jobs
+		if jobs <= 0 {
+			jobs = runtime.GOMAXPROCS(0)
+		}
+		spec.Parallelism = jobs / len(workers)
+		if spec.Parallelism < 1 {
+			spec.Parallelism = 1
+		}
+	}
+
+	res, err := shard.Run(context.Background(), f.compiler, langs, spec, shard.Options{
+		Workers:      workers,
+		Factory:      factory,
+		UnitDeadline: f.shardDeadline,
+		Retries:      f.shardRetries,
+		Obs:          observer,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	return finishSweep(f, observer, res, stdout, stderr)
+}
+
+// cmdShardWorker is the hidden worker verb: serve shard units over
+// stdin/stdout until the coordinator closes the pipe. Everything the
+// worker needs (store directory, run shape) arrives in each request's
+// Spec, so the verb takes no flags.
+func cmdShardWorker(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		fmt.Fprintln(stderr, "accval shard-worker: takes no arguments (it is forked by `accval sweep -shards`)")
+		return 2
+	}
+	if err := shard.ServeStdio(os.Stdin, stdout, shard.NewExecutor(shard.ExecOptions{})); err != nil {
+		fmt.Fprintln(stderr, "accval shard-worker:", err)
+		return 1
+	}
+	return 0
+}

@@ -18,6 +18,7 @@ func cmdSweep(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("accval sweep", stderr)
 	f.registerCommon(fs)
 	f.registerStore(fs)
+	f.registerShard(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -37,6 +38,9 @@ func execSweep(f *cliFlags, observer *accv.Observer, stdout, stderr io.Writer) i
 	if err != nil {
 		return fail(stderr, err)
 	}
+	if f.shards > 0 || f.workers != "" {
+		return execShardedSweep(f, langs, observer, stdout, stderr)
+	}
 	runOpts, err := f.runOptions(observer)
 	if err != nil {
 		return fail(stderr, err)
@@ -54,8 +58,16 @@ func execSweep(f *cliFlags, observer *accv.Observer, stdout, stderr io.Writer) i
 	if err != nil {
 		return fail(stderr, err)
 	}
+	return finishSweep(f, observer, res, stdout, stderr)
+}
+
+// finishSweep renders a completed sweep — in-process or sharded — the
+// same way: the Fig. 8 table on stdout, store telemetry on stderr,
+// snapshots, then the observability exports. Shared so the sharded
+// path's bytes cannot drift from the unsharded one's.
+func finishSweep(f *cliFlags, observer *accv.Observer, res *accv.SweepResult, stdout, stderr io.Writer) int {
 	printSweepTable(stdout, f.compiler, res)
-	if st != nil {
+	if f.store != "" {
 		fmt.Fprintf(stderr, "accval: store %s: %d disk hits, %d memo hits, %d executions this sweep\n",
 			f.store, res.StoreHits, res.MemoHits, res.MemoMisses)
 	}

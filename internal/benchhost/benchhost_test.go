@@ -1,0 +1,40 @@
+package benchhost
+
+import (
+	"fmt"
+	"testing"
+)
+
+type logCapture struct{ lines []string }
+
+func (l *logCapture) Logf(format string, args ...any) {
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func TestCapabilityIsPositive(t *testing.T) {
+	if Cores() < 1 || Procs() < 1 {
+		t.Fatalf("host capability must be positive: cores=%d procs=%d", Cores(), Procs())
+	}
+}
+
+func TestLogIfLimited(t *testing.T) {
+	// Width 1 is always satisfiable: no host runs with zero schedulable
+	// processors.
+	var quiet logCapture
+	if LogIfLimited(&quiet, 1) {
+		t.Fatalf("width 1 reported limited on a live host: %v", quiet.lines)
+	}
+	if len(quiet.lines) != 0 {
+		t.Fatalf("width 1 logged %v", quiet.lines)
+	}
+
+	// A width beyond every plausible host must be reported as limited,
+	// with at least one diagnostic line.
+	var noisy logCapture
+	if !LogIfLimited(&noisy, Cores()+Procs()+1) {
+		t.Fatal("absurd width not reported as limited")
+	}
+	if len(noisy.lines) == 0 {
+		t.Fatal("limited measurement produced no log lines")
+	}
+}

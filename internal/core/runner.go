@@ -554,7 +554,7 @@ func runTest(ctx context.Context, cfg Config, tpl *Template, parent *obs.Span, w
 	if cfg.Obs != nil {
 		genSpan = testSpan.Child("test.generate", obs.L("test", tpl.Name))
 	}
-	functional, cross, hasCross, err := tpl.Generate()
+	functional, cross, hasCross, err := tpl.GenerateCached()
 	if cfg.Obs != nil {
 		cfg.Obs.ObserveDuration("accv_phase_duration_seconds", genSpan.End(), obs.L("phase", "generate"))
 	}

@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"accv/internal/ast"
 )
@@ -77,6 +79,59 @@ func (t *Template) Generate() (functional, cross string, hasCross bool, err erro
 	cross = wrap(t.Lang, cBody, cTop)
 	hasCross = n+nTop > 0 && !t.NoCross
 	return functional, cross, hasCross, nil
+}
+
+// genResult is one cached template expansion together with every input
+// that shaped it, so a mutated template (ad-hoc tests rewrite Source
+// between calls) invalidates instead of serving stale sources.
+type genResult struct {
+	source, topLevel, name string
+	lang                   ast.Lang
+	noCross                bool
+
+	functional, cross string
+	hasCross          bool
+	err               error
+}
+
+// genCache shares one expansion per *Template across suite runs, sweep
+// cells, and fingerprint computations. Registry templates are immutable
+// package-level values, so the common hit path is a pointer-equal string
+// compare; genCacheCap bounds growth from ephemeral ad-hoc templates
+// (CompileAndRun builds one per call) — past it new templates are simply
+// expanded uncached.
+var (
+	genCache    sync.Map // *Template → *genResult
+	genCacheLen atomic.Int64
+)
+
+const genCacheCap = 8192
+
+// GenerateCached is Generate through the per-template expansion cache:
+// the first call per (template, inputs) pays expand+wrap, later calls —
+// every other sweep cell, every fingerprint probe, every shard worker
+// unit touching the template — return the shared strings. Results alias
+// the cached copy; callers must not mutate them (Generate's are equally
+// shared by value semantics: strings are immutable).
+func (t *Template) GenerateCached() (functional, cross string, hasCross bool, err error) {
+	if v, ok := genCache.Load(t); ok {
+		g := v.(*genResult)
+		if g.source == t.Source && g.topLevel == t.TopLevel && g.name == t.Name &&
+			g.lang == t.Lang && g.noCross == t.NoCross {
+			return g.functional, g.cross, g.hasCross, g.err
+		}
+	}
+	functional, cross, hasCross, err = t.Generate()
+	if _, stale := genCache.Load(t); stale || genCacheLen.Load() < genCacheCap {
+		if _, loaded := genCache.Swap(t, &genResult{
+			source: t.Source, topLevel: t.TopLevel, name: t.Name,
+			lang: t.Lang, noCross: t.NoCross,
+			functional: functional, cross: cross, hasCross: hasCross, err: err,
+		}); !loaded {
+			genCacheLen.Add(1)
+		}
+	}
+	return functional, cross, hasCross, err
 }
 
 // expand processes acctest:directive / acctest:alt tags. It returns the

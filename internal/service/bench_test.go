@@ -18,11 +18,12 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"sort"
 	"sync"
 	"testing"
 	"time"
+
+	"accv/internal/benchhost"
 )
 
 type serviceBenchEndpoint struct {
@@ -174,6 +175,7 @@ func TestWriteServiceBench(t *testing.T) {
 	// daemon would be seeded by earlier traffic.
 	runServiceLoad(t, s, ts, 2, 26)
 
+	benchhost.LogIfLimited(t, workers)
 	byEndpoint, elapsed := runServiceLoad(t, s, ts, workers, perWorker)
 
 	cacheHits, cacheMisses, _ := s.CacheStats()
@@ -191,8 +193,8 @@ func TestWriteServiceBench(t *testing.T) {
 		Workload: fmt.Sprintf("%d concurrent clients x %d requests each over the in-process HTTP stack: "+
 			"compile/run/vet interleaved with a suite (caps 3.3.4, family=update) every 10th and a "+
 			"sweep (pgi, family=wait) every 25th request; cache and memo pre-warmed", workers, perWorker),
-		HostCores:  runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCores:  benchhost.Cores(),
+		GOMAXPROCS: benchhost.Procs(),
 		Workers:    workers,
 		DurationMS: elapsed.Milliseconds(),
 		CacheHits:  cacheHits, CacheMisses: cacheMisses,

@@ -1,0 +1,23 @@
+// LocalWorker: the in-process worker — the differential-testing baseline
+// every other worker kind must be indistinguishable from, and the
+// cheapest way to parallelize a sweep inside one process.
+package shard
+
+import "context"
+
+// LocalWorker runs units directly on an Executor. Multiple LocalWorkers
+// may share one Executor (one compile cache, memo table, and store
+// handle), which is exactly the unsharded sweep's sharing discipline.
+type LocalWorker struct {
+	Exec *Executor
+}
+
+// Run executes the unit in-process. Cancellation unwinds cooperatively
+// through the core scheduler and comes back as an error, never as a
+// partial result.
+func (w *LocalWorker) Run(ctx context.Context, u Unit, spec Spec) (*UnitResult, error) {
+	return w.Exec.Run(ctx, u, spec)
+}
+
+// Close is a no-op; the Executor's state outlives the run on purpose.
+func (w *LocalWorker) Close() error { return nil }

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"testing"
 	"time"
 
@@ -260,16 +261,90 @@ func TestConcurrentProcessWriters(t *testing.T) {
 	}
 }
 
-// TestStoreWriterHelper is the child half of the two-process test; it
+// TestStoreWriterHelper is the child half of the multi-process tests; it
 // only does real work when re-exec'd with ACCV_STORE_HELPER_DIR set.
+// ACCV_STORE_HELPER_ID names this writer's key prefix (default "child",
+// the two-process test) and ACCV_STORE_HELPER_N its entry count.
 func TestStoreWriterHelper(t *testing.T) {
 	dir := os.Getenv("ACCV_STORE_HELPER_DIR")
 	if dir == "" {
 		t.Skip("not a helper invocation")
 	}
+	id := os.Getenv("ACCV_STORE_HELPER_ID")
+	if id == "" {
+		id = "child"
+	}
+	n := 50
+	if env := os.Getenv("ACCV_STORE_HELPER_N"); env != "" {
+		var err error
+		if n, err = strconv.Atoi(env); err != nil {
+			t.Fatalf("ACCV_STORE_HELPER_N=%q: %v", env, err)
+		}
+	}
 	s := open(t, dir, Options{})
-	res := core.TestResult{Name: "child", Outcome: core.Pass}
-	for i := 0; i < 50; i++ {
-		s.Put(fp(fmt.Sprintf("child-%d", i)), res)
+	res := core.TestResult{Name: id, Outcome: core.Pass}
+	for i := 0; i < n; i++ {
+		s.Put(fp(fmt.Sprintf("%s-%d", id, i)), res)
+	}
+}
+
+// TestEightProcessWriterStress scales the cross-process writer drill to
+// the sharded-sweep shape: seven re-exec'd writer processes plus this one
+// — the worker count `accval sweep -shards 8` forks — interleave Puts
+// into one directory. Every writer's every entry must be present and
+// intact, with zero corrupt entries: the flock'd atomic-rename protocol
+// must hold at full shard fan-out, not just in pairs.
+func TestEightProcessWriterStress(t *testing.T) {
+	if os.Getenv("ACCV_STORE_HELPER_DIR") != "" {
+		t.Skip("helper invocation")
+	}
+	const children, perWriter = 7, 40
+	dir := t.TempDir()
+	done := make(chan error, children)
+	for w := 0; w < children; w++ {
+		id := fmt.Sprintf("w%d", w)
+		cmd := exec.Command(os.Args[0], "-test.run", "TestStoreWriterHelper", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"ACCV_STORE_HELPER_DIR="+dir,
+			"ACCV_STORE_HELPER_ID="+id,
+			fmt.Sprintf("ACCV_STORE_HELPER_N=%d", perWriter))
+		go func() {
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				err = fmt.Errorf("%s: %v: %s", id, err, out)
+			}
+			done <- err
+		}()
+	}
+
+	s := open(t, dir, Options{})
+	res := core.TestResult{Name: "parent", Outcome: core.Pass}
+	for i := 0; i < perWriter; i++ {
+		s.Put(fp(fmt.Sprintf("parent-%d", i)), res)
+	}
+	for w := 0; w < children; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("helper process: %v", err)
+		}
+	}
+
+	merged := open(t, dir, Options{})
+	want := (children + 1) * perWriter
+	if merged.Len() != want {
+		t.Errorf("merged store holds %d entries, want %d", merged.Len(), want)
+	}
+	ids := []string{"parent"}
+	for w := 0; w < children; w++ {
+		ids = append(ids, fmt.Sprintf("w%d", w))
+	}
+	for _, id := range ids {
+		for i := 0; i < perWriter; i++ {
+			if got, ok := merged.Get(fp(fmt.Sprintf("%s-%d", id, i))); !ok || got.Name != id {
+				t.Fatalf("entry %s-%d missing or damaged", id, i)
+			}
+		}
+	}
+	if _, _, _, corrupt := merged.Stats(); corrupt != 0 {
+		t.Errorf("8-process writers produced %d corrupt entries", corrupt)
 	}
 }

@@ -91,7 +91,7 @@ func (f *Fingerprinter) For(tc compiler.Toolchain) func(*core.Template) (string,
 }
 
 func (f *Fingerprinter) vendorFingerprint(v *vendors.Vendor, tpl *core.Template) (string, bool) {
-	functional, cross, hasCross, err := tpl.Generate()
+	functional, cross, hasCross, err := tpl.GenerateCached()
 	if err != nil {
 		// Generation failure is deterministic per template; share it.
 		return digest(f.salt, "generr", tpl.ID(), err.Error()), true

@@ -253,9 +253,18 @@ func Run(ctx context.Context, vendor string, opts Options) (*Result, error) {
 	return res, firstErr
 }
 
-func templatesFor(family string, lang ast.Lang) []*core.Template {
+// TemplatesFor returns the template set one sweep cell runs — one
+// family's slice, or the whole 1.0 registry for the language. The shard
+// coordinator (internal/shard) indexes its work units into exactly this
+// order, so the selection lives here, shared, and cannot drift between
+// the in-process sweep and the sharded one.
+func TemplatesFor(family string, lang ast.Lang) []*core.Template {
 	if family != "" {
 		return core.ByFamily(family, lang)
 	}
 	return core.ByLang(lang)
+}
+
+func templatesFor(family string, lang ast.Lang) []*core.Template {
+	return TemplatesFor(family, lang)
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"accv"
+	"accv/internal/shard"
 )
 
 // TestTelemetryContract enforces the documentation-first telemetry
@@ -93,6 +94,18 @@ int acc_test()
 		t.Fatalf("divergent spmd kernel: err=%v runtime=%v exit=%d", err, res.Err, res.Exit)
 	}
 
+	// A sharded sweep with two in-process workers sharing the observer:
+	// drives the coordinator's unit counters and the worker gauge.
+	ex := shard.NewExecutor(shard.ExecOptions{Obs: o})
+	if _, err := shard.Run(context.Background(), "pgi",
+		[]accv.Language{accv.C}, shard.Spec{Family: "data"},
+		shard.Options{
+			Workers: []shard.Worker{&shard.LocalWorker{Exec: ex}, &shard.LocalWorker{Exec: ex}},
+			Obs:     o,
+		}); err != nil {
+		t.Fatal(err)
+	}
+
 	// A harness screening epoch plus a degradation query.
 	h := accv.NewHarness(2, accv.DefaultStacks()[:1])
 	h.Obs = o
@@ -147,6 +160,7 @@ int acc_test()
 		"accv_store_hits_total", "accv_store_misses_total",
 		"accv_spmd_batched_nests_total", "accv_spmd_fallback_nests_total",
 		"accv_spmd_masked_stores_total",
+		"accv_shard_units_dispatched_total", "accv_shard_units_completed_total",
 	} {
 		found := false
 		for _, p := range snap.Counters {
@@ -172,6 +186,19 @@ int acc_test()
 	}
 	if !savedSomewhere {
 		t.Error("gauge accv_sweep_saved_runs never rose above zero during the sweep")
+	}
+
+	// The shard coordinator must have published its worker gauge (it ends
+	// at 0 once every dispatch loop retires — presence is the contract).
+	shardWorkersSeen := false
+	for _, p := range snap.Gauges {
+		if p.Name == "accv_shard_workers" {
+			shardWorkersSeen = true
+			break
+		}
+	}
+	if !shardWorkersSeen {
+		t.Error("gauge accv_shard_workers never published during the sharded sweep")
 	}
 
 	// Trace: valid JSON, every span name documented.

@@ -18,11 +18,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	"accv/internal/ast"
+	"accv/internal/benchhost"
 	"accv/internal/core"
 	"accv/internal/device"
 	"accv/internal/interp"
@@ -30,19 +30,19 @@ import (
 )
 
 type spmdBench struct {
-	Benchmark       string  `json:"benchmark"`
-	Workload        string  `json:"workload"`
-	HostCores       int     `json:"host_cores"`
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	KernelVMNs      int64   `json:"kernel_vm_ns_per_op"`
-	KernelSpmdNs    int64   `json:"kernel_spmd_ns_per_op"`
-	KernelSpeedup   float64 `json:"kernel_speedup"`
-	SuiteVMNs       int64   `json:"suite_vm_ns_per_op"`
-	SuiteSpmdNs     int64   `json:"suite_spmd_ns_per_op"`
-	SuiteSpeedup    float64 `json:"suite_speedup"`
-	KernelBatched   int64   `json:"kernel_batched_nests"`
-	SuiteTemplates  int     `json:"suite_templates"`
-	Note            string  `json:"note"`
+	Benchmark      string  `json:"benchmark"`
+	Workload       string  `json:"workload"`
+	HostCores      int     `json:"host_cores"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	KernelVMNs     int64   `json:"kernel_vm_ns_per_op"`
+	KernelSpmdNs   int64   `json:"kernel_spmd_ns_per_op"`
+	KernelSpeedup  float64 `json:"kernel_speedup"`
+	SuiteVMNs      int64   `json:"suite_vm_ns_per_op"`
+	SuiteSpmdNs    int64   `json:"suite_spmd_ns_per_op"`
+	SuiteSpeedup   float64 `json:"suite_speedup"`
+	KernelBatched  int64   `json:"kernel_batched_nests"`
+	SuiteTemplates int     `json:"suite_templates"`
+	Note           string  `json:"note"`
 }
 
 // spmdKernelSrc is the BenchmarkKernelTreeVsVM workload: a compute-heavy
@@ -162,8 +162,8 @@ func TestWriteSpmdBench(t *testing.T) {
 		Workload: fmt.Sprintf("kernel microbench: n=4096 parallel region, 200-flop inner loop per element, "+
 			"num_gangs(4), oracle-proven lane-independent; suite: full C 1.0 registry (%d templates), "+
 			"reference compiler, iterations=1, sequential scheduler", n),
-		HostCores:      runtime.NumCPU(),
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		HostCores:      benchhost.Cores(),
+		GOMAXPROCS:     benchhost.Procs(),
 		KernelVMNs:     kernelVM,
 		KernelSpmdNs:   kernelSpmd,
 		KernelSpeedup:  kSpeedup,

@@ -19,11 +19,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"testing"
 	"time"
 
 	"accv/internal/ast"
+	"accv/internal/benchhost"
 	"accv/internal/store"
 	"accv/internal/sweep"
 )
@@ -103,8 +103,8 @@ func TestWriteStoreBench(t *testing.T) {
 	rec := storeBench{
 		Benchmark:  "cold vs warm store-backed sweep (TestWriteStoreBench)",
 		Workload:   fmt.Sprintf("accval sweep -store equivalent: every simulated version x {C, Fortran}, iterations=%d, full 1.0 registry; cold = empty store, warm = same directory through a fresh handle (restarted process)", iters),
-		HostCores:  runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCores:  benchhost.Cores(),
+		GOMAXPROCS: benchhost.Procs(),
 		Note: "warm_executions is pinned to 0: the warm sweep serves every distinct " +
 			"behavioral fingerprint from disk (warm_store_hits) and the rest from " +
 			"in-sweep memo dedup, so the warm wall-clock is the store's read path plus " +

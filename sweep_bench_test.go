@@ -15,11 +15,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	"accv/internal/ast"
+	"accv/internal/benchhost"
 	"accv/internal/sweep"
 )
 
@@ -72,8 +72,8 @@ func TestWriteSweepBench(t *testing.T) {
 	rec := sweepBench{
 		Benchmark:  "memoized sweep vs naive per-version loop (TestWriteSweepBench)",
 		Workload:   fmt.Sprintf("accval -sweep -lang both equivalent: every simulated version x {C, Fortran}, iterations=%d, full 1.0 registry; durations are the min of 3 runs", iters),
-		HostCores:  runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCores:  benchhost.Cores(),
+		GOMAXPROCS: benchhost.Procs(),
 		Note: "Speedups are naive_ms/memo_ms on this host. The memo shares one execution " +
 			"per distinct behavioral fingerprint; per-vendor speedup is bounded by the " +
 			"vendor's true behavioral partition (CAPS's 3.0.8 Fortran regression block " +
